@@ -1,0 +1,66 @@
+// voyager-bench regenerates the paper's evaluation figures on the simulated
+// machine and prints them as tables.
+//
+// Usage:
+//
+//	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all] [-max-size bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"startvoyager/internal/bench"
+	"startvoyager/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, ext-a..ext-k, all")
+	maxSize := flag.Int("max-size", 256<<10, "largest transfer size in the sweep")
+	flag.Parse()
+
+	sizes := []int{}
+	for _, s := range bench.Fig3Sizes {
+		if s <= *maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+
+	ran := false
+	show := func(name string, fn func()) {
+		if *fig == "all" || *fig == name {
+			fn()
+			fmt.Println()
+			ran = true
+		}
+	}
+	show("3", func() { fmt.Print(bench.Fig3Latency(sizes)) })
+	show("4", func() { fmt.Print(bench.Fig4Bandwidth(sizes)) })
+	show("ext-a", func() { fmt.Print(bench.ExtAEarlyNotification(sizes)) })
+	show("ext-b", func() { fmt.Print(bench.ExtBOccupancy(64 << 10)) })
+	show("ext-c", func() { fmt.Print(bench.ExtCMechanisms()) })
+	show("ext-d", func() { fmt.Print(bench.ExtDReflective()) })
+	show("ext-e", func() { fmt.Print(bench.ExtEQueueCaching()) })
+	show("ext-f", func() { fmt.Print(bench.ExtFCollectives([]int{2, 4, 8, 16})) })
+	show("ext-g", func() {
+		fmt.Print(bench.ExtGNetworkScaling(64 << 10))
+		fmt.Println()
+		fmt.Print(bench.ExtGTopology(64 << 10))
+	})
+	show("ext-h", func() { fmt.Print(bench.ExtHFirmwareSpeed(64 << 10)) })
+	show("ext-i", func() { fmt.Print(bench.ExtIMultitasking()) })
+	show("ext-j", func() {
+		fmt.Print(workload.Table(8, 100, 64, []workload.Pattern{
+			workload.Uniform, workload.Hotspot, workload.Neighbor, workload.Transpose}))
+	})
+	show("ext-k", func() {
+		fmt.Print(bench.ExtKProtocolVariants())
+		fmt.Println()
+		fmt.Print(bench.ExtKStencil(64, 8, 4))
+	})
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

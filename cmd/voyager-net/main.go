@@ -1,0 +1,76 @@
+// voyager-net characterizes the Arctic fat-tree fabric in isolation:
+// unloaded latency by hop count, and aggregate throughput under uniform
+// random all-to-all traffic.
+//
+// Usage:
+//
+//	voyager-net [-nodes n] [-packets p]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "number of endpoints")
+	packets := flag.Int("packets", 2000, "packets for the load test")
+	flag.Parse()
+
+	// Unloaded latency by destination distance.
+	eng := sim.NewEngine()
+	f := arctic.NewFatTree(eng, *nodes, arctic.DefaultConfig())
+	arrival := make(map[int]sim.Time)
+	for i := 0; i < *nodes; i++ {
+		i := i
+		f.Attach(i, arctic.EndpointFunc(func(p *arctic.Packet) {
+			arrival[i] = eng.Now() - p.InjectedAt()
+		}))
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("unloaded latency, %d-node fat tree (96B packets)", *nodes),
+		Columns: []string{"dst", "hops", "latency"},
+	}
+	for _, dst := range []int{1, *nodes / 4, *nodes - 1} {
+		if dst <= 0 || dst >= *nodes {
+			continue
+		}
+		eng.Schedule(0, func() {
+			f.Inject(&arctic.Packet{Src: 0, Dst: dst, Priority: arctic.Low, Size: 96})
+		})
+		eng.Run()
+		t.AddRow(fmt.Sprint(dst), fmt.Sprint(f.HopCount(0, dst)), arrival[dst].String())
+	}
+	fmt.Print(t)
+	fmt.Println()
+
+	// Uniform random load, deterministic vs adaptive routing.
+	for _, adaptive := range []bool{false, true} {
+		eng2 := sim.NewEngine()
+		cfg := arctic.DefaultConfig()
+		cfg.Adaptive = adaptive
+		f2 := arctic.NewFatTree(eng2, *nodes, cfg)
+		for i := 0; i < *nodes; i++ {
+			f2.Attach(i, arctic.EndpointFunc(func(p *arctic.Packet) {}))
+		}
+		rng := rand.New(rand.NewSource(1))
+		for k := 0; k < *packets; k++ {
+			src, dst := rng.Intn(*nodes), rng.Intn(*nodes)
+			f2.Inject(&arctic.Packet{Src: src, Dst: dst, Priority: arctic.Low, Size: 96})
+		}
+		eng2.Run()
+		st := f2.Stats()
+		name := "deterministic"
+		if adaptive {
+			name = "adaptive"
+		}
+		fmt.Printf("uniform random (%s): %d packets (%d bytes) drained in %v — aggregate %.1f MB/s\n",
+			name, st.Delivered, st.Bytes, eng2.Now(),
+			float64(st.Bytes)/float64(eng2.Now())*1e3)
+	}
+}

@@ -1,0 +1,110 @@
+// voyager-run executes a configurable message-passing workload on a
+// simulated StarT-Voyager machine and reports hardware-level statistics —
+// a quick way to poke at the machine without writing a program.
+//
+// Usage:
+//
+//	voyager-run [-nodes n] [-mech basic|express|dma] [-count c] [-size s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
+	"startvoyager/internal/trace"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
+	mech := flag.String("mech", "basic", "mechanism: basic, express, dma")
+	count := flag.Int("count", 100, "messages (or transfers) per sender")
+	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
+	traceN := flag.Int("trace", 0, "dump the last N bus transactions of node 0")
+	flag.Parse()
+
+	m := core.NewMachine(*nodes)
+	var tbuf *trace.Buffer
+	if *traceN > 0 {
+		tbuf = trace.New(m.Eng, *traceN)
+		trace.AttachBus(tbuf, m.Nodes[0].Bus, 0)
+	}
+	senders := *nodes - 1
+	total := senders * *count
+
+	received := 0
+	m.Go(0, "sink", func(p *sim.Proc, a *core.API) {
+		for received < total {
+			switch *mech {
+			case "basic":
+				if _, _, ok := a.TryRecvBasic(p); ok {
+					received++
+				}
+			case "express":
+				if _, _, ok := a.TryRecvExpress(p); ok {
+					received++
+				}
+			case "dma":
+				a.RecvNotify(p)
+				received++
+			}
+		}
+	})
+	for i := 1; i < *nodes; i++ {
+		i := i
+		m.Go(i, "src", func(p *sim.Proc, a *core.API) {
+			for k := 0; k < *count; k++ {
+				switch *mech {
+				case "basic":
+					payload := make([]byte, min(*size, core.MaxBasicPayload))
+					a.SendBasic(p, 0, payload)
+				case "express":
+					a.SendExpress(p, 0, []byte{byte(k)})
+					a.Compute(p, 2000) // pace: express drops on overflow
+				case "dma":
+					n := *size &^ 31
+					if n == 0 {
+						n = 32
+					}
+					a.DmaPush(p, 0, 0x10_0000, uint32(0x20_0000+i*0x1_0000), n, uint32(k))
+				default:
+					log.Fatalf("unknown mechanism %q", *mech)
+				}
+			}
+		})
+	}
+	m.Run()
+
+	fmt.Printf("mechanism=%s nodes=%d messages=%d simulated=%v\n",
+		*mech, *nodes, total, m.Eng.Now())
+	t := &stats.Table{
+		Title:   "per-node statistics",
+		Columns: []string{"node", "aP-busy", "sP-busy", "bus-busy", "ibus-busy", "tx-msgs", "rx-msgs"},
+	}
+	for _, n := range m.Nodes {
+		cs := n.Ctrl.Stats()
+		t.AddRow(fmt.Sprint(n.ID),
+			n.APMeter.BusyTime().String(),
+			n.FW.BusyTime().String(),
+			n.Bus.BusyTime().String(),
+			n.Ctrl.IBusBusyTime().String(),
+			fmt.Sprint(cs.TxMessages),
+			fmt.Sprint(cs.RxMessages))
+	}
+	fmt.Print(t)
+	if tbuf != nil {
+		fmt.Printf("\nlast %d bus transactions on node 0:\n", tbuf.Len())
+		tbuf.Dump(os.Stdout)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,13 @@
+// Package startvoyager is a cycle-approximate, deterministic simulation of
+// the StarT-Voyager machine (Ang, Chiou, Rosenband, Ehrlich, Rudolph,
+// Arvind — "StarT-Voyager: A Flexible Platform for Exploring Scalable SMP
+// Issues", SuperComputing '98): a cluster of PowerPC SMP nodes whose second
+// processor slot holds a flexible network interface unit connecting the
+// memory bus to the MIT Arctic fat-tree network.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results. The user-facing entry points are
+// internal/core (the machine and its communication mechanisms),
+// internal/mpi (the MPI-style library), and internal/blockxfer (the paper's
+// Section 6 experiment).
+package startvoyager

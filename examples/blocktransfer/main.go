@@ -1,0 +1,39 @@
+// Blocktransfer runs the paper's Section 6 experiment end to end: the same
+// 32 KB block transfer implemented five ways — aP-managed messages, sP-
+// managed TagOn messages, hardware block operations, and the two optimistic
+// S-COMA-gated variants — and prints the latency, occupancy and bandwidth
+// comparison.
+package main
+
+import (
+	"fmt"
+
+	"startvoyager/internal/blockxfer"
+	"startvoyager/internal/stats"
+)
+
+func main() {
+	const size = 32 << 10
+	fmt.Printf("Block transfer of %s, node 0 -> node 1 (paper §6)\n\n",
+		stats.FormatBytes(size))
+	t := &stats.Table{
+		Columns: []string{"approach", "latency", "notify", "consume-done",
+			"bandwidth", "aP-src", "sP-src", "sP-dst"},
+	}
+	us := func(v float64) string { return fmt.Sprintf("%.1fus", v/1000) }
+	for _, a := range []blockxfer.Approach{blockxfer.A1, blockxfer.A2,
+		blockxfer.A3, blockxfer.A4, blockxfer.A5} {
+		m := blockxfer.Measure(a, size)
+		t.AddRow(a.String(),
+			us(float64(m.Latency)), us(float64(m.NotifyAt)), us(float64(m.ConsumeDone)),
+			fmt.Sprintf("%.1fMB/s", m.Bandwidth),
+			us(float64(m.APSrcBusy)), us(float64(m.SPSrcBusy)), us(float64(m.SPDstBusy)))
+	}
+	fmt.Print(t)
+	fmt.Println("\nReading the table the way the paper does:")
+	fmt.Println(" - approach 1 pays the aP bus twice per side: worst latency & bandwidth, aP saturated")
+	fmt.Println(" - approach 2 moves the load to the sPs (see sP columns): mid bandwidth")
+	fmt.Println(" - approach 3 runs in the block units: best bandwidth, everyone idle")
+	fmt.Println(" - approaches 4/5 notify at 25% of the data: consume-done drops;")
+	fmt.Println("   approach 5's aBIU state updates also erase the receiving-sP cost of 4")
+}

@@ -1,0 +1,85 @@
+// Mpi-allreduce runs MPI-style collectives on an eight-node machine: a
+// distributed dot product via Allreduce, a Bcast/Gather round trip, and an
+// Alltoall transpose — all over Basic messages on the simulated NIU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/mpi"
+	"startvoyager/internal/sim"
+)
+
+const (
+	nodes   = 8
+	perRank = 1000 // vector elements per rank
+)
+
+func main() {
+	m := core.NewMachine(nodes)
+	dots := make([]float64, nodes)
+	var gathered int
+
+	for r := 0; r < nodes; r++ {
+		r := r
+		c := mpi.World(m, r)
+		m.Go(r, "rank", func(p *sim.Proc, a *core.API) {
+			// Local slice of two distributed vectors x=1.5, y=2.0.
+			local := 0.0
+			for i := 0; i < perRank; i++ {
+				local += 1.5 * 2.0
+			}
+			// Global dot product.
+			dots[r] = c.Allreduce(p, mpi.Sum, []float64{local})[0]
+
+			// Root broadcasts a parameter block; everyone checks it.
+			params := c.Bcast(p, 0, pick(r == 0, []byte("lr=0.01;epochs=3"), nil))
+			if string(params) != "lr=0.01;epochs=3" {
+				log.Fatalf("rank %d got params %q", r, params)
+			}
+
+			// Gather per-rank progress at root.
+			res := c.Gather(p, 0, []byte{byte(r)})
+			if r == 0 {
+				gathered = len(res)
+			}
+
+			// Alltoall transpose of a tiny matrix row.
+			row := make([][]byte, nodes)
+			for i := range row {
+				row[i] = []byte{byte(r), byte(i)}
+			}
+			col := c.Alltoall(p, row)
+			for from, cell := range col {
+				if cell[0] != byte(from) || cell[1] != byte(r) {
+					log.Fatalf("rank %d: bad transpose cell from %d: %v", r, from, cell)
+				}
+			}
+			c.Barrier(p)
+		})
+	}
+	m.Run()
+
+	want := float64(nodes * perRank * 3)
+	for r, d := range dots {
+		if d != want {
+			log.Fatalf("rank %d allreduce = %v, want %v", r, d, want)
+		}
+	}
+	fmt.Printf("MPI collectives on %d nodes over Basic messages\n", nodes)
+	fmt.Printf("  allreduce dot product  = %.0f (all ranks agree)\n", dots[0])
+	fmt.Printf("  bcast/gather           = ok (%d contributions)\n", gathered)
+	fmt.Printf("  alltoall transpose     = ok\n")
+	fmt.Printf("simulated time: %v\n", m.Eng.Now())
+	st := m.Nodes[0].Ctrl.Stats()
+	fmt.Printf("node 0 NIU: tx=%d rx=%d messages\n", st.TxMessages, st.RxMessages)
+}
+
+func pick(cond bool, a, b []byte) []byte {
+	if cond {
+		return a
+	}
+	return b
+}

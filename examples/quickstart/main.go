@@ -1,0 +1,81 @@
+// Quickstart: build a two-node StarT-Voyager machine and exchange messages
+// with all four default message-passing mechanisms (Basic, Express, TagOn,
+// DMA), printing the observed one-way latency of each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+func main() {
+	m := core.NewMachine(2)
+
+	type result struct {
+		name string
+		lat  sim.Time
+	}
+	var results []result
+
+	m.Go(0, "sender", func(p *sim.Proc, a *core.API) {
+		// Basic: up to 88 bytes, composed in cached aSRAM and launched with
+		// a pointer update.
+		start := p.Now()
+		a.SendBasic(p, 1, []byte("basic hello"))
+		a.RecvBasic(p) // echo
+		results = append(results, result{"basic   (round trip)", p.Now() - start})
+
+		// Express: five bytes in a single uncached store.
+		start = p.Now()
+		a.SendExpress(p, 1, []byte{1, 2, 3, 4, 5})
+		a.RecvExpress(p)
+		results = append(results, result{"express (round trip)", p.Now() - start})
+
+		// TagOn: a Basic message that picks up 80 bytes directly from the
+		// aSRAM on its way out — the processor never copies them.
+		a.StageASram(p, 0x8000, make([]byte, 80))
+		start = p.Now()
+		a.SendTagOn(p, 1, []byte("hdr"), 0x8000, 80)
+		a.RecvBasic(p)
+		results = append(results, result{"tagon   (round trip)", p.Now() - start})
+
+		// DMA: the firmware engine moves 4 KB of DRAM with the hardware
+		// block units; the receiver gets a completion notification.
+		a.Poke(0x10_0000, []byte("bulk data..."))
+		start = p.Now()
+		a.DmaPush(p, 1, 0x10_0000, 0x20_0000, 4096, 42)
+		src, pl := a.RecvBasic(p) // receiver acks after its notification
+		_ = src
+		results = append(results, result{"dma 4KB (to notify)", p.Now() - start})
+		if string(pl) != "dma-ok" {
+			log.Fatalf("unexpected ack %q", pl)
+		}
+	})
+
+	m.Go(1, "echo", func(p *sim.Proc, a *core.API) {
+		_, pl := a.RecvBasic(p)
+		a.SendBasic(p, 0, pl)
+
+		_, epl := a.RecvExpress(p)
+		a.SendExpress(p, 0, epl[:])
+
+		_, tpl := a.RecvBasic(p)
+		a.SendBasic(p, 0, tpl[:3])
+
+		a.RecvNotify(p)
+		a.SendBasic(p, 0, []byte("dma-ok"))
+	})
+
+	m.Run()
+
+	fmt.Println("StarT-Voyager quickstart — 2 nodes, Arctic fat tree")
+	for _, r := range results {
+		fmt.Printf("  %-22s %v\n", r.name, r.lat)
+	}
+	st := m.Nodes[0].Ctrl.Stats()
+	fmt.Printf("simulated time: %v (node 0 sent %d messages, received %d)\n",
+		m.Eng.Now(), st.TxMessages, st.RxMessages)
+}

@@ -1,0 +1,126 @@
+// Scoma-stencil runs a 1-D Jacobi heat-diffusion stencil on four nodes over
+// the S-COMA shared-memory window — the kind of shared-memory application
+// the paper's NIU supports without any message-passing code — and verifies
+// the result against a sequential computation.
+//
+// The temperature array lives in the global S-COMA space; each node owns a
+// contiguous strip and reads one halo cell from each neighbour's strip
+// through the coherence protocol. Iterations are separated by a
+// message-passing barrier (mixing paradigms on one machine is exactly the
+// platform's point).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/mpi"
+	"startvoyager/internal/sim"
+)
+
+const (
+	cells = 64 // total cells (small: every cell crosses the protocol)
+	iters = 10
+	nodes = 4
+)
+
+func cellOff(i int) uint32 { return uint32(i) * 8 }
+
+func load(p *sim.Proc, a *core.API, buf uint32, i int) float64 {
+	var b [8]byte
+	a.ScomaLoad(p, buf+cellOff(i), b[:])
+	return math.Float64frombits(binary.BigEndian.Uint64(b[:]))
+}
+
+func store(p *sim.Proc, a *core.API, buf uint32, i int, v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	a.ScomaStore(p, buf+cellOff(i), b[:])
+}
+
+func main() {
+	m := core.NewMachine(nodes)
+
+	// Two buffers (current and next) in the global S-COMA space. Their
+	// backing pages are distributed round-robin across home nodes.
+	bufA, bufB := uint32(0), uint32(64<<10)
+
+	// Initial condition: a hot spike in the middle, poked into the home
+	// backing copies before the machine starts.
+	init := make([]float64, cells)
+	init[cells/2] = 100.0
+
+	// Reference sequential result.
+	want := append([]float64(nil), init...)
+	for it := 0; it < iters; it++ {
+		next := make([]float64, cells)
+		for i := 1; i < cells-1; i++ {
+			next[i] = 0.25*want[i-1] + 0.5*want[i] + 0.25*want[i+1]
+		}
+		want = next
+	}
+
+	// Node 0 writes the initial condition through the window (the protocol
+	// will distribute it on demand).
+	per := cells / nodes
+	final := make([]float64, cells)
+	for r := 0; r < nodes; r++ {
+		r := r
+		comm := mpi.World(m, r)
+		m.Go(r, "stencil", func(p *sim.Proc, a *core.API) {
+			if r == 0 {
+				for i := 0; i < cells; i++ {
+					store(p, a, bufA, i, init[i])
+					store(p, a, bufB, i, 0)
+				}
+			}
+			comm.Barrier(p)
+			lo, hi := r*per, (r+1)*per
+			cur, nxt := bufA, bufB
+			for it := 0; it < iters; it++ {
+				for i := lo; i < hi; i++ {
+					if i == 0 || i == cells-1 {
+						store(p, a, nxt, i, 0)
+						continue
+					}
+					v := 0.25*load(p, a, cur, i-1) + 0.5*load(p, a, cur, i) +
+						0.25*load(p, a, cur, i+1)
+					store(p, a, nxt, i, v)
+				}
+				comm.Barrier(p)
+				cur, nxt = nxt, cur
+			}
+			if r == 0 {
+				for i := 0; i < cells; i++ {
+					final[i] = load(p, a, bufA, i)
+					if iters%2 == 1 {
+						final[i] = load(p, a, bufB, i)
+					}
+				}
+			}
+		})
+	}
+	m.Run()
+
+	maxErr := 0.0
+	for i := range want {
+		if e := math.Abs(final[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-12 {
+		log.Fatalf("stencil diverged from sequential result: max error %g", maxErr)
+	}
+	fmt.Printf("1-D stencil over S-COMA shared memory: %d cells x %d iterations on %d nodes\n",
+		cells, iters, nodes)
+	fmt.Printf("verified against sequential computation (max error %g)\n", maxErr)
+	fmt.Printf("simulated time: %v\n", m.Eng.Now())
+	for i, s := range m.Scomas {
+		st := s.Stats()
+		fmt.Printf("  node %d directory: gets=%d getx=%d invals=%d recalls=%d\n",
+			i, st.Gets, st.GetXs, st.Invals, st.Recalls)
+	}
+}

@@ -1,0 +1,3 @@
+module startvoyager
+
+go 1.22

@@ -1,0 +1,467 @@
+package arctic
+
+import (
+	"fmt"
+
+	"startvoyager/internal/sim"
+)
+
+// Config holds fat-tree timing and shape parameters. The defaults reproduce
+// Arctic's published characteristics: 160 MB/s per link per direction
+// (16-byte flits at 100 ns) and radix-4 routers.
+type Config struct {
+	Radix         int      // router radix k (default 4)
+	FlitBytes     int      // bytes per flit (default 16)
+	FlitTime      sim.Time // serialization time per flit (default 100 ns)
+	RouterLatency sim.Time // per-hop routing decision latency (default 50 ns)
+	// LaneCapacity bounds each link lane's packet buffer (default 4); full
+	// lanes backpressure upstream links hop by hop.
+	LaneCapacity int
+	// Adaptive selects the least-occupied up-link during ascent instead of
+	// the deterministic source-digit choice. Still deterministic as a
+	// simulation, but packets of one (src,dst) pair may take different
+	// paths and arrive out of order — suitable for network studies only;
+	// the NIU protocol layers rely on deterministic routing's FIFO.
+	Adaptive bool
+}
+
+// DefaultConfig returns the Arctic-like parameter set.
+func DefaultConfig() Config {
+	return Config{Radix: 4, FlitBytes: 16, FlitTime: 100, RouterLatency: 50}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Radix == 0 {
+		c.Radix = 4
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 16
+	}
+	if c.FlitTime == 0 {
+		c.FlitTime = 100
+	}
+	if c.RouterLatency == 0 {
+		c.RouterLatency = 50
+	}
+	if c.LaneCapacity == 0 {
+		c.LaneCapacity = 4
+	}
+}
+
+// Stats are fabric-wide delivery counters.
+type Stats struct {
+	Injected  uint64
+	Delivered uint64
+	Bytes     uint64
+	Refusals  uint64 // endpoint backpressure events
+	ByPri     [2]uint64
+}
+
+// FatTree is a k-ary n-tree fabric (the Arctic topology). Routing is
+// deterministic: packets ascend toward the nearest common ancestor level
+// using an up-link selected by the source's least-significant digit (so the
+// k leaves under a switch spread across its k up links), then descend
+// following the destination's digits. Each directed link serializes at the
+// configured flit rate and arbitrates two priority lanes, High first.
+type FatTree struct {
+	eng    *sim.Engine
+	cfg    Config
+	nodes  int // requested endpoint count
+	n      int // levels
+	k      int
+	width  int // k^(n-1): words per level
+	leaves int // k^n
+
+	endpoints  []Endpoint
+	inject     []*link
+	eject      []*link
+	readyHooks []func()
+	// up[l][w*k+j]: switch(l+1, w) -> switch(l, w with digit l = j)
+	// down[l][w*k+i]: switch(l, w) -> switch(l+1, w with digit l = i)
+	up, down [][]*link
+
+	stats Stats
+}
+
+// NewFatTree builds a fabric for numNodes endpoints (rounded up internally
+// to a power of the radix).
+func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
+	if numNodes < 1 {
+		panic("arctic: need at least one node")
+	}
+	cfg.fillDefaults()
+	k := cfg.Radix
+	n, leaves := 1, k
+	for leaves < numNodes {
+		n++
+		leaves *= k
+	}
+	f := &FatTree{
+		eng:       eng,
+		cfg:       cfg,
+		nodes:     numNodes,
+		n:         n,
+		k:         k,
+		width:     leaves / k,
+		leaves:    leaves,
+		endpoints: make([]Endpoint, numNodes),
+	}
+	f.readyHooks = make([]func(), numNodes)
+	f.inject = make([]*link, numNodes)
+	f.eject = make([]*link, numNodes)
+	for p := 0; p < numNodes; p++ {
+		f.inject[p] = f.newLink(fmt.Sprintf("inj%d", p), -1)
+		f.inject[p].inject = p
+		f.eject[p] = f.newLink(fmt.Sprintf("ej%d", p), p)
+	}
+	f.up = make([][]*link, n-1)
+	f.down = make([][]*link, n-1)
+	for l := 0; l < n-1; l++ {
+		f.up[l] = make([]*link, f.width*k)
+		f.down[l] = make([]*link, f.width*k)
+		for w := 0; w < f.width; w++ {
+			for j := 0; j < k; j++ {
+				f.up[l][w*k+j] = f.newLink(fmt.Sprintf("up l%d w%d j%d", l, w, j), -1)
+				f.down[l][w*k+j] = f.newLink(fmt.Sprintf("dn l%d w%d i%d", l, w, j), -1)
+			}
+		}
+	}
+	return f
+}
+
+// NumNodes returns the number of attachable endpoints.
+func (f *FatTree) NumNodes() int { return f.nodes }
+
+// Levels returns the number of switch levels in the tree.
+func (f *FatTree) Levels() int { return f.n }
+
+// Stats returns a snapshot of fabric counters.
+func (f *FatTree) Stats() Stats { return f.stats }
+
+// Attach registers the endpoint for node.
+func (f *FatTree) Attach(node int, ep Endpoint) { f.endpoints[node] = ep }
+
+// digit returns base-k digit at position pos (0 = most significant of n
+// digits) of leaf address p.
+func (f *FatTree) digit(p, pos int) int {
+	div := 1
+	for i := 0; i < f.n-1-pos; i++ {
+		div *= f.k
+	}
+	return (p / div) % f.k
+}
+
+// setWordDigit returns word w with its digit at position pos (0 = most
+// significant of n-1 digits) replaced by v.
+func (f *FatTree) setWordDigit(w, pos, v int) int {
+	div := 1
+	for i := 0; i < f.n-2-pos; i++ {
+		div *= f.k
+	}
+	old := (w / div) % f.k
+	return w + (v-old)*div
+}
+
+// path computes the deterministic link sequence from src to dst.
+func (f *FatTree) path(src, dst int) []*link {
+	links := []*link{f.inject[src]}
+	lca := f.lcaLevel(src, dst)
+	w := src / f.k // word of the leaf-adjacent switch
+	j := f.digit(src, f.n-1)
+	for l := f.n - 2; l >= lca; l-- { // ascend
+		if f.cfg.Adaptive {
+			j = f.bestUp(l, w)
+		}
+		links = append(links, f.up[l][w*f.k+j])
+		w = f.setWordDigit(w, l, j)
+	}
+	for l := lca; l <= f.n-2; l++ { // descend
+		i := f.digit(dst, l)
+		links = append(links, f.down[l][w*f.k+i])
+		w = f.setWordDigit(w, l, i)
+	}
+	return append(links, f.eject[dst])
+}
+
+// bestUp picks the up-link out of switch (l+1, w) with the least queued
+// work (ties broken by port index, keeping the simulation deterministic).
+func (f *FatTree) bestUp(l, w int) int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for j := 0; j < f.k; j++ {
+		lk := f.up[l][w*f.k+j]
+		load := len(lk.queues[High]) + len(lk.queues[Low])
+		if lk.busy {
+			load++
+		}
+		if load < bestLoad {
+			best, bestLoad = j, load
+		}
+	}
+	return best
+}
+
+// HopCount returns the number of links a packet from src to dst traverses
+// (including injection and ejection links).
+func (f *FatTree) HopCount(src, dst int) int { return len(f.path(src, dst)) }
+
+// Inject sends pkt from pkt.Src toward pkt.Dst.
+func (f *FatTree) Inject(pkt *Packet) {
+	if pkt.Size <= HeaderBytes || pkt.Size > MaxPacketBytes {
+		panic(fmt.Sprintf("arctic: bad packet size %d", pkt.Size))
+	}
+	if pkt.Dst < 0 || pkt.Dst >= f.nodes || pkt.Src < 0 || pkt.Src >= f.nodes {
+		panic(fmt.Sprintf("arctic: bad src/dst %d->%d", pkt.Src, pkt.Dst))
+	}
+	pkt.injected = f.eng.Now()
+	f.stats.Injected++
+	f.stats.ByPri[pkt.Priority]++
+	if f.cfg.Adaptive {
+		lca := f.lcaLevel(pkt.Src, pkt.Dst)
+		entry := &linkEntry{pkt: pkt}
+		entry.advance = func(from *link) {
+			f.adaptiveStep(pkt, f.n-1, pkt.Src/f.k, lca, lca < f.n-1, from)
+		}
+		f.inject[pkt.Src].enqueueOrWait(entry, nil)
+		return
+	}
+	route := f.path(pkt.Src, pkt.Dst)
+	f.walk(pkt, route, 0, nil)
+}
+
+// InjectReady reports whether node's injection link can take more traffic
+// on the given priority lane (the NIU throttles its transmit formatting on
+// this signal, independently per lane so High traffic bypasses a wedged
+// Low lane).
+func (f *FatTree) InjectReady(node int, pri Priority) bool {
+	return f.inject[node].injectReady(pri)
+}
+
+// SetReadyHook registers fn to run whenever node's injection link regains
+// room after being full.
+func (f *FatTree) SetReadyHook(node int, fn func()) { f.readyHooks[node] = fn }
+
+// lcaLevel returns the nearest-common-ancestor switch level of two leaves.
+func (f *FatTree) lcaLevel(src, dst int) int {
+	for pos := 0; pos < f.n-1; pos++ {
+		if f.digit(src, pos) != f.digit(dst, pos) {
+			return pos
+		}
+	}
+	return f.n - 1
+}
+
+// adaptiveStep routes one hop at a time, choosing the least-loaded up link
+// at each ascent — the decision is made when the packet actually reaches
+// the switch, not at injection.
+func (f *FatTree) adaptiveStep(pkt *Packet, cl, w, lca int, ascending bool, from *link) {
+	rdy := f.eng.Now() + f.cfg.RouterLatency
+	switch {
+	case ascending && cl > lca:
+		j := f.bestUp(cl-1, w)
+		nw := f.setWordDigit(w, cl-1, j)
+		nl := cl - 1
+		entry := &linkEntry{pkt: pkt, readyAt: rdy}
+		entry.advance = func(from *link) { f.adaptiveStep(pkt, nl, nw, lca, nl > lca, from) }
+		f.up[cl-1][w*f.k+j].enqueueOrWait(entry, from)
+	case cl < f.n-1:
+		i := f.digit(pkt.Dst, cl)
+		nw := f.setWordDigit(w, cl, i)
+		nl := cl + 1
+		entry := &linkEntry{pkt: pkt, readyAt: rdy}
+		entry.advance = func(from *link) { f.adaptiveStep(pkt, nl, nw, lca, false, from) }
+		f.down[cl][w*f.k+i].enqueueOrWait(entry, from)
+	default:
+		f.eject[pkt.Dst].enqueueOrWait(&linkEntry{pkt: pkt, readyAt: rdy}, from)
+	}
+}
+
+// walk enqueues pkt on route[hop] and continues the traversal as each hop
+// admits it.
+func (f *FatTree) walk(pkt *Packet, route []*link, hop int, from *link) {
+	entry := &linkEntry{pkt: pkt}
+	if hop > 0 {
+		entry.readyAt = f.eng.Now() + f.cfg.RouterLatency
+	}
+	if hop+1 < len(route) {
+		entry.advance = func(from *link) { f.walk(pkt, route, hop+1, from) }
+	}
+	route[hop].enqueueOrWait(entry, from)
+}
+
+// Poke retries deliveries previously refused by node's endpoint.
+func (f *FatTree) Poke(node int) { f.eject[node].poke() }
+
+// serTime returns link serialization time for a packet of size bytes,
+// rounded up to whole flits.
+func (f *FatTree) serTime(size int) sim.Time {
+	flits := (size + f.cfg.FlitBytes - 1) / f.cfg.FlitBytes
+	return sim.Time(flits) * f.cfg.FlitTime
+}
+
+// link is one directed channel with two priority lanes, a serializer, and
+// finite buffering: each lane admits at most the configured LaneCapacity
+// packets; upstream links hold their lane blocked until downstream admits
+// their packet, so endpoint backpressure propagates hop by hop toward the
+// sender (tree saturation) — the behaviour behind the paper's warning that
+// the Hold policy "can lead to deadlocking the network".
+type link struct {
+	f       *FatTree
+	name    string
+	dstNode int // >= 0 for ejection links
+	inject  int // >= 0 for injection links (owning node)
+	queues  [numPriorities][]*linkEntry
+	// blocked holds a serialized packet awaiting downstream admission (or
+	// endpoint acceptance); its lane cannot serialize further packets.
+	blocked [numPriorities]*linkEntry
+	// waiters are upstream packets waiting for a lane slot here.
+	waiters [numPriorities][]*creditWaiter
+	busy    bool
+}
+
+type linkEntry struct {
+	pkt *Packet
+	// advance moves the packet to its next hop (nil on the ejection hop);
+	// it receives the link it is leaving so admission can unblock it.
+	advance func(from *link)
+	// readyAt delays serialization start by the router decision latency
+	// without holding the upstream lane (cut-through-style overlap).
+	readyAt sim.Time
+}
+
+type creditWaiter struct {
+	entry *linkEntry
+	from  *link // upstream link to unblock on admission (nil at injection)
+}
+
+func (f *FatTree) newLink(name string, dstNode int) *link {
+	return &link{f: f, name: name, dstNode: dstNode, inject: -1}
+}
+
+// enqueueOrWait admits the packet if the lane has room, otherwise registers
+// it as a credit waiter; from (if non-nil) stays blocked until admission.
+func (l *link) enqueueOrWait(e *linkEntry, from *link) {
+	pr := e.pkt.Priority
+	if len(l.queues[pr]) < l.f.cfg.LaneCapacity {
+		l.queues[pr] = append(l.queues[pr], e)
+		if from != nil {
+			from.unblock(pr)
+		}
+		l.maybeReady()
+		l.kick()
+		return
+	}
+	l.waiters[pr] = append(l.waiters[pr], &creditWaiter{entry: e, from: from})
+}
+
+// unblock clears the lane's downstream-wait state and restarts the
+// serializer.
+func (l *link) unblock(pr Priority) {
+	l.blocked[pr] = nil
+	l.kick()
+}
+
+// kick starts serializing the next eligible packet, High lane first; a lane
+// with a packet still awaiting downstream admission (or endpoint
+// acceptance) is skipped.
+func (l *link) kick() {
+	if l.busy {
+		return
+	}
+	for pr := Priority(0); pr < numPriorities; pr++ {
+		if l.blocked[pr] != nil || len(l.queues[pr]) == 0 {
+			continue
+		}
+		entry := l.queues[pr][0]
+		if entry.readyAt > l.f.eng.Now() {
+			// The head is still in the router pipeline; try again when it
+			// emerges (the other lane may proceed meanwhile).
+			l.f.eng.At(entry.readyAt, l.kick)
+			continue
+		}
+		l.queues[pr] = l.queues[pr][1:]
+		l.admitWaiter(pr)
+		l.busy = true
+		l.f.eng.Schedule(l.f.serTime(entry.pkt.Size), func() {
+			l.busy = false
+			l.afterSer(entry)
+			l.kick()
+		})
+		return
+	}
+}
+
+// admitWaiter moves one credit waiter into the freed lane slot.
+func (l *link) admitWaiter(pr Priority) {
+	if len(l.waiters[pr]) == 0 {
+		l.maybeReady()
+		return
+	}
+	w := l.waiters[pr][0]
+	l.waiters[pr] = l.waiters[pr][1:]
+	l.queues[pr] = append(l.queues[pr], w.entry)
+	if w.from != nil {
+		w.from.unblock(pr)
+	}
+	l.maybeReady()
+}
+
+// afterSer runs when the wire is done with the packet: deliver (ejection)
+// or advance toward the next hop, blocking the lane until it is accepted.
+func (l *link) afterSer(e *linkEntry) {
+	pr := e.pkt.Priority
+	if l.dstNode >= 0 {
+		ep := l.f.endpoints[l.dstNode]
+		if ep == nil {
+			panic("arctic: delivery to unattached node " + l.name)
+		}
+		if ep.TryDeliver(e.pkt) {
+			l.f.stats.Delivered++
+			l.f.stats.Bytes += uint64(e.pkt.Size)
+			return
+		}
+		l.f.stats.Refusals++
+		l.blocked[pr] = e
+		return
+	}
+	l.blocked[pr] = e
+	e.advance(l)
+}
+
+// poke retries endpoint delivery of stalled packets (ejection links).
+func (l *link) poke() {
+	progressed := false
+	for pr := Priority(0); pr < numPriorities; pr++ {
+		e := l.blocked[pr]
+		if e == nil {
+			continue
+		}
+		if l.f.endpoints[l.dstNode].TryDeliver(e.pkt) {
+			l.blocked[pr] = nil
+			l.f.stats.Delivered++
+			l.f.stats.Bytes += uint64(e.pkt.Size)
+			progressed = true
+		} else {
+			l.f.stats.Refusals++
+		}
+	}
+	if progressed {
+		l.kick()
+	}
+}
+
+// maybeReady fires the node's injection-ready hook when an injection link
+// regains room (the NIU-side flow control signal).
+func (l *link) maybeReady() {
+	if l.inject < 0 {
+		return
+	}
+	if hook := l.f.readyHooks[l.inject]; hook != nil &&
+		(l.injectReady(High) || l.injectReady(Low)) {
+		hook()
+	}
+}
+
+// injectReady reports whether the lane can take another packet.
+func (l *link) injectReady(pr Priority) bool {
+	return len(l.queues[pr]) < l.f.cfg.LaneCapacity && len(l.waiters[pr]) == 0
+}

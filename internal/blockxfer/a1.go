@@ -1,0 +1,62 @@
+package blockxfer
+
+import (
+	"startvoyager/internal/bus"
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// a1ChunkBytes is the payload carried per Basic message in approach 1.
+const a1ChunkBytes = 80
+
+// a1 is approach 1: the sender aP reads data from memory, packetizes it
+// into Basic messages and sends them; the receiver aP copies the payloads
+// into memory. The data crosses the aP bus twice on each side (DRAM→aP,
+// aP→aSRAM when composing; aSRAM→aP, aP→DRAM when receiving), and both
+// processors are occupied for the whole transfer.
+type a1 struct {
+	m      *core.Machine
+	size   int
+	doneAt sim.Time
+}
+
+func newA1(m *core.Machine, size int) *a1 { return &a1{m: m, size: size} }
+
+func (x *a1) send(p *sim.Proc, api *core.API) {
+	chunk := make([]byte, a1ChunkBytes)
+	for off := 0; off < x.size; off += a1ChunkBytes {
+		n := x.size - off
+		if n > a1ChunkBytes {
+			n = a1ChunkBytes
+		}
+		api.MemLoad(p, srcAddr+uint32(off), chunk[:n])
+		api.SendBasic(p, 1, chunk[:n])
+	}
+}
+
+func (x *a1) receive(p *sim.Proc, api *core.API) {
+	got := 0
+	for got < x.size {
+		_, payload := api.RecvBasic(p)
+		api.MemStore(p, dstAddr+uint32(got), payload)
+		got += len(payload)
+	}
+	// Make the data visible in DRAM for the NIU-free integrity check (the
+	// receiver's cache holds it Modified otherwise).
+	api.MemFlush(p, dstAddr, x.size)
+	x.doneAt = p.Now()
+}
+
+func (x *a1) consume(p *sim.Proc, api *core.API) {
+	buf := make([]byte, bus.LineSize*8)
+	for off := 0; off < x.size; off += len(buf) {
+		n := x.size - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		api.MemLoad(p, dstAddr+uint32(off), buf[:n])
+	}
+}
+
+func (x *a1) dstCheckAddr() uint32   { return dstAddr }
+func (x *a1) dataComplete() sim.Time { return x.doneAt }

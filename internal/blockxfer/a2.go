@@ -1,0 +1,147 @@
+package blockxfer
+
+import (
+	"encoding/binary"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/core"
+	"startvoyager/internal/firmware"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/node"
+	"startvoyager/internal/sim"
+)
+
+// Approach-2 firmware services.
+const (
+	svcA2Req  = firmware.SvcUserBase + 0 // aP -> local sP: start a transfer
+	svcA2Data = firmware.SvcUserBase + 1 // sender sP -> dest sP: 64-byte chunk
+	svcA2Done = firmware.SvcUserBase + 2 // sender sP -> dest sP: end of data
+)
+
+// a2ChunkBytes is the data carried per TagOn message (two cache lines).
+const a2ChunkBytes = 2 * bus.LineSize
+
+// a2 is approach 2: the aP issues one request to the local sP, which moves
+// the data from DRAM into aSRAM with command-queue bus operations and ships
+// it in TagOn messages — neither processor ever touches the payload. The
+// destination sP issues the bus writes that land the data in memory. The
+// cost shifts from aP occupancy to sP occupancy, which becomes the
+// bandwidth limit.
+type a2 struct {
+	m      *core.Machine
+	size   int
+	doneAt sim.Time
+	lock   *sim.Resource // serializes back-to-back transfers at the sender sP
+}
+
+func newA2(m *core.Machine, size int) *a2 {
+	x := &a2{m: m, size: size, lock: sim.NewResource(m.Eng, "a2xfer")}
+	send := m.Nodes[0].FW
+	recv := m.Nodes[1].FW
+	send.Register(svcA2Req, x.onRequest)
+	recv.Register(svcA2Data, x.onData)
+	recv.Register(svcA2Done, x.onDone)
+	return x
+}
+
+func (x *a2) send(p *sim.Proc, api *core.API) {
+	var body [12]byte
+	binary.BigEndian.PutUint32(body[0:], srcAddr)
+	binary.BigEndian.PutUint32(body[4:], dstAddr)
+	binary.BigEndian.PutUint32(body[8:], uint32(x.size))
+	api.SendSvc(p, 0, svcA2Req, body[:])
+}
+
+// onRequest runs on the sender's sP: read, packetize, send.
+func (x *a2) onRequest(p *sim.Proc, src uint16, body []byte) {
+	srcA := binary.BigEndian.Uint32(body[0:])
+	dstA := binary.BigEndian.Uint32(body[4:])
+	size := int(binary.BigEndian.Uint32(body[8:]))
+	fw := x.m.Nodes[0].FW
+	fw.Go("a2-send", func(p *sim.Proc) {
+		x.lock.AcquireP(p)
+		defer x.lock.Release()
+		stage := node.UserASram + 0x100&^63 // one chunk of staging, 64-aligned
+		for off := 0; off < size; off += a2ChunkBytes {
+			// Two command-queue bus reads pull the chunk into aSRAM; the
+			// TagOn message then picks it up. In-order completion within
+			// the command queue makes the single staging buffer safe.
+			for l := 0; l < a2ChunkBytes; l += bus.LineSize {
+				fw.IssueCommand(p, 0, &ctrl.BusOp{
+					Tx: &bus.Transaction{Kind: bus.ReadLine,
+						Addr: srcA + uint32(off+l), Data: make([]byte, bus.LineSize)},
+					ToBuf: fw.Ctrl().ASram(), ToOff: uint32(stage + l),
+				})
+			}
+			inline := make([]byte, 5)
+			inline[0] = svcA2Data
+			binary.BigEndian.PutUint32(inline[1:], dstA+uint32(off))
+			fw.IssueCommand(p, 0, &ctrl.SendMsg{
+				Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: firmware.SvcLogicalQ, Payload: inline},
+				Dest:     1,
+				Priority: arctic.Low,
+				TagBuf:   fw.Ctrl().ASram(), TagOff: uint32(stage), TagLen: a2ChunkBytes,
+			})
+		}
+		done := make([]byte, 5)
+		done[0] = svcA2Done
+		binary.BigEndian.PutUint32(done[1:], uint32(size))
+		// Wait for the data SendMsgs to drain (same queue, in order), then
+		// mark the end of the stream.
+		g := sim.NewGate(p.Engine())
+		fw.IssueCommand(p, 0, &ctrl.SendMsg{
+			Base:     ctrl.Base{Done: g.Open},
+			Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: firmware.SvcLogicalQ, Payload: done},
+			Dest:     1,
+			Priority: arctic.Low,
+		})
+		g.Wait(p)
+	})
+}
+
+// onData runs on the destination sP: two bus writes per chunk, data taken
+// straight from the message buffer (the sP never copies it byte by byte).
+func (x *a2) onData(p *sim.Proc, src uint16, body []byte) {
+	addr := binary.BigEndian.Uint32(body[0:])
+	data := body[4:]
+	fw := x.m.Nodes[1].FW
+	for l := 0; l+bus.LineSize <= len(data); l += bus.LineSize {
+		fw.IssueCommand(p, 0, &ctrl.BusOp{
+			Tx: &bus.Transaction{Kind: bus.WriteLine, Addr: addr + uint32(l),
+				Data: append([]byte(nil), data[l:l+bus.LineSize]...)},
+		})
+	}
+}
+
+// onDone runs on the destination sP after all data messages (FIFO order):
+// it notifies the receiving aP. The notification is sent on the same
+// command queue as the writes, so it launches only after they completed.
+func (x *a2) onDone(p *sim.Proc, src uint16, body []byte) {
+	fw := x.m.Nodes[1].FW
+	fw.IssueCommand(p, 0, &ctrl.SendMsg{
+		Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: node.LqNotify, Payload: []byte("a2-done")},
+		Dest:     1, // self: the local aP's notification queue
+		Priority: arctic.Low,
+	})
+}
+
+func (x *a2) receive(p *sim.Proc, api *core.API) {
+	api.RecvNotify(p)
+	x.doneAt = p.Now()
+}
+
+func (x *a2) consume(p *sim.Proc, api *core.API) {
+	buf := make([]byte, bus.LineSize*8)
+	for off := 0; off < x.size; off += len(buf) {
+		n := x.size - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		api.MemLoad(p, dstAddr+uint32(off), buf[:n])
+	}
+}
+
+func (x *a2) dstCheckAddr() uint32   { return dstAddr }
+func (x *a2) dataComplete() sim.Time { return x.doneAt }

@@ -1,0 +1,41 @@
+package blockxfer
+
+import (
+	"startvoyager/internal/bus"
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// a3 is approach 3: the firmware DMA engine decomposes the transfer into
+// hardware block-read and block-transmit operations. Both aPs and both sPs
+// are nearly idle; the transfer proceeds at the speed of the bus and link.
+type a3 struct {
+	m      *core.Machine
+	size   int
+	doneAt sim.Time
+}
+
+func newA3(m *core.Machine, size int) *a3 { return &a3{m: m, size: size} }
+
+func (x *a3) send(p *sim.Proc, api *core.API) {
+	api.DmaPush(p, 1, srcAddr, dstAddr, x.size, 0xB10C)
+}
+
+func (x *a3) receive(p *sim.Proc, api *core.API) {
+	api.RecvNotify(p)
+	x.doneAt = p.Now()
+}
+
+func (x *a3) consume(p *sim.Proc, api *core.API) {
+	buf := make([]byte, bus.LineSize*8)
+	for off := 0; off < x.size; off += len(buf) {
+		n := x.size - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		api.MemLoad(p, dstAddr+uint32(off), buf[:n])
+	}
+}
+
+func (x *a3) dstCheckAddr() uint32   { return dstAddr }
+func (x *a3) dataComplete() sim.Time { return x.doneAt }

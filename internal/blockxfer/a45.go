@@ -1,0 +1,224 @@
+package blockxfer
+
+import (
+	"encoding/binary"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/core"
+	"startvoyager/internal/firmware"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/node"
+	"startvoyager/internal/sim"
+)
+
+// Approach-4/5 firmware services.
+const (
+	svcA45Req      = firmware.SvcUserBase + 3 // aP -> local sP: start
+	svcA45Prep     = firmware.SvcUserBase + 4 // sender sP -> receiver sP: arm cls gating
+	svcA45Ready    = firmware.SvcUserBase + 5 // receiver sP -> sender sP: armed
+	svcA45Progress = firmware.SvcUserBase + 6 // sender sP -> receiver sP: page arrived (A4)
+	svcA45Done     = firmware.SvcUserBase + 7 // sender sP -> receiver sP: all data arrived
+)
+
+// a45PerLineCost is the A4 sP occupancy of touching one clsSRAM line state.
+const a45PerLineCost = 20 // ns
+
+// a45 implements approaches 4 and 5: an approach-3 transfer into the
+// receiver's S-COMA window, with the receiver notified optimistically after
+// a quarter of the data. clsSRAM line states gate the receiver's reads: a
+// read of a line that has not arrived retries on the bus until the state
+// flips. Approach 4 flips states in receiving-sP firmware (per-page progress
+// messages); approach 5 uses the aBIU extension (CmdWriteDramCls) that flips
+// them in hardware as the data lands.
+type a45 struct {
+	a      Approach
+	m      *core.Machine
+	size   int
+	doneAt sim.Time
+	ready  *sim.Gate
+	lock   *sim.Resource
+}
+
+func newA45(a Approach, m *core.Machine, size int) *a45 {
+	x := &a45{a: a, m: m, size: size,
+		ready: sim.NewGate(m.Eng), lock: sim.NewResource(m.Eng, "a45xfer")}
+	send := m.Nodes[0].FW
+	recv := m.Nodes[1].FW
+	send.Register(svcA45Req, x.onRequest)
+	send.Register(svcA45Ready, x.onReady)
+	recv.Register(svcA45Prep, x.onPrep)
+	recv.Register(svcA45Progress, x.onProgress)
+	recv.Register(svcA45Done, x.onDone)
+	// Reads of not-yet-arrived lines are captured once per episode; the
+	// firmware only marks them Pending (the data is already on the way).
+	for i := 0; i < 2; i++ {
+		fw := m.Nodes[i].FW
+		fw.SetScomaCapture(func(p *sim.Proc, op biu.CapturedOp) {
+			idx := int(op.Addr-node.ScomaBase) / bus.LineSize
+			fw.Ctrl().Cls().Set(idx, sram.CLPending)
+		})
+	}
+	return x
+}
+
+// windowDst returns the receiver-side window address of the destination.
+func windowDst() uint32 { return node.ScomaBase + dstOff }
+
+func (x *a45) send(p *sim.Proc, api *core.API) {
+	var body [8]byte
+	binary.BigEndian.PutUint32(body[0:], uint32(x.size))
+	api.SendSvc(p, 0, svcA45Req, body[:])
+}
+
+// onRequest runs at the sender sP: arm the receiver, then stream pages.
+func (x *a45) onRequest(p *sim.Proc, src uint16, body []byte) {
+	size := int(binary.BigEndian.Uint32(body[0:]))
+	fw := x.m.Nodes[0].FW
+	fw.Go("a45-send", func(p *sim.Proc) {
+		x.lock.AcquireP(p)
+		defer x.lock.Release()
+		x.ready.Close()
+		var prep [9]byte
+		prep[0] = byte(x.a)
+		binary.BigEndian.PutUint32(prep[1:], windowDst())
+		binary.BigEndian.PutUint32(prep[5:], uint32(size))
+		fw.SendSvc(p, 1, svcA45Prep, prep[:], arctic.Low, nil)
+		x.ready.Wait(p)
+
+		staging := x.m.Nodes[0].DmaStagingOff()
+		half := (node.DmaStagingLen / 2) &^ (bus.LineSize - 1)
+		free := [2]*sim.Gate{sim.NewGate(p.Engine()), sim.NewGate(p.Engine())}
+		free[0].Open()
+		free[1].Open()
+		allSent := sim.NewGate(p.Engine())
+
+		earlyAt := (size*EarlyNotifyNum/EarlyNotifyDen + ctrl.PageBytes - 1) &^ (ctrl.PageBytes - 1)
+		if earlyAt > size {
+			earlyAt = size // single-page transfers: notify at completion
+		}
+		earlySent := false
+		offset, buf := 0, 0
+		for offset < size {
+			n := size - offset
+			if n > half {
+				n = half
+			}
+			if rem := ctrl.PageBytes - (offset % ctrl.PageBytes); n > rem {
+				n = rem
+			}
+			free[buf].Wait(p)
+			stageOff := staging + uint32(buf)*uint32(half)
+			brDone := sim.NewGate(p.Engine())
+			fw.IssueCommand(p, 0, &ctrl.BlockRead{
+				Base:     ctrl.Base{Done: brDone.Open},
+				DramAddr: srcAddr + uint32(offset), SramOff: stageOff, Len: n,
+			})
+			brDone.Wait(p)
+
+			chunkOff, chunkLen := offset, n
+			reuse := free[buf]
+			reuse.Close()
+			last := offset+n >= size
+			bt := &ctrl.BlockTx{
+				Buf: fw.Ctrl().ASram(), SramOff: stageOff, Len: n,
+				DestNode: 1, DestAddr: windowDst() + uint32(offset),
+				Priority: arctic.Low,
+			}
+			if x.a == A5 {
+				bt.WithCls = true
+				bt.ClsState = sram.CLReadWrite
+			}
+			bt.Done = func() {
+				reuse.Open()
+				// Ordered markers: emitted after this block's data packets,
+				// on the same lane, so they arrive after the data is in
+				// place at the receiver.
+				fw.Go("a45-mark", func(p *sim.Proc) {
+					if x.a == A4 {
+						var prog [8]byte
+						binary.BigEndian.PutUint32(prog[0:], uint32(chunkOff))
+						binary.BigEndian.PutUint32(prog[4:], uint32(chunkLen))
+						fw.SendSvc(p, 1, svcA45Progress, prog[:], arctic.Low, nil)
+					}
+					if !earlySent && chunkOff+chunkLen >= earlyAt {
+						earlySent = true
+						fw.IssueCommand(p, 0, &ctrl.SendMsg{
+							Frame: &txrx.Frame{Kind: txrx.Data,
+								LogicalQ: node.LqNotify, Payload: []byte("early")},
+							Dest: 1, Priority: arctic.Low,
+						})
+					}
+					if last {
+						fw.SendSvc(p, 1, svcA45Done, nil, arctic.Low, nil)
+						allSent.Open()
+					}
+				})
+			}
+			fw.IssueCommand(p, 0, bt)
+			offset += n
+			buf ^= 1
+		}
+		allSent.Wait(p)
+	})
+}
+
+// onPrep arms the receiver's clsSRAM gating and acknowledges.
+func (x *a45) onPrep(p *sim.Proc, src uint16, body []byte) {
+	a := Approach(body[0])
+	addr := binary.BigEndian.Uint32(body[1:])
+	size := int(binary.BigEndian.Uint32(body[5:]))
+	fw := x.m.Nodes[1].FW
+	lines := (size + bus.LineSize - 1) / bus.LineSize
+	if a == A4 {
+		// The sP walks the state bits itself.
+		fw.Occupy(p, sim.Time(lines)*a45PerLineCost)
+	}
+	// The actual state write goes through the command queue (A5 uses the
+	// block-operation path — one command regardless of length).
+	fw.IssueCommand(p, 0, &ctrl.SetCls{Addr: addr, Count: lines, State: sram.CLInvalid})
+	fw.SendSvc(p, 0, svcA45Ready, nil, arctic.High, nil)
+}
+
+func (x *a45) onReady(p *sim.Proc, src uint16, body []byte) { x.ready.Open() }
+
+// onProgress (A4 only) flips the arrived lines to readable.
+func (x *a45) onProgress(p *sim.Proc, src uint16, body []byte) {
+	off := binary.BigEndian.Uint32(body[0:])
+	n := int(binary.BigEndian.Uint32(body[4:]))
+	lines := (n + bus.LineSize - 1) / bus.LineSize
+	fw := x.m.Nodes[1].FW
+	fw.Occupy(p, sim.Time(lines)*a45PerLineCost)
+	fw.IssueCommand(p, 0, &ctrl.SetCls{Addr: windowDst() + off, Count: lines,
+		State: sram.CLReadWrite})
+	// Retried aP reads of these lines re-arm their notification flags.
+	for l := 0; l < lines; l++ {
+		fw.ABIU().ClearScomaNotify(int(windowDst()+off-node.ScomaBase)/bus.LineSize + l)
+	}
+}
+
+func (x *a45) onDone(p *sim.Proc, src uint16, body []byte) { x.doneAt = p.Now() }
+
+func (x *a45) receive(p *sim.Proc, api *core.API) {
+	api.RecvNotify(p) // the optimistic (25%) notification
+}
+
+// consume reads the transferred region through the S-COMA window; reads of
+// lines that have not arrived stall on bus retry until the state flips —
+// the latency-hiding (and aP-stalling) behaviour the paper describes.
+func (x *a45) consume(p *sim.Proc, api *core.API) {
+	buf := make([]byte, bus.LineSize*8)
+	for off := 0; off < x.size; off += len(buf) {
+		n := x.size - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		api.ScomaLoad(p, dstOff+uint32(off), buf[:n])
+	}
+}
+
+func (x *a45) dstCheckAddr() uint32   { return windowDst() }
+func (x *a45) dataComplete() sim.Time { return x.doneAt }

@@ -1,0 +1,131 @@
+package blockxfer
+
+import (
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+// TestIntegrityAllApproaches: Measure panics on data corruption, so simply
+// running each (approach, size) point is an end-to-end data check.
+func TestIntegrityAllApproaches(t *testing.T) {
+	for _, a := range []Approach{A1, A2, A3, A4, A5} {
+		for _, size := range []int{64, 1024, 8192} {
+			m := Measure(a, size)
+			if m.Latency <= 0 || m.Bandwidth <= 0 {
+				t.Fatalf("%v size %d: degenerate metrics %+v", a, size, m)
+			}
+			t.Logf("%v %5dB: lat=%v notify=%v complete=%v consume=%v bw=%.1fMB/s",
+				a, size, m.Latency, m.NotifyAt, m.DataComplete, m.ConsumeDone, m.Bandwidth)
+		}
+	}
+}
+
+func TestOrderingFig3Latency(t *testing.T) {
+	// At large sizes approach 1 must have the worst latency and approach 3
+	// the best (the paper's figure 3 ordering).
+	const size = 32 << 10
+	l1 := Measure(A1, size).Latency
+	l2 := Measure(A2, size).Latency
+	l3 := Measure(A3, size).Latency
+	if !(l1 > l2 && l2 > l3) {
+		t.Fatalf("latency ordering broken: A1=%v A2=%v A3=%v", l1, l2, l3)
+	}
+}
+
+func TestOrderingFig4Bandwidth(t *testing.T) {
+	const size = 64 << 10
+	b1 := Measure(A1, size).Bandwidth
+	b2 := Measure(A2, size).Bandwidth
+	b3 := Measure(A3, size).Bandwidth
+	if !(b1 < b2 && b2 < b3) {
+		t.Fatalf("bandwidth ordering broken: A1=%.1f A2=%.1f A3=%.1f", b1, b2, b3)
+	}
+	// Approach 3 should approach (but not exceed) the link's 160 MB/s.
+	if b3 < 80 || b3 > 170 {
+		t.Fatalf("A3 bandwidth %.1f MB/s implausible", b3)
+	}
+}
+
+func TestSmallTransferCrossover(t *testing.T) {
+	// For a very small transfer approach 1 must beat approach 3 on latency
+	// (no aP->sP request round trip) — the crossover the paper's setup
+	// implies.
+	small1 := Measure(A1, 64).Latency
+	small3 := Measure(A3, 64).Latency
+	if small1 >= small3 {
+		t.Fatalf("small-transfer crossover missing: A1=%v A3=%v", small1, small3)
+	}
+}
+
+func TestOccupancyShapes(t *testing.T) {
+	const size = 32 << 10
+	m1 := Measure(A1, size)
+	m2 := Measure(A2, size)
+	m3 := Measure(A3, size)
+	// A1: aP does the work; sP idle.
+	if m1.SPSrcBusy != 0 || m1.SPDstBusy != 0 {
+		t.Fatalf("A1 used the sP: %+v", m1)
+	}
+	// A2: work moves to the sPs; sender aP occupancy collapses.
+	if m2.APSrcBusy >= m1.APSrcBusy/4 {
+		t.Fatalf("A2 aP src busy %v vs A1 %v", m2.APSrcBusy, m1.APSrcBusy)
+	}
+	if m2.SPSrcBusy == 0 || m2.SPDstBusy == 0 {
+		t.Fatalf("A2 did not use the sPs: %+v", m2)
+	}
+	// A3: sP occupancy far below A2's.
+	if m3.SPSrcBusy >= m2.SPSrcBusy/2 {
+		t.Fatalf("A3 sP src busy %v not far below A2 %v", m3.SPSrcBusy, m2.SPSrcBusy)
+	}
+	t.Logf("sP src busy: A1=%v A2=%v A3=%v", m1.SPSrcBusy, m2.SPSrcBusy, m3.SPSrcBusy)
+}
+
+func TestEarlyNotificationWins(t *testing.T) {
+	// Approaches 4/5 notify at ~25% of the data: the receiver can finish
+	// consuming earlier than with approach 3, where it cannot start until
+	// full completion.
+	const size = 64 << 10
+	m3 := Measure(A3, size)
+	m4 := Measure(A4, size)
+	m5 := Measure(A5, size)
+	if m4.NotifyAt >= m3.NotifyAt || m5.NotifyAt >= m3.NotifyAt {
+		t.Fatalf("early notification not early: A3=%v A4=%v A5=%v",
+			m3.NotifyAt, m4.NotifyAt, m5.NotifyAt)
+	}
+	if m4.ConsumeDone >= m3.ConsumeDone || m5.ConsumeDone >= m3.ConsumeDone {
+		t.Fatalf("consume latency not improved: A3=%v A4=%v A5=%v",
+			m3.ConsumeDone, m4.ConsumeDone, m5.ConsumeDone)
+	}
+	t.Logf("consume: A3=%v A4=%v A5=%v", m3.ConsumeDone, m4.ConsumeDone, m5.ConsumeDone)
+}
+
+func TestA5CutsReceiverSPOccupancy(t *testing.T) {
+	// Approach 5 moves per-line state maintenance into the aBIU: the
+	// receiving sP's occupancy must drop well below approach 4's.
+	const size = 64 << 10
+	m4 := Measure(A4, size)
+	m5 := Measure(A5, size)
+	if m5.SPDstBusy >= m4.SPDstBusy/2 {
+		t.Fatalf("A5 dst sP busy %v not well below A4 %v", m5.SPDstBusy, m4.SPDstBusy)
+	}
+}
+
+func TestLatencyMonotonicInSize(t *testing.T) {
+	for _, a := range []Approach{A1, A2, A3} {
+		var prev sim.Time
+		for _, size := range []int{1024, 4096, 16384} {
+			l := Measure(a, size).Latency
+			if l <= prev {
+				t.Fatalf("%v: latency not increasing with size (%v after %v)", a, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	if A1.String() != "approach-1" || A5.String() != "approach-5" {
+		t.Fatal("bad names")
+	}
+}

@@ -1,0 +1,315 @@
+// Package bus models the PowerPC 60X memory bus of a StarT-Voyager node: a
+// shared, snooped, retry-capable bus connecting the application processor's
+// cache, the memory controller, and the NIU's aP bus interface unit (aBIU).
+//
+// The model is transaction-granular: each transaction holds the bus for an
+// address tenure, a snoop window in which every other device may Retry or
+// Claim it, an optional responder access latency, and a data tenure of 8-byte
+// beats. Retried transactions are re-issued by the bus itself after a
+// backoff, which is exactly the mechanism StarT-Voyager's S-COMA support
+// uses to stall a processor touching data that has not yet arrived.
+package bus
+
+import (
+	"fmt"
+
+	"startvoyager/internal/sim"
+)
+
+// LineSize is the coherence granularity (bytes) of the 604e systems modeled.
+const LineSize = 32
+
+// BeatBytes is the width of one data-bus beat.
+const BeatBytes = 8
+
+// Kind enumerates bus transaction types.
+type Kind int
+
+const (
+	// ReadLine is a coherent 32-byte burst read (shared intent).
+	ReadLine Kind = iota
+	// ReadLineX is a coherent read with intent to modify (RWITM).
+	ReadLineX
+	// WriteLine is a 32-byte burst write (cache writeback or DMA write).
+	WriteLine
+	// ReadWord is an uncached read of 1..8 bytes.
+	ReadWord
+	// WriteWord is an uncached write of 1..8 bytes.
+	WriteWord
+	// Kill broadcasts an invalidation for a line; it carries no data.
+	Kill
+)
+
+// String names the transaction kind.
+func (k Kind) String() string {
+	switch k {
+	case ReadLine:
+		return "ReadLine"
+	case ReadLineX:
+		return "ReadLineX"
+	case WriteLine:
+		return "WriteLine"
+	case ReadWord:
+		return "ReadWord"
+	case WriteWord:
+		return "WriteWord"
+	case Kill:
+		return "Kill"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsRead reports whether the transaction transfers data to the master.
+func (k Kind) IsRead() bool { return k == ReadLine || k == ReadLineX || k == ReadWord }
+
+// Transaction is one bus operation. For line kinds, Addr must be 32-byte
+// aligned and Data 32 bytes long; for word kinds Data is 1..8 bytes and must
+// not cross an 8-byte boundary.
+type Transaction struct {
+	Kind   Kind
+	Addr   uint32
+	Data   []byte
+	Master Device // issuing device (excluded from snooping)
+
+	Retries int // filled by the bus: number of retry rounds taken
+	// SharedSeen is set by the bus when any snooper asserted the shared
+	// line (the 60X SHD signal): a filling cache must install the line in
+	// Shared rather than Exclusive state.
+	SharedSeen bool
+}
+
+func (t *Transaction) validate() error {
+	switch t.Kind {
+	case ReadLine, ReadLineX, WriteLine:
+		if t.Addr%LineSize != 0 {
+			return fmt.Errorf("bus: %v at unaligned %#x", t.Kind, t.Addr)
+		}
+		if len(t.Data) != LineSize {
+			return fmt.Errorf("bus: %v with %d data bytes", t.Kind, len(t.Data))
+		}
+	case ReadWord, WriteWord:
+		if len(t.Data) == 0 || len(t.Data) > BeatBytes {
+			return fmt.Errorf("bus: %v with %d data bytes", t.Kind, len(t.Data))
+		}
+		if t.Addr/BeatBytes != (t.Addr+uint32(len(t.Data))-1)/BeatBytes {
+			return fmt.Errorf("bus: %v crosses beat boundary at %#x+%d", t.Kind, t.Addr, len(t.Data))
+		}
+	case Kill:
+		if t.Addr%LineSize != 0 {
+			return fmt.Errorf("bus: Kill at unaligned %#x", t.Addr)
+		}
+	default:
+		return fmt.Errorf("bus: unknown kind %d", t.Kind)
+	}
+	return nil
+}
+
+func (t *Transaction) beats() int {
+	switch t.Kind {
+	case ReadLine, ReadLineX, WriteLine:
+		return LineSize / BeatBytes
+	case ReadWord, WriteWord:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Action is a device's snoop decision.
+type Action int
+
+const (
+	// OK: the device has no stake in the transaction (or has updated its
+	// internal state silently, e.g. invalidated a clean line).
+	OK Action = iota
+	// Retry aborts the transaction; the bus re-issues it after the backoff.
+	Retry
+	// Claim: the device will service the data phase (memory controller for
+	// its range, aBIU for NIU-mapped ranges, a cache interveining with
+	// modified data).
+	Claim
+)
+
+// Snoop is the result of presenting a transaction to a device.
+type Snoop struct {
+	Action Action
+	// Intervene marks a cache supplying modified data; an intervening claim
+	// takes precedence over an ordinary (memory) claim.
+	Intervene bool
+	// Shared asserts the shared snoop line: the master's cache must not
+	// install the line exclusively.
+	Shared bool
+	// Latency is the claimer's initial access time before data beats.
+	Latency sim.Time
+	// Serve performs the data phase: fill tx.Data for reads, absorb it for
+	// writes. Called once, at the data phase, if this claim wins.
+	Serve func(tx *Transaction)
+}
+
+// Device is anything attached to the bus.
+type Device interface {
+	// DeviceName identifies the device in diagnostics.
+	DeviceName() string
+	// SnoopBus observes a transaction issued by another master.
+	SnoopBus(tx *Transaction) Snoop
+}
+
+// Config holds bus timing parameters.
+type Config struct {
+	CycleTime    sim.Time // bus clock period (default 15 ns — 66 MHz)
+	AddrCycles   int      // address tenure + snoop window (default 2)
+	RetryBackoff sim.Time // master re-issue delay after a retry (default 150 ns)
+	MaxRetries   int      // livelock guard; panic beyond (default 1e6)
+}
+
+// DefaultConfig returns 66 MHz 60X-like timing.
+func DefaultConfig() Config {
+	return Config{CycleTime: 15, AddrCycles: 2, RetryBackoff: 150, MaxRetries: 1e6}
+}
+
+func (c *Config) fillDefaults() {
+	if c.CycleTime == 0 {
+		c.CycleTime = 15
+	}
+	if c.AddrCycles == 0 {
+		c.AddrCycles = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 150
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1e6
+	}
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Transactions uint64
+	Retries      uint64
+	DataBytes    uint64
+}
+
+// Bus is one node's memory bus.
+type Bus struct {
+	eng     *sim.Engine
+	cfg     Config
+	res     *sim.Resource
+	devices []Device
+	stats   Stats
+	// snoopHook, if set, observes every completed transaction (tracing).
+	snoopHook func(tx *Transaction)
+}
+
+// New creates an empty bus.
+func New(eng *sim.Engine, name string, cfg Config) *Bus {
+	cfg.fillDefaults()
+	return &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, name)}
+}
+
+// Attach adds a device to the snoop set.
+func (b *Bus) Attach(d Device) { b.devices = append(b.devices, d) }
+
+// Engine returns the engine the bus runs on.
+func (b *Bus) Engine() *sim.Engine { return b.eng }
+
+// Stats returns a snapshot of activity counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// BusyTime returns accumulated bus-held time.
+func (b *Bus) BusyTime() sim.Time { return b.res.BusyTime() }
+
+// SetTraceHook installs fn to observe each completed transaction.
+func (b *Bus) SetTraceHook(fn func(tx *Transaction)) { b.snoopHook = fn }
+
+// Issue runs tx to completion, retrying as needed, then calls done. The
+// master must not mutate tx until done runs.
+func (b *Bus) Issue(tx *Transaction, done func()) {
+	if err := tx.validate(); err != nil {
+		panic(err)
+	}
+	b.attempt(tx, done)
+}
+
+// IssueP is the blocking form of Issue for Procs.
+func (b *Bus) IssueP(p *sim.Proc, tx *Transaction) {
+	p.Call(func(cb func()) { b.Issue(tx, cb) })
+}
+
+func (b *Bus) attempt(tx *Transaction, done func()) {
+	b.res.Acquire(func() {
+		// Address tenure, then snoop window.
+		b.eng.Schedule(sim.Time(b.cfg.AddrCycles)*b.cfg.CycleTime, func() {
+			retried := false
+			var winner *Snoop
+			for _, d := range b.devices {
+				if d == tx.Master {
+					continue
+				}
+				s := d.SnoopBus(tx)
+				if s.Shared {
+					tx.SharedSeen = true
+				}
+				switch s.Action {
+				case Retry:
+					retried = true
+				case Claim:
+					s := s
+					if winner == nil || (s.Intervene && !winner.Intervene) {
+						winner = &s
+					} else if s.Intervene && winner.Intervene {
+						panic(fmt.Sprintf("bus: double intervention on %v @%#x", tx.Kind, tx.Addr))
+					}
+				}
+			}
+			if retried {
+				b.res.Release()
+				b.stats.Retries++
+				tx.Retries++
+				if tx.Retries > b.cfg.MaxRetries {
+					panic(fmt.Sprintf("bus: %v @%#x retried %d times (livelock)",
+						tx.Kind, tx.Addr, tx.Retries))
+				}
+				b.eng.Schedule(b.cfg.RetryBackoff, func() { b.attempt(tx, done) })
+				return
+			}
+			if winner == nil && tx.Kind != Kill {
+				panic(fmt.Sprintf("bus: unclaimed %v @%#x", tx.Kind, tx.Addr))
+			}
+			var lat sim.Time
+			if winner != nil {
+				lat = winner.Latency
+			}
+			b.eng.Schedule(lat, func() {
+				if winner != nil && winner.Serve != nil {
+					winner.Serve(tx)
+				}
+				b.eng.Schedule(sim.Time(tx.beats())*b.cfg.CycleTime, func() {
+					b.stats.Transactions++
+					b.stats.DataBytes += uint64(tx.beats() * BeatBytes)
+					b.res.Release()
+					if b.snoopHook != nil {
+						b.snoopHook(tx)
+					}
+					done()
+				})
+			})
+		})
+	})
+}
+
+// Range is a half-open physical address range [Base, Base+Size).
+type Range struct {
+	Base, Size uint32
+}
+
+// Contains reports whether addr falls in the range.
+func (r Range) Contains(addr uint32) bool {
+	return addr >= r.Base && addr-r.Base < r.Size
+}
+
+// Offset returns addr-Base; callers must have checked Contains.
+func (r Range) Offset(addr uint32) uint32 { return addr - r.Base }
+
+// End returns the first address past the range.
+func (r Range) End() uint32 { return r.Base + r.Size }

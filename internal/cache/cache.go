@@ -1,0 +1,342 @@
+// Package cache models the application processor's cache hierarchy (the
+// 604e's L1 backed by the 512 KB in-line L2) as a single snoopy MESI,
+// set-associative, write-back cache on the node's 60X bus.
+//
+// The cache is both a bus master (misses, upgrades, writebacks issued on
+// behalf of the processor) and a snooper (invalidations and interventions
+// for NIU-issued traffic). Intervention on modified data is reflected to
+// memory through a writeback sink, mirroring the reflection the memory
+// controller performs on real 60X systems.
+package cache
+
+import (
+	"fmt"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/sim"
+)
+
+// State is a MESI coherence state.
+type State int
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config holds cache shape and timing.
+type Config struct {
+	SizeBytes int      // total capacity (default 512 KB)
+	Assoc     int      // ways per set (default 4)
+	HitTime   sim.Time // load/store hit latency (default 6 ns)
+}
+
+// DefaultConfig returns a 512 KB 4-way cache with 6 ns hits.
+func DefaultConfig() Config { return Config{SizeBytes: 512 << 10, Assoc: 4, HitTime: 6} }
+
+func (c *Config) fillDefaults() {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 512 << 10
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 4
+	}
+	if c.HitTime == 0 {
+		c.HitTime = 6
+	}
+}
+
+type line struct {
+	tag   uint32
+	state State
+	data  [bus.LineSize]byte
+	lru   uint64
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Writebacks, Upgrades uint64
+	SnoopInvalidations, Interventions  uint64
+}
+
+// Cache is one node's processor-side cache. It serves exactly one processor
+// (StarT-Voyager nodes have a single aP; the NIU occupies the second slot),
+// so processor operations must not be issued concurrently.
+type Cache struct {
+	name string
+	b    *bus.Bus
+	cfg  Config
+	sets [][]line
+	nset uint32
+	tick uint64
+
+	// writebackSink reflects intervention data to memory without a second
+	// bus transaction (the controller captures intervention data on real
+	// hardware). Set by node assembly to the DRAM backdoor.
+	writebackSink func(addr uint32, data []byte)
+
+	stats Stats
+}
+
+// New creates a cache attached (by the caller) to b.
+func New(name string, b *bus.Bus, cfg Config) *Cache {
+	cfg.fillDefaults()
+	nset := cfg.SizeBytes / cfg.Assoc / bus.LineSize
+	if nset == 0 || nset&(nset-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nset))
+	}
+	sets := make([][]line, nset)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &Cache{name: name, b: b, cfg: cfg, sets: sets, nset: uint32(nset)}
+}
+
+// SetWritebackSink installs the memory reflection function.
+func (c *Cache) SetWritebackSink(fn func(addr uint32, data []byte)) { c.writebackSink = fn }
+
+// DeviceName implements bus.Device.
+func (c *Cache) DeviceName() string { return c.name }
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(addr uint32) []line { return c.sets[(addr/bus.LineSize)&(c.nset-1)] }
+func (c *Cache) tag(addr uint32) uint32 { return addr / bus.LineSize / c.nset }
+
+func (c *Cache) lookup(addr uint32) *line {
+	set, tag := c.set(addr), c.tag(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim picks the replacement candidate in addr's set (invalid first, then
+// least recently used).
+func (c *Cache) victim(addr uint32) *line {
+	set := c.set(addr)
+	var v *line
+	for i := range set {
+		if set[i].state == Invalid {
+			return &set[i]
+		}
+		if v == nil || set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr &^ (bus.LineSize - 1) }
+
+// addrOf reconstructs the base address of a resident line.
+func (c *Cache) addrOf(l *line, anyAddrInSet uint32) uint32 {
+	setIdx := (anyAddrInSet / bus.LineSize) & (c.nset - 1)
+	return (l.tag*c.nset + setIdx) * bus.LineSize
+}
+
+// Load performs a cached read of len(buf) bytes at addr (may span lines).
+func (c *Cache) Load(p *sim.Proc, addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		la := c.lineAddr(addr)
+		off := addr - la
+		n := bus.LineSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		l := c.ensure(p, la, false)
+		copy(buf[:n], l.data[off:])
+		p.Delay(c.cfg.HitTime)
+		addr += uint32(n)
+		buf = buf[n:]
+	}
+}
+
+// Store performs a cached write of data at addr (may span lines).
+func (c *Cache) Store(p *sim.Proc, addr uint32, data []byte) {
+	for len(data) > 0 {
+		la := c.lineAddr(addr)
+		off := addr - la
+		n := bus.LineSize - int(off)
+		if n > len(data) {
+			n = len(data)
+		}
+		l := c.ensure(p, la, true)
+		copy(l.data[off:], data[:n])
+		l.state = Modified
+		p.Delay(c.cfg.HitTime)
+		addr += uint32(n)
+		data = data[n:]
+	}
+}
+
+// ensure makes the line at la resident with (exclusive ownership if
+// forWrite) and returns it, performing any bus traffic required.
+func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
+	for {
+		l := c.lookup(la)
+		switch {
+		case l != nil && (!forWrite || l.state == Modified || l.state == Exclusive):
+			c.stats.Hits++
+			c.touch(l)
+			return l
+		case l != nil && forWrite && l.state == Shared:
+			// Upgrade: broadcast a Kill; the line may be stolen while the
+			// Kill waits for the bus, in which case retry from scratch.
+			c.stats.Upgrades++
+			c.b.IssueP(p, &bus.Transaction{Kind: bus.Kill, Addr: la, Master: c})
+			if l.state == Shared {
+				l.state = Exclusive
+				c.touch(l)
+				c.stats.Hits++
+				return l
+			}
+		default:
+			c.stats.Misses++
+			v := c.victim(la)
+			if v.state == Modified {
+				c.stats.Writebacks++
+				wb := &bus.Transaction{Kind: bus.WriteLine, Addr: c.addrOf(v, la),
+					Data: append([]byte(nil), v.data[:]...), Master: c}
+				v.state = Invalid
+				c.b.IssueP(p, wb)
+			} else {
+				v.state = Invalid
+			}
+			kind := bus.ReadLine
+			if forWrite {
+				kind = bus.ReadLineX
+			}
+			tx := &bus.Transaction{Kind: kind, Addr: la, Data: make([]byte, bus.LineSize), Master: c}
+			c.b.IssueP(p, tx)
+			// Another fill may have raced in via a different path; reuse the
+			// victim slot chosen above (re-pick if it got filled meanwhile).
+			if v.state != Invalid {
+				v = c.victim(la)
+			}
+			v.tag = c.tag(la)
+			copy(v.data[:], tx.Data)
+			switch {
+			case forWrite:
+				v.state = Modified
+			case tx.SharedSeen:
+				// Another agent asserted the shared line (a peer cache or
+				// the aBIU for read-only S-COMA lines): no silent upgrade.
+				v.state = Shared
+			default:
+				v.state = Exclusive
+			}
+			c.touch(v)
+			return v
+		}
+	}
+}
+
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// Flush writes back (if dirty) and invalidates the line containing addr.
+func (c *Cache) Flush(p *sim.Proc, addr uint32) {
+	la := c.lineAddr(addr)
+	l := c.lookup(la)
+	if l == nil {
+		return
+	}
+	if l.state == Modified {
+		wb := &bus.Transaction{Kind: bus.WriteLine, Addr: la,
+			Data: append([]byte(nil), l.data[:]...), Master: c}
+		l.state = Invalid
+		c.b.IssueP(p, wb)
+		return
+	}
+	l.state = Invalid
+}
+
+// LoadUncached performs a cache-inhibited read (1..8 bytes).
+func (c *Cache) LoadUncached(p *sim.Proc, addr uint32, buf []byte) {
+	tx := &bus.Transaction{Kind: bus.ReadWord, Addr: addr, Data: buf, Master: c}
+	c.b.IssueP(p, tx)
+}
+
+// StoreUncached performs a cache-inhibited write (1..8 bytes).
+func (c *Cache) StoreUncached(p *sim.Proc, addr uint32, data []byte) {
+	tx := &bus.Transaction{Kind: bus.WriteWord, Addr: addr, Data: data, Master: c}
+	c.b.IssueP(p, tx)
+}
+
+// SnoopBus implements coherence actions for other masters' transactions.
+func (c *Cache) SnoopBus(tx *bus.Transaction) bus.Snoop {
+	l := c.lookup(c.lineAddr(tx.Addr))
+	if l == nil {
+		return bus.Snoop{}
+	}
+	switch tx.Kind {
+	case bus.ReadLine:
+		if l.state == Modified {
+			// Intervene: supply the dirty line, downgrade, reflect to memory.
+			data := append([]byte(nil), l.data[:]...)
+			addr := c.lineAddr(tx.Addr)
+			l.state = Shared
+			c.stats.Interventions++
+			if c.writebackSink != nil {
+				c.writebackSink(addr, data)
+			}
+			return bus.Snoop{Action: bus.Claim, Intervene: true, Shared: true,
+				Latency: c.cfg.HitTime,
+				Serve:   func(tx *bus.Transaction) { copy(tx.Data, data) }}
+		}
+		if l.state == Exclusive {
+			l.state = Shared
+		}
+		return bus.Snoop{Shared: true}
+	case bus.ReadLineX:
+		if l.state == Modified {
+			data := append([]byte(nil), l.data[:]...)
+			l.state = Invalid
+			c.stats.Interventions++
+			c.stats.SnoopInvalidations++
+			return bus.Snoop{Action: bus.Claim, Intervene: true, Latency: c.cfg.HitTime,
+				Serve: func(tx *bus.Transaction) { copy(tx.Data, data) }}
+		}
+		l.state = Invalid
+		c.stats.SnoopInvalidations++
+	case bus.ReadWord:
+		if l.state == Modified {
+			// Serve an uncached peek from the dirty line; ownership kept.
+			data := append([]byte(nil), l.data[:]...)
+			off := tx.Addr - c.lineAddr(tx.Addr)
+			c.stats.Interventions++
+			return bus.Snoop{Action: bus.Claim, Intervene: true, Latency: c.cfg.HitTime,
+				Serve: func(tx *bus.Transaction) { copy(tx.Data, data[off:]) }}
+		}
+	case bus.WriteLine, bus.WriteWord, bus.Kill:
+		// DMA or another writer: our copy is stale.
+		l.state = Invalid
+		c.stats.SnoopInvalidations++
+	}
+	return bus.Snoop{}
+}

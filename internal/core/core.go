@@ -1,0 +1,385 @@
+// Package core is StarT-Voyager's layer 0: the user-level library through
+// which application code on the aP uses the NIU. It provides the four
+// default message-passing mechanisms (Basic, Express, TagOn, DMA), the
+// NUMA and S-COMA shared-memory windows, and occupancy instrumentation.
+//
+// Every operation is implemented exactly as the paper describes the software
+// doing it: Basic messages are composed with cached stores into mapped aSRAM
+// followed by cache flushes and an uncached pointer-update store; Express
+// messages are a single uncached store whose address encodes the
+// destination; receives poll pointers with uncached loads that the aBIU
+// serves; DMA is a request message to the local sP. The aP occupancy of each
+// call is metered.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/cluster"
+	"startvoyager/internal/firmware"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/node"
+	"startvoyager/internal/sim"
+)
+
+// MaxBasicPayload is the largest Basic message payload.
+const MaxBasicPayload = 88
+
+// MaxExpressPayload is the Express message payload size.
+const MaxExpressPayload = ctrl.ExpressPayload
+
+// Machine is a running StarT-Voyager system.
+type Machine struct {
+	*cluster.Cluster
+	apis []*API
+}
+
+// NewMachine builds a default machine with the given node count.
+func NewMachine(nodes int) *Machine {
+	return NewMachineConfig(cluster.DefaultConfig(nodes))
+}
+
+// NewMachineConfig builds a machine from an explicit configuration.
+func NewMachineConfig(cfg cluster.Config) *Machine {
+	m := &Machine{Cluster: cluster.New(cfg)}
+	for _, n := range m.Nodes {
+		m.apis = append(m.apis, newAPI(m, n))
+	}
+	return m
+}
+
+// API returns node i's user-level interface.
+func (m *Machine) API(i int) *API { return m.apis[i] }
+
+// Go spawns an application program on node i's aP.
+func (m *Machine) Go(i int, name string, body func(p *sim.Proc, a *API)) {
+	a := m.apis[i]
+	m.Eng.Spawn(fmt.Sprintf("ap%d-%s", i, name), func(p *sim.Proc) {
+		body(p, a)
+	})
+}
+
+// API is the per-node user library handle.
+type API struct {
+	m *Machine
+	n *node.Node
+
+	txProd       [ctrl.NumQueues]uint32 // software's producer counters
+	rxCons       [ctrl.NumQueues]uint32 // software's consumer counters
+	overflowCons uint32                 // DRAM overflow ring consumer
+	busyDepth    int
+
+	// Channel allocation state (see channel.go).
+	nextTxQ, nextRxQ int
+	nextVirt         int
+	sramArena        uint32
+}
+
+func newAPI(m *Machine, n *node.Node) *API { return &API{m: m, n: n} }
+
+// Node returns the underlying node (for instrumentation).
+func (a *API) Node() *node.Node { return a.n }
+
+// NodeID returns this node's number.
+func (a *API) NodeID() int { return a.n.ID }
+
+// NumNodes returns the machine size.
+func (a *API) NumNodes() int { return len(a.m.Nodes) }
+
+// busy brackets aP occupancy; nested calls meter once.
+func (a *API) busy() func() {
+	if a.busyDepth == 0 {
+		a.n.APMeter.Start()
+	}
+	a.busyDepth++
+	return func() {
+		a.busyDepth--
+		if a.busyDepth == 0 {
+			a.n.APMeter.Stop()
+		}
+	}
+}
+
+// Compute models d of application computation on the aP.
+func (a *API) Compute(p *sim.Proc, d sim.Time) {
+	defer a.busy()()
+	p.Delay(d)
+}
+
+// --- Basic messages ---
+
+// SendBasic sends payload (<= 88 bytes) to the Basic queue of node dest,
+// blocking while the transmit queue is full.
+func (a *API) SendBasic(p *sim.Proc, dest int, payload []byte) {
+	a.sendSlot(p, dest+node.TransBasic, 0, payload, 0, 0)
+}
+
+// SendSvc sends a firmware service message (service id + body) to node
+// dest's sP — the aP→sP request path (e.g. DMA requests).
+func (a *API) SendSvc(p *sim.Proc, dest int, svc byte, body []byte) {
+	a.sendSlot(p, dest+node.TransSvc, 0, append([]byte{svc}, body...), 0, 0)
+}
+
+// SendTagOn sends a Basic message whose payload is extended with tagLen
+// bytes of aSRAM data at sramOff (tagLen must be a multiple of 16, at most
+// 80 — up to 2.5 cache lines). inline+tag must fit a Basic payload.
+func (a *API) SendTagOn(p *sim.Proc, dest int, inline []byte, sramOff uint32, tagLen int) {
+	if tagLen%16 != 0 || tagLen > 80 {
+		panic(fmt.Sprintf("core: bad TagOn length %d", tagLen))
+	}
+	a.sendSlot(p, dest+node.TransBasic, ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
+		inline, sramOff, tagLen)
+}
+
+// sendSlot composes and launches one Basic-queue message.
+func (a *API) sendSlot(p *sim.Proc, destIdx int, flags byte, payload []byte,
+	tagOff uint32, tagLen int) {
+	if len(payload) > MaxBasicPayload {
+		panic(fmt.Sprintf("core: payload %d exceeds Basic limit", len(payload)))
+	}
+	defer a.busy()()
+	q := node.TxBasic
+	a.waitTxSpace(p, q, node.BasicEntries)
+
+	slot := make([]byte, ctrl.SlotHeaderBytes+len(payload))
+	binary.BigEndian.PutUint16(slot[0:], uint16(destIdx))
+	slot[2] = flags
+	slot[3] = byte(len(payload))
+	slot[4], slot[5], slot[6] = byte(tagOff>>16), byte(tagOff>>8), byte(tagOff)
+	slot[7] = byte(tagLen / 16)
+	copy(slot[8:], payload)
+
+	base := a.slotAddr(node.SramTxBasicBuf, node.BasicSlotBytes, node.BasicEntries, a.txProd[q])
+	// Cached stores compose the message, flushes push it into the aSRAM.
+	a.n.Cache.Store(p, base, slot)
+	for off := uint32(0); off < uint32(len(slot)); off += bus.LineSize {
+		a.n.Cache.Flush(p, base+off)
+	}
+	a.txProd[q]++
+	a.ptrStore(p, q, false, a.txProd[q])
+}
+
+// waitTxSpace polls the transmit consumer pointer until a slot is free.
+func (a *API) waitTxSpace(p *sim.Proc, q, entries int) {
+	for {
+		_, consumer := a.ptrLoad(p, q, false)
+		if a.txProd[q]-consumer < uint32(entries) {
+			return
+		}
+	}
+}
+
+// TryRecvBasic polls the Basic receive queue once; ok is false if empty.
+func (a *API) TryRecvBasic(p *sim.Proc) (src int, payload []byte, ok bool) {
+	return a.tryRecvSlot(p, node.RxBasic, node.SramRxBasicBuf)
+}
+
+// RecvBasic blocks until a Basic message arrives.
+func (a *API) RecvBasic(p *sim.Proc) (src int, payload []byte) {
+	for {
+		if s, pl, ok := a.TryRecvBasic(p); ok {
+			return s, pl
+		}
+	}
+}
+
+// RecvNotify blocks until a completion notification (DMA / block transfer)
+// arrives on the notification queue.
+func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
+	for {
+		if s, pl, ok := a.tryRecvSlot(p, node.RxNotify, node.SramRxNotifyBuf); ok {
+			return s, pl
+		}
+	}
+}
+
+// TryRecvNotify polls the notification queue once.
+func (a *API) TryRecvNotify(p *sim.Proc) (src int, payload []byte, ok bool) {
+	return a.tryRecvSlot(p, node.RxNotify, node.SramRxNotifyBuf)
+}
+
+func (a *API) tryRecvSlot(p *sim.Proc, q int, bufOff uint32) (int, []byte, bool) {
+	defer a.busy()()
+	producer, _ := a.ptrLoad(p, q, true)
+	if producer == a.rxCons[q] {
+		return 0, nil, false
+	}
+	base := a.slotAddr(bufOff, node.BasicSlotBytes, node.BasicEntries, a.rxCons[q])
+	// Invalidate any stale cached copy of the slot, then read it.
+	var hdr [8]byte
+	a.n.Cache.Flush(p, base)
+	a.n.Cache.Load(p, base, hdr[:])
+	n := int(binary.BigEndian.Uint16(hdr[4:]))
+	payload := make([]byte, n)
+	if n > 0 {
+		for off := uint32(bus.LineSize); off < uint32(8+n); off += bus.LineSize {
+			a.n.Cache.Flush(p, base+off)
+		}
+		a.n.Cache.Load(p, base+8, payload)
+	}
+	src := int(binary.BigEndian.Uint16(hdr[0:]))
+	a.rxCons[q]++
+	a.ptrStore(p, q, true, a.rxCons[q])
+	return src, payload, true
+}
+
+// --- Express messages ---
+
+// SendExpress sends up to 5 bytes to node dest with a single uncached store.
+func (a *API) SendExpress(p *sim.Proc, dest int, payload []byte) {
+	if len(payload) > MaxExpressPayload {
+		panic(fmt.Sprintf("core: payload %d exceeds Express limit", len(payload)))
+	}
+	defer a.busy()()
+	destIdx := uint32(node.TransExpress + dest)
+	addr := node.ExTxBase + (uint32(node.TxExpress)<<12|destIdx)<<3
+	var word [8]byte
+	copy(word[:], payload)
+	a.n.Cache.StoreUncached(p, addr, word[:])
+}
+
+// TryRecvExpress polls the Express receive queue with a single uncached
+// load; ok is false when empty.
+func (a *API) TryRecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]byte, ok bool) {
+	defer a.busy()()
+	var word [8]byte
+	addr := node.ExRxBase + uint32(node.RxExpress)*8
+	a.n.Cache.LoadUncached(p, addr, word[:])
+	if word[0]&0x80 == 0 {
+		return 0, payload, false
+	}
+	copy(payload[:], word[3:8])
+	return int(binary.BigEndian.Uint16(word[1:])), payload, true
+}
+
+// RecvExpress blocks until an Express message arrives.
+func (a *API) RecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]byte) {
+	for {
+		if s, pl, ok := a.TryRecvExpress(p); ok {
+			return s, pl
+		}
+	}
+}
+
+// --- DMA ---
+
+// Dma submits a transfer request to the local sP and returns immediately.
+// Completion is signaled to the destination node's notification queue.
+func (a *API) Dma(p *sim.Proc, req firmware.DmaRequest) {
+	if req.NotifyQ == 0 {
+		req.NotifyQ = node.LqNotify
+	}
+	a.SendSvc(p, a.n.ID, firmware.SvcDmaRequest, firmware.EncodeDmaRequest(req))
+}
+
+// DmaPush copies [srcAddr, srcAddr+n) of local DRAM into dest's DRAM at
+// dstAddr, notifying dest's notification queue with tag.
+func (a *API) DmaPush(p *sim.Proc, dest int, srcAddr, dstAddr uint32, n int, tag uint32) {
+	a.Dma(p, firmware.DmaRequest{PeerNode: dest, SrcAddr: srcAddr, DstAddr: dstAddr,
+		Len: n, Tag: tag})
+}
+
+// --- shared memory ---
+
+// ScomaAddr converts an offset in the global S-COMA space to its window
+// address.
+func (a *API) ScomaAddr(off uint32) uint32 { return node.ScomaBase + off }
+
+// ScomaLoad reads from the S-COMA window through the cache (stalling, via
+// bus retry, until the protocol delivers the lines).
+func (a *API) ScomaLoad(p *sim.Proc, off uint32, buf []byte) {
+	defer a.busy()()
+	a.n.Cache.Load(p, a.ScomaAddr(off), buf)
+}
+
+// ScomaStore writes to the S-COMA window through the cache.
+func (a *API) ScomaStore(p *sim.Proc, off uint32, data []byte) {
+	defer a.busy()()
+	a.n.Cache.Store(p, a.ScomaAddr(off), data)
+}
+
+// NumaLoad reads up to 8 bytes from the NUMA window (uncached remote
+// access).
+func (a *API) NumaLoad(p *sim.Proc, off uint32, buf []byte) {
+	defer a.busy()()
+	a.n.Cache.LoadUncached(p, node.NumaBase+off, buf)
+}
+
+// NumaStore writes up to 8 bytes into the NUMA window.
+func (a *API) NumaStore(p *sim.Proc, off uint32, data []byte) {
+	defer a.busy()()
+	a.n.Cache.StoreUncached(p, node.NumaBase+off, data)
+}
+
+// --- local memory ---
+
+// MemLoad reads local DRAM through the cache.
+func (a *API) MemLoad(p *sim.Proc, addr uint32, buf []byte) {
+	defer a.busy()()
+	a.n.Cache.Load(p, addr, buf)
+}
+
+// MemStore writes local DRAM through the cache.
+func (a *API) MemStore(p *sim.Proc, addr uint32, data []byte) {
+	defer a.busy()()
+	a.n.Cache.Store(p, addr, data)
+}
+
+// MemFlush writes back and invalidates the cache lines covering
+// [addr, addr+n) so the data is visible to the NIU's bus reads.
+func (a *API) MemFlush(p *sim.Proc, addr uint32, n int) {
+	defer a.busy()()
+	first := addr &^ (bus.LineSize - 1)
+	for la := first; la < addr+uint32(n); la += bus.LineSize {
+		a.n.Cache.Flush(p, la)
+	}
+}
+
+// StageASram copies data into the aSRAM at off using cached stores plus
+// flushes (the TagOn staging path).
+func (a *API) StageASram(p *sim.Proc, off uint32, data []byte) {
+	defer a.busy()()
+	addr := node.SramBase + off
+	a.n.Cache.Store(p, addr, data)
+	for la := addr &^ (bus.LineSize - 1); la < addr+uint32(len(data)); la += bus.LineSize {
+		a.n.Cache.Flush(p, la)
+	}
+}
+
+// Poke writes DRAM directly, without simulated time (test/workload setup).
+func (a *API) Poke(addr uint32, data []byte) { a.n.Dram.Poke(addr, data) }
+
+// Peek reads DRAM directly, without simulated time (verification).
+func (a *API) Peek(addr uint32, buf []byte) { a.n.Dram.Peek(addr, buf) }
+
+// --- low-level pointer access ---
+
+// ptrLoad reads the (producer, consumer) pair of a queue with one uncached
+// load through the aBIU.
+func (a *API) ptrLoad(p *sim.Proc, q int, rx bool) (producer, consumer uint32) {
+	var word [8]byte
+	off := uint32(q) * 16
+	if rx {
+		off += 8
+	}
+	a.n.Cache.LoadUncached(p, node.PtrBase+off, word[:])
+	v := binary.BigEndian.Uint64(word[:])
+	return uint32(v >> 32), uint32(v)
+}
+
+// ptrStore publishes a pointer value with one uncached store.
+func (a *API) ptrStore(p *sim.Proc, q int, rx bool, val uint32) {
+	var word [8]byte
+	binary.BigEndian.PutUint64(word[:], uint64(val))
+	off := uint32(q) * 16
+	if rx {
+		off += 8
+	}
+	a.n.Cache.StoreUncached(p, node.PtrBase+off, word[:])
+}
+
+func (a *API) slotAddr(bufOff uint32, entryBytes, entries int, ptr uint32) uint32 {
+	return node.SramBase + ctrl.SlotOffset(bufOff, entryBytes, entries, ptr)
+}

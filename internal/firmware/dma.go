@@ -1,0 +1,196 @@
+package firmware
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/sim"
+)
+
+// DmaConfig sizes the DMA engine's staging area in aSRAM.
+type DmaConfig struct {
+	StagingBase uint32 // aSRAM offset of the staging buffers
+	StagingSize int    // total staging bytes; split into two halves
+}
+
+// DmaRequest is a block-copy request submitted to the local sP (the aP
+// library encodes this into a service message). Push copies local DRAM to a
+// remote node; Pull asks the remote sP to push back.
+type DmaRequest struct {
+	Pull     bool
+	PeerNode int    // remote node (source for Pull, destination for Push)
+	SrcAddr  uint32 // address in the source node's DRAM
+	DstAddr  uint32 // address in the destination node's DRAM
+	Len      int
+	NotifyQ  uint16 // logical queue (at the destination) for completion
+	Tag      uint32 // opaque tag carried in the notification
+}
+
+const dmaReqBytes = 20
+
+// EncodeDmaRequest serializes a request for the service message payload.
+func EncodeDmaRequest(r DmaRequest) []byte {
+	b := make([]byte, dmaReqBytes)
+	if r.Pull {
+		b[0] = 1
+	}
+	b[1] = byte(r.PeerNode)
+	binary.BigEndian.PutUint32(b[2:], r.SrcAddr)
+	binary.BigEndian.PutUint32(b[6:], r.DstAddr)
+	binary.BigEndian.PutUint32(b[10:], uint32(r.Len))
+	binary.BigEndian.PutUint16(b[14:], r.NotifyQ)
+	binary.BigEndian.PutUint32(b[16:], r.Tag)
+	return b
+}
+
+// DecodeDmaRequest parses a service message payload.
+func DecodeDmaRequest(b []byte) DmaRequest {
+	if len(b) < dmaReqBytes {
+		panic(fmt.Sprintf("firmware: short DMA request (%d bytes)", len(b)))
+	}
+	return DmaRequest{
+		Pull:     b[0] != 0,
+		PeerNode: int(b[1]),
+		SrcAddr:  binary.BigEndian.Uint32(b[2:]),
+		DstAddr:  binary.BigEndian.Uint32(b[6:]),
+		Len:      int(binary.BigEndian.Uint32(b[10:])),
+		NotifyQ:  binary.BigEndian.Uint16(b[14:]),
+		Tag:      binary.BigEndian.Uint32(b[16:]),
+	}
+}
+
+// Dma is the firmware DMA engine: it decomposes arbitrarily large transfers
+// into page-respecting BlockRead + BlockTx chains (the paper's approach 3
+// machinery), double-buffering through the aSRAM staging area.
+type Dma struct {
+	e    *Engine
+	cfg  DmaConfig
+	lock *sim.Resource // serializes transfers (staging buffer owner)
+
+	stats DmaStats
+}
+
+// DmaStats counts DMA activity.
+type DmaStats struct {
+	Transfers, Chunks uint64
+	Bytes             uint64
+}
+
+// NewDma installs the DMA service on a node's firmware engine.
+func NewDma(e *Engine, cfg DmaConfig) *Dma {
+	if cfg.StagingSize < 2*bus.LineSize {
+		panic("firmware: DMA staging too small")
+	}
+	d := &Dma{e: e, cfg: cfg,
+		lock: sim.NewResource(e.sim, fmt.Sprintf("dma%d", e.node))}
+	e.Register(SvcDmaRequest, d.onRequest)
+	e.Register(SvcDmaRemote, d.onRemote)
+	return d
+}
+
+// Stats returns a snapshot of counters.
+func (d *Dma) Stats() DmaStats { return d.stats }
+
+// onRequest handles a transfer request from the local aP.
+func (d *Dma) onRequest(p *sim.Proc, src uint16, body []byte) {
+	req := DecodeDmaRequest(body)
+	if req.Pull {
+		// Forward to the remote sP, which performs the push back to us.
+		fwd := req
+		fwd.Pull = false
+		fwd.PeerNode = d.e.node
+		d.e.SendSvc(p, req.PeerNode, SvcDmaRemote, EncodeDmaRequest(fwd), arctic.Low, nil)
+		return
+	}
+	d.push(req)
+}
+
+// onRemote handles a push request arriving from another node's sP.
+func (d *Dma) onRemote(p *sim.Proc, src uint16, body []byte) {
+	d.push(DecodeDmaRequest(body))
+}
+
+// push runs a local-DRAM -> remote-DRAM transfer as its own firmware
+// activity (the msgLoop is not held for the duration).
+func (d *Dma) push(req DmaRequest) {
+	if req.Len <= 0 || req.Len%bus.LineSize != 0 ||
+		req.SrcAddr%bus.LineSize != 0 || req.DstAddr%bus.LineSize != 0 {
+		panic(fmt.Sprintf("firmware: node %d: bad DMA geometry %+v", d.e.node, req))
+	}
+	d.e.Go("dma-push", func(p *sim.Proc) {
+		d.lock.AcquireP(p) // own the staging area for the whole transfer
+		d.runPush(p, req)
+	})
+}
+
+// runPush performs the chunk loop with double buffering: while one staging
+// half is being transmitted, the next chunk is read into the other half.
+func (d *Dma) runPush(p *sim.Proc, req DmaRequest) {
+	d.stats.Transfers++
+	half := d.cfg.StagingSize / 2
+	half -= half % bus.LineSize
+	free := [2]*sim.Gate{sim.NewGate(p.Engine()), sim.NewGate(p.Engine())}
+	free[0].Open()
+	free[1].Open()
+	txDone := sim.NewGate(p.Engine())
+
+	offset, buf := 0, 0
+	remaining := req.Len
+	for remaining > 0 {
+		n := remaining
+		if n > half {
+			n = half
+		}
+		// Respect page boundaries on both sides.
+		if rem := int(ctrl.PageBytes - (req.SrcAddr+uint32(offset))%ctrl.PageBytes); n > rem {
+			n = rem
+		}
+		if rem := int(ctrl.PageBytes - (req.DstAddr+uint32(offset))%ctrl.PageBytes); n > rem {
+			n = rem
+		}
+		free[buf].Wait(p) // staging half still owned by a previous BlockTx?
+		stageOff := d.cfg.StagingBase + uint32(buf*half)
+		// Block read: DRAM -> aSRAM; wait for the unit (the BlockTx below
+		// needs the data in place).
+		brDone := sim.NewGate(p.Engine())
+		d.e.IssueCommand(p, 0, &ctrl.BlockRead{
+			Base:     ctrl.Base{Done: brDone.Open},
+			DramAddr: req.SrcAddr + uint32(offset), SramOff: stageOff, Len: n,
+		})
+		brDone.Wait(p)
+		d.stats.Chunks++
+		d.stats.Bytes += uint64(n)
+
+		last := remaining-n <= 0
+		bt := &ctrl.BlockTx{
+			Buf: d.e.Ctrl().ASram(), SramOff: stageOff, Len: n,
+			DestNode: req.PeerNode, DestAddr: req.DstAddr + uint32(offset),
+			Priority: arctic.Low,
+		}
+		reuse := free[buf]
+		reuse.Close()
+		bt.Done = func() {
+			reuse.Open()
+			if last {
+				txDone.Open()
+			}
+		}
+		if last && req.NotifyQ != 0 {
+			var tag [8]byte
+			binary.BigEndian.PutUint32(tag[:], req.Tag)
+			binary.BigEndian.PutUint32(tag[4:], uint32(req.Len))
+			bt.NotifyQ = req.NotifyQ
+			bt.NotifyPayload = tag[:]
+		}
+		d.e.IssueCommand(p, 0, bt)
+
+		offset += n
+		remaining -= n
+		buf ^= 1
+	}
+	txDone.Wait(p)
+	d.lock.Release()
+}

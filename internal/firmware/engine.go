@@ -1,0 +1,266 @@
+// Package firmware models the service processor (sP) — the embedded 604
+// that executes NIU firmware — together with the default firmware services:
+// the miss/overflow queue servicer, the DMA engine, and the NUMA and S-COMA
+// shared-memory protocols.
+//
+// The sP is a serialized execution resource: every firmware activity
+// occupies it for a modeled duration, so experiments can measure firmware
+// occupancy — the quantity the paper identifies as "extremely important"
+// when comparing mechanism implementations. Waiting for hardware (command
+// completions, bus operations) does not hold the sP.
+package firmware
+
+import (
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
+)
+
+// Costs models sP occupancy per firmware activity.
+type Costs struct {
+	Dispatch sim.Time // interrupt entry / queue poll (default 300 ns)
+	Handler  sim.Time // base handler body (default 250 ns)
+	PerByte  sim.Time // per payload byte touched by the sP (default 4 ns)
+	CmdIssue sim.Time // issuing one CTRL command (default 150 ns)
+}
+
+// DefaultCosts returns occupancy numbers for an unoptimized 604 firmware,
+// matching the paper's caveat that its measurements use "very general and
+// unoptimized" code.
+func DefaultCosts() Costs {
+	return Costs{Dispatch: 300, Handler: 250, PerByte: 4, CmdIssue: 150}
+}
+
+// Handler processes one service message delivered to the sP service queue.
+type Handler func(p *sim.Proc, src uint16, payload []byte)
+
+// MissHandler processes a message that fell into the miss/overflow queue.
+type MissHandler func(p *sim.Proc, src uint16, logicalQ uint16, payload []byte)
+
+// CaptureHandler processes a bus operation forwarded by the aBIU.
+type CaptureHandler func(p *sim.Proc, op biu.CapturedOp)
+
+// Engine is one node's firmware execution engine.
+type Engine struct {
+	sim   *sim.Engine
+	node  int
+	sb    *biu.SBIU
+	res   *sim.Resource
+	costs Costs
+
+	svcQueue  int // physical rx queue carrying service messages
+	missQueue int // physical miss/overflow queue (-1: none)
+
+	handlers   map[byte]Handler
+	missH      MissHandler
+	scomaCap   CaptureHandler
+	numaCap    CaptureHandler
+	reflectCap CaptureHandler
+	protViol   func(p *sim.Proc, q int)
+	rxNotify   *sim.Queue[int]
+	protNotify *sim.Queue[int]
+	started    bool
+
+	stats Stats
+}
+
+// Stats counts firmware activity.
+type Stats struct {
+	Messages   uint64
+	MissServed uint64
+	Captures   uint64
+	ProtViols  uint64
+}
+
+// New creates the firmware engine for a node. svcQueue is the physical
+// receive queue whose messages are dispatched to registered handlers;
+// missQueue (-1 to disable) is drained by the miss handler.
+func New(s *sim.Engine, node int, sb *biu.SBIU, svcQueue, missQueue int, costs Costs) *Engine {
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	return &Engine{
+		sim: s, node: node, sb: sb, costs: costs,
+		res:        sim.NewResource(s, fmt.Sprintf("sp%d", node)),
+		svcQueue:   svcQueue,
+		missQueue:  missQueue,
+		handlers:   make(map[byte]Handler),
+		rxNotify:   sim.NewQueue[int](s),
+		protNotify: sim.NewQueue[int](s),
+	}
+}
+
+// Node returns the node id.
+func (e *Engine) Node() int { return e.node }
+
+// Ctrl returns the immediate CTRL interface.
+func (e *Engine) Ctrl() *ctrl.Ctrl { return e.sb.Ctrl() }
+
+// ABIU returns the node's aBIU.
+func (e *Engine) ABIU() *biu.ABIU { return e.sb.ABIU() }
+
+// Costs returns the occupancy model.
+func (e *Engine) Costs() Costs { return e.costs }
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// BusyTime returns accumulated sP occupancy.
+func (e *Engine) BusyTime() sim.Time { return e.res.BusyTime() }
+
+// Register installs h for service id svc (the first payload byte).
+func (e *Engine) Register(svc byte, h Handler) {
+	if _, dup := e.handlers[svc]; dup {
+		panic(fmt.Sprintf("firmware: node %d: duplicate service %#x", e.node, svc))
+	}
+	e.handlers[svc] = h
+}
+
+// SetMissHandler installs the miss/overflow queue servicer.
+func (e *Engine) SetMissHandler(h MissHandler) { e.missH = h }
+
+// SetScomaCapture installs the S-COMA captured-op handler.
+func (e *Engine) SetScomaCapture(h CaptureHandler) { e.scomaCap = h }
+
+// SetNumaCapture installs the NUMA captured-op handler.
+func (e *Engine) SetNumaCapture(h CaptureHandler) { e.numaCap = h }
+
+// SetReflectCapture installs the reflective-memory captured-write handler.
+func (e *Engine) SetReflectCapture(h CaptureHandler) { e.reflectCap = h }
+
+// SetProtViolationHandler installs the protection-shutdown handler.
+func (e *Engine) SetProtViolationHandler(h func(p *sim.Proc, q int)) { e.protViol = h }
+
+// RxInterrupt implements ctrl.IntPort.
+func (e *Engine) RxInterrupt(q int) { e.rxNotify.Push(q) }
+
+// ProtViolation implements ctrl.IntPort.
+func (e *Engine) ProtViolation(q int) { e.protNotify.Push(q) }
+
+// Occupy charges d of sP time to the calling firmware activity.
+func (e *Engine) Occupy(p *sim.Proc, d sim.Time) { e.res.UseP(p, d) }
+
+// Go runs fn as an asynchronous firmware continuation (its occupancy charges
+// are made through Occupy as usual).
+func (e *Engine) Go(name string, fn func(p *sim.Proc)) {
+	e.sim.Spawn(fmt.Sprintf("fw%d-%s", e.node, name), fn)
+}
+
+// IssueCommand charges command-issue occupancy and enqueues cmd on CTRL
+// local command queue q.
+func (e *Engine) IssueCommand(p *sim.Proc, q int, cmd ctrl.Command) {
+	e.Occupy(p, e.costs.CmdIssue)
+	e.Ctrl().IssueCommand(q, cmd)
+}
+
+// Start spawns the firmware loops. Call once, after all registration.
+func (e *Engine) Start() {
+	if e.started {
+		panic("firmware: double start")
+	}
+	e.started = true
+	e.Go("msgloop", e.msgLoop)
+	e.Go("caploop", e.captureLoop)
+	e.Go("protloop", e.protLoop)
+}
+
+// msgLoop drains interrupt-enabled receive queues and dispatches messages.
+func (e *Engine) msgLoop(p *sim.Proc) {
+	c := e.Ctrl()
+	for {
+		q := e.rxNotify.Pop(p)
+		e.Occupy(p, e.costs.Dispatch)
+		for c.RxProducer(q) != c.RxConsumer(q) {
+			ptr := c.RxConsumer(q)
+			src, logical, payload := c.ReadRxSlot(q, ptr)
+			// The sP reads the message header; handlers moving bulk payload
+			// through their own hands charge PerByte themselves (the whole
+			// point of TagOn and command-queue data movement is that they
+			// usually do not).
+			hdr := len(payload)
+			if hdr > 16 {
+				hdr = 16
+			}
+			e.Occupy(p, e.costs.Handler+sim.Time(hdr)*e.costs.PerByte)
+			c.RxConsumerUpdate(q, ptr+1)
+			switch {
+			case q == e.missQueue:
+				e.stats.MissServed++
+				if e.missH != nil {
+					e.missH(p, src, logical, payload)
+				}
+			default:
+				e.stats.Messages++
+				e.dispatch(p, src, payload)
+			}
+		}
+	}
+}
+
+func (e *Engine) dispatch(p *sim.Proc, src uint16, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	h := e.handlers[payload[0]]
+	if h == nil {
+		panic(fmt.Sprintf("firmware: node %d: no handler for service %#x", e.node, payload[0]))
+	}
+	h(p, src, payload[1:])
+}
+
+// captureLoop serves bus operations forwarded from the aBIU.
+func (e *Engine) captureLoop(p *sim.Proc) {
+	q := e.sb.Captured()
+	for {
+		op := q.Pop(p)
+		e.stats.Captures++
+		e.Occupy(p, e.costs.Dispatch)
+		switch {
+		case op.Reflect:
+			if e.reflectCap == nil {
+				panic(fmt.Sprintf("firmware: node %d: reflect capture with no service", e.node))
+			}
+			e.reflectCap(p, op)
+		case op.Scoma:
+			if e.scomaCap == nil {
+				panic(fmt.Sprintf("firmware: node %d: S-COMA capture with no protocol", e.node))
+			}
+			e.scomaCap(p, op)
+		default:
+			if e.numaCap == nil {
+				panic(fmt.Sprintf("firmware: node %d: NUMA capture with no protocol", e.node))
+			}
+			e.numaCap(p, op)
+		}
+	}
+}
+
+// protLoop handles protection-violation interrupts.
+func (e *Engine) protLoop(p *sim.Proc) {
+	for {
+		q := e.protNotify.Pop(p)
+		e.stats.ProtViols++
+		e.Occupy(p, e.costs.Dispatch)
+		if e.protViol != nil {
+			e.protViol(p, q)
+		}
+	}
+}
+
+// SendSvc issues a service message (svc id + body) to destNode's service
+// queue via a CTRL SendMsg command. Protocol replies use the high-priority
+// network lane to stay deadlock-free; requests use the low lane.
+func (e *Engine) SendSvc(p *sim.Proc, destNode int, svc byte, body []byte,
+	pri arctic.Priority, done func()) {
+	payload := append([]byte{svc}, body...)
+	e.IssueCommand(p, 0, &ctrl.SendMsg{
+		Base:     ctrl.Base{Done: done},
+		Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: SvcLogicalQ, Payload: payload},
+		Dest:     uint16(destNode),
+		Priority: pri,
+	})
+}

@@ -1,0 +1,101 @@
+package firmware
+
+import (
+	"encoding/binary"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/sim"
+)
+
+// MissRing implements the receive-queue-caching story of the paper: CTRL
+// keeps a small number of logical receive queues resident in hardware;
+// messages for any other logical destination divert to the miss/overflow
+// queue, and this firmware writes them to their "non-resident (DRAM)
+// location" — a ring buffer in main memory that the aP polls with ordinary
+// cached loads (bus snooping keeps the polls coherent).
+//
+// Ring layout in DRAM:
+//
+//	Base+0   producer counter (8 bytes, written by firmware)
+//	Base+8   consumer counter (8 bytes, written by the aP)
+//	Base+32  slots: src(2) logicalQ(2) len(2) pad(2) payload (RingSlotBytes each)
+type MissRing struct {
+	e       *Engine
+	base    uint32
+	entries int
+
+	producer uint32 // firmware's copy
+
+	stats MissRingStats
+}
+
+// RingSlotBytes is the DRAM ring slot size (three cache lines).
+const RingSlotBytes = 96
+
+// RingHeaderBytes is the ring bookkeeping area before the first slot.
+const RingHeaderBytes = 32
+
+// MissRingStats counts overflow servicing.
+type MissRingStats struct {
+	Written uint64
+	Dropped uint64 // ring full
+}
+
+// NewMissRing installs the default miss/overflow servicer, backing
+// non-resident logical queues with a DRAM ring of the given geometry.
+func NewMissRing(e *Engine, base uint32, entries int) *MissRing {
+	r := &MissRing{e: e, base: base, entries: entries}
+	e.SetMissHandler(r.onMiss)
+	return r
+}
+
+// Stats returns a snapshot of counters.
+func (r *MissRing) Stats() MissRingStats { return r.stats }
+
+// Base returns the ring's DRAM base address.
+func (r *MissRing) Base() uint32 { return r.base }
+
+// Entries returns the ring capacity.
+func (r *MissRing) Entries() int { return r.entries }
+
+func (r *MissRing) slotAddr(ptr uint32) uint32 {
+	return r.base + RingHeaderBytes + (ptr%uint32(r.entries))*RingSlotBytes
+}
+
+// onMiss writes one diverted message into the DRAM ring with command-queue
+// bus operations, then publishes the new producer counter.
+func (r *MissRing) onMiss(p *sim.Proc, src uint16, logicalQ uint16, payload []byte) {
+	// Check for space: read the aP-owned consumer counter from DRAM.
+	cons := &bus.Transaction{Kind: bus.ReadWord, Addr: r.base + 8, Data: make([]byte, 8)}
+	g := sim.NewGate(p.Engine())
+	r.e.IssueCommand(p, 0, &ctrl.BusOp{Base: ctrl.Base{Done: g.Open}, Tx: cons})
+	g.Wait(p)
+	consumer := uint32(binary.BigEndian.Uint64(cons.Data))
+	if r.producer-consumer >= uint32(r.entries) {
+		r.stats.Dropped++
+		return
+	}
+
+	slot := make([]byte, RingSlotBytes)
+	binary.BigEndian.PutUint16(slot[0:], src)
+	binary.BigEndian.PutUint16(slot[2:], logicalQ)
+	binary.BigEndian.PutUint16(slot[4:], uint16(len(payload)))
+	copy(slot[8:], payload)
+	addr := r.slotAddr(r.producer)
+	for off := 0; off < RingSlotBytes; off += bus.LineSize {
+		r.e.IssueCommand(p, 0, &ctrl.BusOp{
+			Tx: &bus.Transaction{Kind: bus.WriteLine, Addr: addr + uint32(off),
+				Data: slot[off : off+bus.LineSize]},
+		})
+	}
+	r.producer++
+	var prod [8]byte
+	binary.BigEndian.PutUint64(prod[:], uint64(r.producer))
+	// The producer update is ordered after the slot writes by the command
+	// queue, so the aP never sees a counter ahead of the data.
+	r.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Tx: &bus.Transaction{Kind: bus.WriteWord, Addr: r.base, Data: prod[:]},
+	})
+	r.stats.Written++
+}

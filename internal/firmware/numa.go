@@ -1,0 +1,147 @@
+package firmware
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/sim"
+)
+
+// NumaConfig describes the NUMA window layout. The window's global address
+// space is partitioned contiguously: bytes [home*Segment, (home+1)*Segment)
+// live in node home's DRAM at LocalBase.
+type NumaConfig struct {
+	Window    bus.Range
+	Segment   uint32 // bytes of the window owned by each home node
+	LocalBase uint32 // home-local DRAM address backing its segment
+}
+
+// Numa is the default NUMA firmware: aP accesses in the window are captured
+// by the aBIU and forwarded here; reads fetch the word from the home node's
+// memory and complete the retried bus operation through SupplyFill, writes
+// are posted through to the home. There is no caching and no coherence
+// state — that is S-COMA's job.
+type Numa struct {
+	e   *Engine
+	cfg NumaConfig
+
+	stats NumaStats
+}
+
+// NumaStats counts protocol activity.
+type NumaStats struct {
+	Reads, Writes, HomeReads, HomeWrites uint64
+}
+
+// NewNuma installs the NUMA protocol on a node's firmware engine.
+func NewNuma(e *Engine, cfg NumaConfig) *Numa {
+	n := &Numa{e: e, cfg: cfg}
+	e.SetNumaCapture(n.onCapture)
+	e.Register(SvcNumaRead, n.onRead)
+	e.Register(SvcNumaReply, n.onReply)
+	e.Register(SvcNumaWrite, n.onWrite)
+	e.Register(SvcNumaWriteAck, n.onWriteAck)
+	return n
+}
+
+// Stats returns a snapshot of counters.
+func (n *Numa) Stats() NumaStats { return n.stats }
+
+// home maps a window address to (home node, home-local DRAM address).
+func (n *Numa) home(addr uint32) (int, uint32) {
+	off := n.cfg.Window.Offset(addr)
+	return int(off / n.cfg.Segment), n.cfg.LocalBase + off%n.cfg.Segment
+}
+
+func (n *Numa) onCapture(p *sim.Proc, op biu.CapturedOp) {
+	home, _ := n.home(op.Addr)
+	switch {
+	case op.Kind.IsRead():
+		n.stats.Reads++
+		body := make([]byte, 5)
+		binary.BigEndian.PutUint32(body, op.Addr)
+		body[4] = byte(op.Size)
+		n.e.SendSvc(p, home, SvcNumaRead, body, arctic.Low, nil)
+	default:
+		n.stats.Writes++
+		body := make([]byte, 5+len(op.Data))
+		binary.BigEndian.PutUint32(body, op.Addr)
+		body[4] = byte(op.Size)
+		copy(body[5:], op.Data)
+		n.e.SendSvc(p, home, SvcNumaWrite, body, arctic.Low, nil)
+	}
+}
+
+// onRead services a remote read at the home node.
+func (n *Numa) onRead(p *sim.Proc, src uint16, body []byte) {
+	addr := binary.BigEndian.Uint32(body)
+	size := int(body[4])
+	_, local := n.home(addr)
+	n.stats.HomeReads++
+	kind := bus.ReadWord
+	if size == bus.LineSize {
+		kind = bus.ReadLine
+		local &^= bus.LineSize - 1
+	}
+	tx := &bus.Transaction{Kind: kind, Addr: local, Data: make([]byte, size)}
+	requester := int(src)
+	n.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			n.e.Go("numa-reply", func(p *sim.Proc) {
+				n.e.Occupy(p, n.e.costs.Handler)
+				reply := make([]byte, 4+len(tx.Data))
+				binary.BigEndian.PutUint32(reply, addr)
+				copy(reply[4:], tx.Data)
+				n.e.SendSvc(p, requester, SvcNumaReply, reply, arctic.High, nil)
+			})
+		}},
+		Tx: tx,
+	})
+}
+
+// onReply completes a stalled read at the requesting node.
+func (n *Numa) onReply(p *sim.Proc, src uint16, body []byte) {
+	addr := binary.BigEndian.Uint32(body)
+	n.e.ABIU().SupplyFill(addr, body[4:])
+}
+
+// onWrite applies a remote write at the home node, then acknowledges it so
+// the client's retried store can complete — a completed NUMA store is
+// therefore globally ordered by the home.
+func (n *Numa) onWrite(p *sim.Proc, src uint16, body []byte) {
+	addr := binary.BigEndian.Uint32(body)
+	size := int(body[4])
+	data := body[5:]
+	if len(data) != size {
+		panic(fmt.Sprintf("firmware: node %d: NUMA write size %d with %d data bytes",
+			n.e.node, size, len(data)))
+	}
+	_, local := n.home(addr)
+	n.stats.HomeWrites++
+	kind := bus.WriteWord
+	if size == bus.LineSize {
+		kind = bus.WriteLine
+		local &^= bus.LineSize - 1
+	}
+	requester := int(src)
+	n.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			n.e.Go("numa-wack", func(p *sim.Proc) {
+				n.e.Occupy(p, n.e.costs.Handler)
+				n.e.SendSvc(p, requester, SvcNumaWriteAck, body[:4], arctic.High, nil)
+			})
+		}},
+		Tx: &bus.Transaction{Kind: kind, Addr: local, Data: append([]byte(nil), data...)},
+	})
+}
+
+// onWriteAck releases the client's retried store.
+func (n *Numa) onWriteAck(p *sim.Proc, src uint16, body []byte) {
+	addr := binary.BigEndian.Uint32(body)
+	key := addr &^ 7
+	n.e.ABIU().SupplyWriteAck(key)
+}

@@ -1,0 +1,45 @@
+package firmware
+
+// Well-known logical receive queue numbers. Every node configures a
+// hardware receive queue with each of these logical ids, so firmware on any
+// node can address firmware on any other without consulting per-node tables.
+const (
+	// SvcLogicalQ is the sP service queue: all firmware-to-firmware protocol
+	// messages arrive here.
+	SvcLogicalQ uint16 = 0xFF00
+	// MissLogicalQ tags the miss/overflow queue itself (no sender targets it
+	// directly; CTRL diverts into it).
+	MissLogicalQ uint16 = 0xFFFF
+	// NotifyLogicalQ is the aP completion-notification queue (the node
+	// package maps it to a hardware queue).
+	NotifyLogicalQ uint16 = 0x0003
+)
+
+// Firmware service identifiers (first payload byte of service messages).
+const (
+	// S-COMA directory protocol.
+	SvcScomaGet        byte = 0x01 // client -> home: read miss
+	SvcScomaGetX       byte = 0x02 // client -> home: write miss / upgrade
+	SvcScomaInval      byte = 0x03 // home -> sharer: invalidate
+	SvcScomaInvalAck   byte = 0x04 // sharer -> home
+	SvcScomaRecall     byte = 0x05 // home -> owner: recall (Aux: share?)
+	SvcScomaRecallData byte = 0x06 // owner -> home: recalled line data
+	SvcScomaEvict      byte = 0x07 // client -> home: release my copy of a line
+
+	// NUMA protocol.
+	SvcNumaRead     byte = 0x10 // client -> home: uncached read
+	SvcNumaReply    byte = 0x11 // home -> client: read data
+	SvcNumaWrite    byte = 0x12 // client -> home: uncached write
+	SvcNumaWriteAck byte = 0x13 // home -> client: write applied
+
+	// DMA engine.
+	SvcDmaRequest byte = 0x20 // aP -> local sP: start a transfer
+	SvcDmaRemote  byte = 0x21 // sP -> remote sP: remote-read request
+
+	// Reflective memory.
+	SvcReflectFlush byte = 0x30 // aP -> local sP: propagate dirty lines
+
+	// First id available to applications and experiments (the blockxfer
+	// approaches register their own services from here up).
+	SvcUserBase byte = 0x40
+)

@@ -1,0 +1,140 @@
+package firmware
+
+import (
+	"encoding/binary"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
+)
+
+// Reflect is the firmware half of reflective memory (the paper's Shrimp /
+// Memory Channel emulation, §5 "Extending Default Mechanisms"):
+//
+//   - in ReflectFirmware mode it receives captured writes from the aBIU and
+//     sends the update messages (sP occupancy per write);
+//   - in ReflectDeferred mode it services flush requests by reading the
+//     aBIU's hardware dirty bits and propagating only the modified lines —
+//     the clsSRAM-assisted diff-ing the paper describes for update-based
+//     multi-writer protocols.
+//
+// ReflectHardware mode needs no firmware at all: the aBIU composes the
+// update commands itself.
+type Reflect struct {
+	e      *Engine
+	window bus.Range
+
+	stats ReflectStats
+}
+
+// ReflectStats counts firmware reflective-memory activity.
+type ReflectStats struct {
+	Propagated uint64 // updates sent by firmware (eager firmware mode)
+	Flushes    uint64 // deferred flush requests served
+	DiffLines  uint64 // dirty lines propagated by flushes
+}
+
+// NewReflect installs the reflective-memory firmware on a node.
+func NewReflect(e *Engine, window bus.Range) *Reflect {
+	r := &Reflect{e: e, window: window}
+	e.SetReflectCapture(r.onCapture)
+	e.Register(SvcReflectFlush, r.onFlush)
+	return r
+}
+
+// Stats returns a snapshot of counters.
+func (r *Reflect) Stats() ReflectStats { return r.stats }
+
+// onCapture propagates one captured write (eager firmware mode).
+func (r *Reflect) onCapture(p *sim.Proc, op biu.CapturedOp) {
+	off := r.window.Offset(op.Addr)
+	subs := r.e.ABIU().ReflectSubscribers(off)
+	for _, sub := range subs {
+		r.stats.Propagated++
+		cmdOp := txrx.CmdWriteDram
+		if op.Kind == bus.WriteWord {
+			cmdOp = txrx.CmdWriteWord
+		}
+		r.e.IssueCommand(p, 0, &ctrl.SendMsg{
+			Frame: &txrx.Frame{Kind: txrx.Cmd, Op: cmdOp, Addr: op.Addr,
+				Payload: append([]byte(nil), op.Data...)},
+			Dest:     uint16(sub),
+			Priority: arctic.Low,
+		})
+	}
+}
+
+// FlushRequest encodes an aP request to propagate dirty lines of
+// [Off, Off+Len) to the region's subscribers and then notify the local aP.
+type FlushRequest struct {
+	Off uint32
+	Len int
+	Tag uint32
+}
+
+// EncodeFlushRequest serializes a flush request.
+func EncodeFlushRequest(f FlushRequest) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b[0:], f.Off)
+	binary.BigEndian.PutUint32(b[4:], uint32(f.Len))
+	binary.BigEndian.PutUint32(b[8:], f.Tag)
+	return b
+}
+
+// DecodeFlushRequest parses a flush request.
+func DecodeFlushRequest(b []byte) FlushRequest {
+	return FlushRequest{
+		Off: binary.BigEndian.Uint32(b[0:]),
+		Len: int(binary.BigEndian.Uint32(b[4:])),
+		Tag: binary.BigEndian.Uint32(b[8:]),
+	}
+}
+
+// onFlush services a deferred-mode flush: scan hardware dirty bits, read
+// each dirty line from the local window frame, send it to every subscriber,
+// then notify the requesting aP.
+func (r *Reflect) onFlush(p *sim.Proc, src uint16, body []byte) {
+	req := DecodeFlushRequest(body)
+	r.stats.Flushes++
+	r.e.Go("reflect-flush", func(p *sim.Proc) {
+		lines := r.e.ABIU().ReflectDirtyLines(req.Off, req.Len)
+		// Reading the hardware dirty bitmap is cheap (one block access per
+		// 256 lines), unlike a software page diff.
+		scan := sim.Time((req.Len/bus.LineSize)/256 + 1)
+		r.e.Occupy(p, r.e.costs.Handler+scan*r.e.costs.Dispatch/4)
+		for _, line := range lines {
+			r.stats.DiffLines++
+			addr := r.window.Base + uint32(line)*bus.LineSize
+			tx := &bus.Transaction{Kind: bus.ReadLine, Addr: addr,
+				Data: make([]byte, bus.LineSize)}
+			g := sim.NewGate(p.Engine())
+			r.e.IssueCommand(p, 0, &ctrl.BusOp{
+				Base: ctrl.Base{Done: g.Open},
+				Tx:   tx,
+			})
+			g.Wait(p)
+			for _, sub := range r.e.ABIU().ReflectSubscribers(uint32(line) * bus.LineSize) {
+				r.e.IssueCommand(p, 0, &ctrl.SendMsg{
+					Frame: &txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdWriteDram,
+						Addr: addr, Payload: append([]byte(nil), tx.Data...)},
+					Dest:     uint16(sub),
+					Priority: arctic.Low,
+				})
+			}
+		}
+		// Completion: notify the local aP after the updates have drained
+		// through the (in-order) command queue.
+		var tag [8]byte
+		binary.BigEndian.PutUint32(tag[:], req.Tag)
+		binary.BigEndian.PutUint32(tag[4:], uint32(len(lines)))
+		r.e.IssueCommand(p, 0, &ctrl.SendMsg{
+			Frame: &txrx.Frame{Kind: txrx.Data, LogicalQ: NotifyLogicalQ,
+				Payload: tag[:]},
+			Dest:     uint16(r.e.node),
+			Priority: arctic.Low,
+		})
+	})
+}

@@ -1,0 +1,483 @@
+package firmware
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
+)
+
+// ScomaConfig describes the S-COMA shared space. Every node maps the same
+// global window; each node's DRAM frames behind the window act as its L3
+// cache (clsSRAM holds the per-line state). Pages are interleaved across
+// home nodes; the home keeps the directory entry and a backing copy of each
+// of its lines at BackingBase in its local DRAM.
+type ScomaConfig struct {
+	Window      bus.Range
+	BackingBase uint32
+	NumNodes    int
+	// Migratory enables the classic migratory-sharing optimization: once a
+	// line shows a read-then-upgrade pattern, subsequent read misses are
+	// granted exclusively, eliminating the upgrade round trip. A protocol
+	// variant selectable per machine — the experimentation the platform is
+	// for.
+	Migratory bool
+}
+
+// dirState is the home directory state of one line.
+type dirState int
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirExcl
+)
+
+type dirReq struct {
+	node  int
+	wantX bool
+	evict bool // release the requester's copy instead of granting one
+}
+
+type dirEntry struct {
+	state   dirState
+	sharers map[int]bool
+	owner   int
+
+	busy          bool
+	cur           dirReq
+	pendingInvals int
+	waiting       []dirReq
+
+	// Migratory detection: a reader that promptly upgrades marks the line.
+	lastReader int
+	migratory  bool
+}
+
+// Scoma implements the default S-COMA protocol: an MSI directory run by sP
+// firmware, with data grants delivered through the destination's remote
+// command queue (CmdWriteDramCls / CmdSetCls) so that the requesting node's
+// firmware never runs on the return path — the property the paper calls out.
+type Scoma struct {
+	e   *Engine
+	cfg ScomaConfig
+	dir map[uint32]*dirEntry
+
+	stats ScomaStats
+}
+
+// ScomaStats counts protocol activity.
+type ScomaStats struct {
+	Gets, GetXs, Invals, Recalls, Regrants uint64
+	MigratoryGrants                        uint64 // reads granted RW by the heuristic
+	Evicts                                 uint64 // frame releases processed
+}
+
+// NewScoma installs the S-COMA protocol on a node's firmware engine.
+func NewScoma(e *Engine, cfg ScomaConfig) *Scoma {
+	s := &Scoma{e: e, cfg: cfg, dir: make(map[uint32]*dirEntry)}
+	e.SetScomaCapture(s.onCapture)
+	e.Register(SvcScomaGet, s.onGet)
+	e.Register(SvcScomaGetX, s.onGetX)
+	e.Register(SvcScomaInval, s.onInval)
+	e.Register(SvcScomaInvalAck, s.onInvalAck)
+	e.Register(SvcScomaRecall, s.onRecall)
+	e.Register(SvcScomaRecallData, s.onRecallData)
+	e.Register(SvcScomaEvict, s.onEvict)
+	return s
+}
+
+// Stats returns a snapshot of counters.
+func (s *Scoma) Stats() ScomaStats { return s.stats }
+
+// Page-interleaved home assignment.
+const linesPerPage = ctrl.PageBytes / bus.LineSize
+
+// ScomaHome returns the home node of a global S-COMA line under the
+// page-interleaved assignment (exported so layer-0 software can route
+// protocol requests such as evictions).
+func ScomaHome(line uint32, numNodes int) int {
+	return int(line/linesPerPage) % numNodes
+}
+
+// homeOf returns the home node of a global line.
+func (s *Scoma) homeOf(line uint32) int {
+	return ScomaHome(line, s.cfg.NumNodes)
+}
+
+// backingAddr returns the home-local DRAM address of a line's backing copy.
+func (s *Scoma) backingAddr(line uint32) uint32 {
+	page := line / linesPerPage
+	idx := page/uint32(s.cfg.NumNodes)*linesPerPage + line%linesPerPage
+	return s.cfg.BackingBase + idx*bus.LineSize
+}
+
+// windowAddr returns the global window address of a line.
+func (s *Scoma) windowAddr(line uint32) uint32 {
+	return s.cfg.Window.Base + line*bus.LineSize
+}
+
+func (s *Scoma) lineOf(addr uint32) uint32 {
+	return s.cfg.Window.Offset(addr) / bus.LineSize
+}
+
+// --- client side ---
+
+// onCapture handles an aP access that failed the clsSRAM state check.
+func (s *Scoma) onCapture(p *sim.Proc, op biu.CapturedOp) {
+	line := s.lineOf(op.Addr)
+	wantX := op.Kind == bus.ReadLineX || op.Kind == bus.Kill || op.Kind == bus.WriteWord ||
+		op.Kind == bus.WriteLine
+	// Mark Pending so further aP retries stall silently.
+	s.e.Ctrl().Cls().Set(int(line), sram.CLPending)
+	svc := SvcScomaGet
+	if wantX {
+		svc = SvcScomaGetX
+		s.stats.GetXs++
+	} else {
+		s.stats.Gets++
+	}
+	var body [4]byte
+	binary.BigEndian.PutUint32(body[:], line)
+	s.e.SendSvc(p, s.homeOf(line), svc, body[:], arctic.Low, nil)
+}
+
+// onInval invalidates a shared copy at this client.
+func (s *Scoma) onInval(p *sim.Proc, src uint16, body []byte) {
+	line := binary.BigEndian.Uint32(body)
+	s.e.Ctrl().Cls().Set(int(line), sram.CLInvalid)
+	s.e.ABIU().ClearScomaNotify(int(line))
+	home := int(src)
+	// Evict any cached copy from the aP cache, then acknowledge.
+	s.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			s.e.Go("scoma-invalack", func(p *sim.Proc) {
+				s.e.Occupy(p, s.e.costs.Handler)
+				s.e.SendSvc(p, home, SvcScomaInvalAck, body[:4], arctic.High, nil)
+			})
+		}},
+		Tx: &bus.Transaction{Kind: bus.Kill, Addr: s.windowAddr(line)},
+	})
+}
+
+// onRecall surrenders (share=keep a read-only copy) or gives up ownership.
+//
+// Order matters: write permission is revoked (cls -> RO) BEFORE the line is
+// read. The read's intervention downgrades any Modified cache copy, and
+// with cls at RO a subsequent store's Kill upgrade is retried and captured —
+// so no write can slip in after the recalled data has been captured. (This
+// ordering was originally wrong and found by the memcheck linearizability
+// torture test.)
+func (s *Scoma) onRecall(p *sim.Proc, src uint16, body []byte) {
+	line := binary.BigEndian.Uint32(body)
+	share := body[4] != 0
+	home := int(src)
+	addr := s.windowAddr(line)
+	// 1. Revoke write permission first.
+	s.e.Ctrl().Cls().Set(int(line), sram.CLReadOnly)
+	// 2. Read the line from the local frame: if the aP cache holds it
+	// modified, intervention supplies the fresh data and downgrades it.
+	tx := &bus.Transaction{Kind: bus.ReadLine, Addr: addr, Data: make([]byte, bus.LineSize)}
+	s.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			s.e.Go("scoma-recall", func(p *sim.Proc) {
+				s.e.Occupy(p, s.e.costs.Handler)
+				if !share {
+					s.e.Ctrl().Cls().Set(int(line), sram.CLInvalid)
+					s.e.ABIU().ClearScomaNotify(int(line))
+					s.e.IssueCommand(p, 0, &ctrl.BusOp{
+						Tx: &bus.Transaction{Kind: bus.Kill, Addr: addr}})
+				}
+				reply := make([]byte, 4+bus.LineSize)
+				binary.BigEndian.PutUint32(reply, line)
+				copy(reply[4:], tx.Data)
+				s.e.SendSvc(p, home, SvcScomaRecallData, reply, arctic.High, nil)
+			})
+		}},
+		Tx: tx,
+	})
+}
+
+// --- home side ---
+
+func (s *Scoma) entry(line uint32) *dirEntry {
+	e := s.dir[line]
+	if e == nil {
+		e = &dirEntry{sharers: make(map[int]bool)}
+		s.dir[line] = e
+	}
+	return e
+}
+
+func (s *Scoma) onGet(p *sim.Proc, src uint16, body []byte) {
+	s.admit(p, binary.BigEndian.Uint32(body), dirReq{node: int(src), wantX: false})
+}
+
+func (s *Scoma) onGetX(p *sim.Proc, src uint16, body []byte) {
+	s.admit(p, binary.BigEndian.Uint32(body), dirReq{node: int(src), wantX: true})
+}
+
+// onEvict releases the requester's copy of a line (S-COMA frames are a
+// cache; software reclaims frames under memory pressure). Eviction is
+// serialized through the home like any other request, reusing the recall
+// machinery, so it cannot race a concurrent grant.
+func (s *Scoma) onEvict(p *sim.Proc, src uint16, body []byte) {
+	s.admit(p, binary.BigEndian.Uint32(body), dirReq{node: int(src), evict: true})
+}
+
+func (s *Scoma) admit(p *sim.Proc, line uint32, req dirReq) {
+	e := s.entry(line)
+	if e.busy {
+		e.waiting = append(e.waiting, req)
+		return
+	}
+	s.process(p, line, e, req)
+}
+
+// process starts one directory transaction. Invariant: e is not busy.
+func (s *Scoma) process(p *sim.Proc, line uint32, e *dirEntry, req dirReq) {
+	e.busy = true
+	e.cur = req
+	if req.evict {
+		s.processEvict(p, line, e, req)
+		return
+	}
+	if !req.wantX && s.cfg.Migratory && e.migratory && e.state == dirExcl &&
+		e.owner != req.node {
+		// Migratory line: hand the reader exclusive ownership directly.
+		req.wantX = true
+		e.cur = req
+		s.stats.MigratoryGrants++
+	}
+	switch e.state {
+	case dirExcl:
+		if e.owner == req.node {
+			// The requester already owns the line (a stale request after a
+			// race): re-grant read-write.
+			s.stats.Regrants++
+			s.grantNoData(p, line, req.node, sram.CLReadWrite)
+			s.finish(p, line, e)
+			return
+		}
+		s.stats.Recalls++
+		body := make([]byte, 5)
+		binary.BigEndian.PutUint32(body, line)
+		if !req.wantX {
+			body[4] = 1 // owner keeps a shared copy
+		}
+		s.e.SendSvc(p, e.owner, SvcScomaRecall, body, arctic.High, nil)
+		// Continues in onRecallData.
+	case dirShared:
+		if !req.wantX {
+			e.lastReader = req.node
+			if e.sharers[req.node] {
+				s.stats.Regrants++
+				s.grantNoData(p, line, req.node, sram.CLReadOnly)
+				s.finish(p, line, e)
+				return
+			}
+			e.sharers[req.node] = true
+			s.grantData(p, line, req.node, sram.CLReadOnly, func(p *sim.Proc) {
+				s.finish(p, line, e)
+			})
+			return
+		}
+		// Upgrade: invalidate every other sharer, then grant exclusivity.
+		if e.sharers[req.node] && req.node == e.lastReader {
+			// Read-then-write pattern: the line migrates.
+			e.migratory = true
+		}
+		e.pendingInvals = 0
+		for n := range e.sharers {
+			if n == req.node {
+				continue
+			}
+			e.pendingInvals++
+			var body [4]byte
+			binary.BigEndian.PutUint32(body[:], line)
+			s.stats.Invals++
+			s.e.SendSvc(p, n, SvcScomaInval, body[:], arctic.High, nil)
+		}
+		if e.pendingInvals == 0 {
+			s.grantExclusive(p, line, e)
+		}
+		// else continues in onInvalAck.
+	case dirUncached:
+		st := sram.CLReadOnly
+		if req.wantX {
+			st = sram.CLReadWrite
+		} else {
+			e.lastReader = req.node
+		}
+		s.grantData(p, line, req.node, st, func(p *sim.Proc) {
+			if req.wantX {
+				e.state = dirExcl
+				e.owner = req.node
+			} else {
+				e.state = dirShared
+				e.sharers[req.node] = true
+			}
+			s.finish(p, line, e)
+		})
+	}
+}
+
+// processEvict releases req.node's copy: a dirty owner is recalled (the
+// recall writes the data home), a clean sharer is invalidated.
+func (s *Scoma) processEvict(p *sim.Proc, line uint32, e *dirEntry, req dirReq) {
+	s.stats.Evicts++
+	switch {
+	case e.state == dirExcl && e.owner == req.node:
+		s.stats.Recalls++
+		body := make([]byte, 5)
+		binary.BigEndian.PutUint32(body, line)
+		s.e.SendSvc(p, e.owner, SvcScomaRecall, body, arctic.High, nil)
+		// onRecallData sees cur.evict and finishes without granting.
+	case e.state == dirShared && e.sharers[req.node]:
+		e.pendingInvals = 1
+		var body [4]byte
+		binary.BigEndian.PutUint32(body[:], line)
+		s.stats.Invals++
+		s.e.SendSvc(p, req.node, SvcScomaInval, body[:], arctic.High, nil)
+		// onInvalAck sees cur.evict and finishes.
+	default:
+		// Nothing to release (already gone): done.
+		s.finish(p, line, e)
+	}
+}
+
+// grantExclusive completes a GetX once all other sharers are gone.
+func (s *Scoma) grantExclusive(p *sim.Proc, line uint32, e *dirEntry) {
+	req := e.cur
+	wasSharer := e.sharers[req.node]
+	e.sharers = map[int]bool{}
+	e.state = dirExcl
+	e.owner = req.node
+	if wasSharer {
+		// Upgrade: the requester's copy is valid; just flip its state.
+		s.stats.Regrants++
+		s.grantNoData(p, line, req.node, sram.CLReadWrite)
+		s.finish(p, line, e)
+		return
+	}
+	s.grantData(p, line, req.node, sram.CLReadWrite, func(p *sim.Proc) {
+		s.finish(p, line, e)
+	})
+}
+
+func (s *Scoma) onInvalAck(p *sim.Proc, src uint16, body []byte) {
+	line := binary.BigEndian.Uint32(body)
+	e := s.entry(line)
+	if !e.busy || e.pendingInvals == 0 {
+		panic(fmt.Sprintf("firmware: node %d: unexpected inval ack for line %d", s.e.node, line))
+	}
+	delete(e.sharers, int(src))
+	e.pendingInvals--
+	if e.pendingInvals > 0 {
+		return
+	}
+	if e.cur.evict {
+		if len(e.sharers) == 0 {
+			e.state = dirUncached
+		}
+		s.finish(p, line, e)
+		return
+	}
+	s.grantExclusive(p, line, e)
+}
+
+func (s *Scoma) onRecallData(p *sim.Proc, src uint16, body []byte) {
+	line := binary.BigEndian.Uint32(body)
+	data := append([]byte(nil), body[4:]...)
+	e := s.entry(line)
+	if !e.busy || e.state != dirExcl {
+		panic(fmt.Sprintf("firmware: node %d: unexpected recall data for line %d", s.e.node, line))
+	}
+	prevOwner := int(src)
+	req := e.cur
+	// Refresh the backing copy, then grant to the waiting requester.
+	s.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			s.e.Go("scoma-grant", func(p *sim.Proc) {
+				s.e.Occupy(p, s.e.costs.Handler)
+				if req.evict {
+					// The recall WAS the eviction: data is home, nobody
+					// holds the line.
+					e.state = dirUncached
+					e.sharers = map[int]bool{}
+					s.finish(p, line, e)
+					return
+				}
+				if req.wantX {
+					e.state = dirExcl
+					e.owner = req.node
+					e.sharers = map[int]bool{}
+					s.grantData(p, line, req.node, sram.CLReadWrite, func(p *sim.Proc) {
+						s.finish(p, line, e)
+					})
+				} else {
+					e.state = dirShared
+					e.sharers = map[int]bool{prevOwner: true, req.node: true}
+					s.grantData(p, line, req.node, sram.CLReadOnly, func(p *sim.Proc) {
+						s.finish(p, line, e)
+					})
+				}
+			})
+		}},
+		Tx: &bus.Transaction{Kind: bus.WriteLine, Addr: s.backingAddr(line),
+			Data: data},
+	})
+}
+
+// grantData reads the backing copy and delivers it to the requester's frame
+// through the remote command queue (no firmware on the return path). The
+// done continuation runs on a fresh firmware activity and receives its Proc
+// — continuations must never block on a Proc they did not run on.
+func (s *Scoma) grantData(p *sim.Proc, line uint32, node int, st sram.LineState,
+	done func(p *sim.Proc)) {
+	tx := &bus.Transaction{Kind: bus.ReadLine, Addr: s.backingAddr(line),
+		Data: make([]byte, bus.LineSize)}
+	s.e.IssueCommand(p, 0, &ctrl.BusOp{
+		Base: ctrl.Base{Done: func() {
+			s.e.Go("scoma-data", func(p *sim.Proc) {
+				s.e.Occupy(p, s.e.costs.Handler)
+				s.e.IssueCommand(p, 0, &ctrl.SendMsg{
+					Frame: &txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdWriteDramCls,
+						Addr: s.windowAddr(line), Aux: uint16(st),
+						Payload: append([]byte(nil), tx.Data...)},
+					Dest:     uint16(node),
+					Priority: arctic.High,
+				})
+				done(p)
+			})
+		}},
+		Tx: tx,
+	})
+}
+
+// grantNoData flips the requester's clsSRAM state through the remote command
+// queue (the line data it already holds is valid).
+func (s *Scoma) grantNoData(p *sim.Proc, line uint32, node int, st sram.LineState) {
+	s.e.IssueCommand(p, 0, &ctrl.SendMsg{
+		Frame: &txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdSetCls,
+			Addr: s.windowAddr(line), Aux: uint16(st), Count: 1},
+		Dest:     uint16(node),
+		Priority: arctic.High,
+	})
+}
+
+// finish closes a directory transaction and admits the next waiter.
+func (s *Scoma) finish(p *sim.Proc, line uint32, e *dirEntry) {
+	e.busy = false
+	if len(e.waiting) > 0 {
+		next := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		s.process(p, line, e, next)
+	}
+}

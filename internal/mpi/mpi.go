@@ -1,0 +1,310 @@
+// Package mpi is a small MPI-style library over StarT-Voyager's Basic
+// message mechanism — the layer-0 convenience library the paper promises
+// ("we will provide an MPI library that presents the usual MPI interface
+// ... but uses the underlying NIU support for the actual communication").
+//
+// Messages of any size are segmented into Basic messages; delivery order
+// within a (source, destination) pair is FIFO, which the reassembly relies
+// on. Receives match on (source, tag) with unordered buffering, and the
+// collectives (Barrier, Bcast, Reduce, Allreduce, Gather, Scatter, Alltoall)
+// are built from point-to-point messages using binomial trees where it
+// matters.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// AnySource matches a receive against any sender.
+const AnySource = -1
+
+// fragment layout: an 8-byte header fragment announces (tag, length); the
+// payload follows in raw fragments. FIFO per pair makes sequence numbers
+// unnecessary.
+const (
+	headerMagic = 0x4D50 // "MP"
+	fragBytes   = core.MaxBasicPayload
+)
+
+// message is one reassembled incoming message.
+type message struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+// assembly tracks an in-progress reassembly from one source.
+type assembly struct {
+	tag  int
+	data []byte
+	want int
+}
+
+// Comm is one rank's communicator for the whole machine (MPI_COMM_WORLD).
+type Comm struct {
+	api  *core.API
+	rank int
+	size int
+
+	inbox      []*message
+	assembling map[int]*assembly // per source
+}
+
+// World returns the communicator for node rank of machine m.
+func World(m *core.Machine, rank int) *Comm {
+	return &Comm{
+		api:        m.API(rank),
+		rank:       rank,
+		size:       len(m.Nodes),
+		assembling: make(map[int]*assembly),
+	}
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// API exposes the underlying node API (for mixed-paradigm programs).
+func (c *Comm) API() *core.API { return c.api }
+
+// Send delivers data to rank dst with the given tag (blocking until the
+// local NIU has accepted all fragments).
+func (c *Comm) Send(p *sim.Proc, dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: bad destination rank %d", dst))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:], headerMagic)
+	binary.BigEndian.PutUint16(hdr[2:], uint16(tag))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(data)))
+	c.api.SendBasic(p, dst, hdr[:])
+	for off := 0; off < len(data); off += fragBytes {
+		end := off + fragBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		c.api.SendBasic(p, dst, data[off:end])
+	}
+}
+
+// Recv blocks until a message with matching source (or AnySource) and tag
+// arrives, and returns its data and actual source.
+func (c *Comm) Recv(p *sim.Proc, src, tag int) (data []byte, from int) {
+	for {
+		for i, m := range c.inbox {
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+				return m.data, m.src
+			}
+		}
+		c.pump(p)
+	}
+}
+
+// Sendrecv exchanges messages with the given peers in a deadlock-free way
+// (send fragments are accepted by the NIU without waiting for the peer).
+func (c *Comm) Sendrecv(p *sim.Proc, dst, sendTag int, data []byte,
+	src, recvTag int) ([]byte, int) {
+	c.Send(p, dst, sendTag, data)
+	return c.Recv(p, src, recvTag)
+}
+
+// pump receives one Basic message and advances reassembly.
+func (c *Comm) pump(p *sim.Proc) {
+	src, payload := c.api.RecvBasic(p)
+	asm := c.assembling[src]
+	if asm == nil {
+		if len(payload) != 8 || binary.BigEndian.Uint16(payload) != headerMagic {
+			panic(fmt.Sprintf("mpi: rank %d: stray fragment from %d", c.rank, src))
+		}
+		asm = &assembly{
+			tag:  int(binary.BigEndian.Uint16(payload[2:])),
+			want: int(binary.BigEndian.Uint32(payload[4:])),
+		}
+		c.assembling[src] = asm
+	} else {
+		asm.data = append(asm.data, payload...)
+	}
+	if len(asm.data) >= asm.want {
+		c.inbox = append(c.inbox, &message{src: src, tag: asm.tag, data: asm.data})
+		delete(c.assembling, src)
+	}
+}
+
+// Internal collective tags (high range, outside user tags).
+const (
+	tagBarrier = 0xFF01
+	tagBcast   = 0xFF02
+	tagReduce  = 0xFF03
+	tagGather  = 0xFF04
+	tagScatter = 0xFF05
+	tagAll2All = 0xFF06
+)
+
+// Barrier blocks until every rank has entered it (dissemination algorithm:
+// log2(n) rounds of pairwise messages).
+func (c *Comm) Barrier(p *sim.Proc) {
+	for dist := 1; dist < c.size; dist *= 2 {
+		to := (c.rank + dist) % c.size
+		from := (c.rank - dist + c.size) % c.size
+		c.Send(p, to, tagBarrier, nil)
+		c.Recv(p, from, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to every rank (binomial tree: relative rank
+// r receives from r minus its highest set bit, then forwards to r | 2^j for
+// each higher bit) and returns each rank's copy.
+func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) []byte {
+	rel := (c.rank - root + c.size) % c.size
+	hi := 0
+	if rel != 0 {
+		hi = 1
+		for hi*2 <= rel {
+			hi *= 2
+		}
+		parent := (root + rel - hi) % c.size
+		data, _ = c.Recv(p, parent, tagBcast)
+	}
+	for dist := hi * 2; ; dist *= 2 {
+		if dist == 0 {
+			dist = 1
+		}
+		child := rel | dist
+		if child == rel {
+			continue
+		}
+		if child >= c.size || dist >= nextPow2(c.size) {
+			break
+		}
+		c.Send(p, (root+child)%c.size, tagBcast, data)
+	}
+	return data
+}
+
+// Op is a reduction operator over float64 vectors.
+type Op func(dst, src []float64)
+
+// Predefined reduction operators.
+var (
+	Sum Op = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	Max Op = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = math.Max(dst[i], src[i])
+		}
+	}
+	Min Op = func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = math.Min(dst[i], src[i])
+		}
+	}
+)
+
+// Reduce combines each rank's vector with op; the result lands on root
+// (binomial tree). Non-root ranks return nil.
+func (c *Comm) Reduce(p *sim.Proc, root int, op Op, vals []float64) []float64 {
+	acc := append([]float64(nil), vals...)
+	rel := (c.rank - root + c.size) % c.size
+	for dist := 1; dist < c.size; dist *= 2 {
+		if rel%(2*dist) != 0 {
+			c.Send(p, (root+rel-dist)%c.size, tagReduce, encodeF64(acc))
+			return nil
+		}
+		if rel+dist < c.size {
+			data, _ := c.Recv(p, (root+rel+dist)%c.size, tagReduce)
+			op(acc, decodeF64(data))
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(p *sim.Proc, op Op, vals []float64) []float64 {
+	acc := c.Reduce(p, 0, op, vals)
+	return decodeF64(c.Bcast(p, 0, encodeF64(acc)))
+}
+
+// Gather collects each rank's data at root, indexed by rank. Non-root ranks
+// return nil.
+func (c *Comm) Gather(p *sim.Proc, root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(p, root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for i := 0; i < c.size-1; i++ {
+		d, from := c.Recv(p, AnySource, tagGather)
+		out[from] = d
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part.
+func (c *Comm) Scatter(p *sim.Proc, root int, parts [][]byte) []byte {
+	if c.rank == root {
+		for i, part := range parts {
+			if i == root {
+				continue
+			}
+			c.Send(p, i, tagScatter, part)
+		}
+		return parts[root]
+	}
+	d, _ := c.Recv(p, root, tagScatter)
+	return d
+}
+
+// Alltoall exchanges parts[i] with every rank i and returns the received
+// vector indexed by source.
+func (c *Comm) Alltoall(p *sim.Proc, parts [][]byte) [][]byte {
+	out := make([][]byte, c.size)
+	out[c.rank] = parts[c.rank]
+	// Ring-shift schedule: in step s every rank sends to rank+s and
+	// receives from rank-s, so each step is a perfect permutation and no
+	// rank waits on a message nobody is sending.
+	for step := 1; step < c.size; step++ {
+		to := (c.rank + step) % c.size
+		from := (c.rank - step + c.size) % c.size
+		c.Send(p, to, tagAll2All, parts[to])
+		d, _ := c.Recv(p, from, tagAll2All)
+		out[from] = d
+	}
+	return out
+}
+
+func nextPow2(n int) int {
+	v := 1
+	for v < n {
+		v *= 2
+	}
+	return v
+}
+
+func encodeF64(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

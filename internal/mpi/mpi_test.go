@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// run spawns body on every rank of an n-node machine and runs to completion.
+func run(t *testing.T, n int, body func(p *sim.Proc, c *Comm)) *core.Machine {
+	t.Helper()
+	m := core.NewMachine(n)
+	for i := 0; i < n; i++ {
+		c := World(m, i)
+		m.Go(i, fmt.Sprintf("rank%d", i), func(p *sim.Proc, _ *core.API) {
+			body(p, c)
+		})
+	}
+	m.Run()
+	if got := m.Eng.BlockedProcs(); got != m.FirmwareLoops() {
+		t.Fatalf("deadlock: %d blocked procs (firmware loops: %d)", got, m.FirmwareLoops())
+	}
+	return m
+}
+
+func TestSendRecvSmall(t *testing.T) {
+	var got []byte
+	var from int
+	run(t, 2, func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 42, []byte("hello mpi"))
+		} else {
+			got, from = c.Recv(p, 0, 42)
+		}
+	})
+	if !bytes.Equal(got, []byte("hello mpi")) || from != 0 {
+		t.Fatalf("got %q from %d", got, from)
+	}
+}
+
+func TestSendRecvLargeSegmented(t *testing.T) {
+	big := make([]byte, 10_000) // many fragments
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	var got []byte
+	run(t, 2, func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 1, big)
+		} else {
+			got, _ = c.Recv(p, 0, 1)
+		}
+	})
+	if !bytes.Equal(got, big) {
+		t.Fatal("large message corrupted")
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	var first, second []byte
+	run(t, 2, func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(p, 1, 7, []byte("tag7"))
+			c.Send(p, 1, 9, []byte("tag9"))
+		} else {
+			// Receive in the opposite order from sending.
+			second, _ = c.Recv(p, 0, 9)
+			first, _ = c.Recv(p, 0, 7)
+		}
+	})
+	if string(first) != "tag7" || string(second) != "tag9" {
+		t.Fatalf("matching broken: %q %q", first, second)
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	froms := map[int]bool{}
+	run(t, 4, func(p *sim.Proc, c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				_, from := c.Recv(p, AnySource, 5)
+				froms[from] = true
+			}
+		} else {
+			c.Send(p, 0, 5, []byte{byte(c.Rank())})
+		}
+	})
+	if len(froms) != 3 {
+		t.Fatalf("sources %v", froms)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			var exitTimes []sim.Time
+			var lastEnter sim.Time
+			run(t, n, func(p *sim.Proc, c *Comm) {
+				// Stagger the entries.
+				c.API().Compute(p, sim.Time(c.Rank())*10_000)
+				if t := p.Now(); t > lastEnter {
+					lastEnter = t
+				}
+				c.Barrier(p)
+				exitTimes = append(exitTimes, p.Now())
+			})
+			for _, e := range exitTimes {
+				if e < lastEnter {
+					t.Fatalf("rank exited barrier at %v before last entry %v", e, lastEnter)
+				}
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			data := []byte("broadcast payload")
+			got := make([][]byte, n)
+			run(t, n, func(p *sim.Proc, c *Comm) {
+				var in []byte
+				if c.Rank() == 2%n {
+					in = data
+				}
+				got[c.Rank()] = c.Bcast(p, 2%n, in)
+			})
+			for r, g := range got {
+				if !bytes.Equal(g, data) {
+					t.Fatalf("rank %d got %q", r, g)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 8
+	var result []float64
+	run(t, n, func(p *sim.Proc, c *Comm) {
+		vals := []float64{float64(c.Rank()), 1}
+		if r := c.Reduce(p, 0, Sum, vals); c.Rank() == 0 {
+			result = r
+		} else if r != nil {
+			t.Errorf("non-root rank %d got a result", c.Rank())
+		}
+	})
+	if result[0] != 28 || result[1] != 8 { // 0+..+7, 8 ones
+		t.Fatalf("reduce = %v", result)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const n = 5
+	maxs := make([]float64, n)
+	mins := make([]float64, n)
+	run(t, n, func(p *sim.Proc, c *Comm) {
+		v := []float64{float64(c.Rank() * 10)}
+		maxs[c.Rank()] = c.Allreduce(p, Max, v)[0]
+		mins[c.Rank()] = c.Allreduce(p, Min, v)[0]
+	})
+	for r := 0; r < n; r++ {
+		if maxs[r] != 40 || mins[r] != 0 {
+			t.Fatalf("rank %d: max=%v min=%v", r, maxs[r], mins[r])
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	var gathered [][]byte
+	scattered := make([][]byte, n)
+	run(t, n, func(p *sim.Proc, c *Comm) {
+		g := c.Gather(p, 1, []byte{byte('A' + c.Rank())})
+		if c.Rank() == 1 {
+			gathered = g
+		}
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = []byte{byte('a' + i)}
+		}
+		var in [][]byte
+		if c.Rank() == 0 {
+			in = parts
+		}
+		scattered[c.Rank()] = c.Scatter(p, 0, in)
+	})
+	for i, g := range gathered {
+		if len(g) != 1 || g[0] != byte('A'+i) {
+			t.Fatalf("gather[%d] = %q", i, g)
+		}
+	}
+	for i, s := range scattered {
+		if len(s) != 1 || s[0] != byte('a'+i) {
+			t.Fatalf("scatter[%d] = %q", i, s)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			results := make([][][]byte, n)
+			run(t, n, func(p *sim.Proc, c *Comm) {
+				parts := make([][]byte, n)
+				for i := range parts {
+					parts[i] = []byte{byte(c.Rank()), byte(i)}
+				}
+				results[c.Rank()] = c.Alltoall(p, parts)
+			})
+			for me := 0; me < n; me++ {
+				for from := 0; from < n; from++ {
+					want := []byte{byte(from), byte(me)}
+					if !bytes.Equal(results[me][from], want) {
+						t.Fatalf("alltoall[%d][%d] = %v, want %v",
+							me, from, results[me][from], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSendrecvRingRotation(t *testing.T) {
+	const n = 4
+	got := make([]byte, n)
+	run(t, n, func(p *sim.Proc, c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		d, _ := c.Sendrecv(p, right, 3, []byte{byte(c.Rank())}, left, 3)
+		got[c.Rank()] = d[0]
+	})
+	for r := 0; r < n; r++ {
+		if got[r] != byte((r-1+n)%n) {
+			t.Fatalf("ring: rank %d got %d", r, got[r])
+		}
+	}
+}
+
+func TestBadRankPanics(t *testing.T) {
+	m := core.NewMachine(2)
+	c := World(m, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Go(0, "bad", func(p *sim.Proc, _ *core.API) {
+		c.Send(p, 5, 0, nil)
+	})
+	m.Run()
+}

@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// Property: for a random plan of point-to-point messages (random sizes up
+// to several fragments, random tags, random send order), every receive
+// matches exactly its planned message, with per-(src,tag) order preserved
+// at the receiver.
+func TestRandomTrafficProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		type msg struct {
+			src, dst, tag int
+			data          []byte
+		}
+		var plan []msg
+		for i := 0; i < 12; i++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			for dst == src {
+				dst = rng.Intn(n)
+			}
+			data := make([]byte, rng.Intn(300))
+			rng.Read(data)
+			plan = append(plan, msg{src, dst, rng.Intn(3), data})
+		}
+		m := core.NewMachine(n)
+		okAll := true
+		for r := 0; r < n; r++ {
+			r := r
+			c := World(m, r)
+			m.Go(r, "rank", func(p *sim.Proc, _ *core.API) {
+				// Send everything this rank originates, in plan order.
+				for _, pm := range plan {
+					if pm.src == r {
+						c.Send(p, pm.dst, pm.tag, pm.data)
+					}
+				}
+				// Receive everything destined here: for each (src,tag)
+				// stream, messages must appear in plan order.
+				expected := map[[2]int][][]byte{}
+				for _, pm := range plan {
+					if pm.dst == r {
+						k := [2]int{pm.src, pm.tag}
+						expected[k] = append(expected[k], pm.data)
+					}
+				}
+				for k, list := range expected {
+					for _, want := range list {
+						got, from := c.Recv(p, k[0], k[1])
+						if from != k[0] || !bytes.Equal(got, want) {
+							okAll = false
+						}
+					}
+				}
+			})
+		}
+		m.Run()
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allreduce(Sum) equals the arithmetic sum regardless of machine
+// size and per-rank values.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		vals := make([]float64, n)
+		var want float64
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1000))
+			want += vals[i]
+		}
+		m := core.NewMachine(n)
+		results := make([]float64, n)
+		for r := 0; r < n; r++ {
+			r := r
+			c := World(m, r)
+			m.Go(r, fmt.Sprintf("r%d", r), func(p *sim.Proc, _ *core.API) {
+				results[r] = c.Allreduce(p, Sum, []float64{vals[r]})[0]
+			})
+		}
+		m.Run()
+		for _, got := range results {
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

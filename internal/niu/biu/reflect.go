@@ -1,0 +1,143 @@
+package biu
+
+import (
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/txrx"
+)
+
+// ReflectMode selects how writes to the reflective-memory window propagate —
+// the paper's Shrimp / Memory Channel emulation, in the three implementation
+// styles §5 discusses:
+//
+//	ReflectFirmware — the default hardware is sufficient: the aBIU forwards
+//	                  captured writes to the sP, which sends the updates.
+//	ReflectHardware — "further enhancements to the aBIU can implement this
+//	                  completely in hardware": the aBIU composes the remote
+//	                  commands itself; the sP never runs.
+//	ReflectDeferred — writes only set clsSRAM-style dirty bits (the paper's
+//	                  cache-line-granularity modification tracking for
+//	                  diff-based update protocols); firmware propagates just
+//	                  the dirty lines when software flushes.
+type ReflectMode int
+
+// Reflective-memory modes.
+const (
+	ReflectOff ReflectMode = iota
+	ReflectFirmware
+	ReflectHardware
+	ReflectDeferred
+)
+
+// String names the mode.
+func (m ReflectMode) String() string {
+	switch m {
+	case ReflectOff:
+		return "off"
+	case ReflectFirmware:
+		return "firmware"
+	case ReflectHardware:
+		return "hardware"
+	case ReflectDeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("ReflectMode(%d)", int(m))
+	}
+}
+
+// ReflectEntry exports one window-offset range to a set of subscriber nodes.
+// Subscribers receive every propagated write at the same window offset.
+type ReflectEntry struct {
+	From, To uint32 // window offsets [From, To)
+	Subs     []int
+}
+
+// reflectState is the aBIU's reflective-memory configuration.
+type reflectState struct {
+	mode    ReflectMode
+	entries []ReflectEntry
+	dirty   []bool // per line of the window (Deferred mode)
+}
+
+// ConfigureReflect programs the reflective-memory window behaviour (an
+// "FPGA reload" — experiments switch modes between runs).
+func (a *ABIU) ConfigureReflect(mode ReflectMode, entries []ReflectEntry) {
+	if a.m.Reflect.Size == 0 && mode != ReflectOff {
+		panic("biu: no reflective window configured on this node")
+	}
+	a.reflect = reflectState{
+		mode:    mode,
+		entries: entries,
+		dirty:   make([]bool, (a.m.Reflect.Size+bus.LineSize-1)/bus.LineSize),
+	}
+}
+
+// ReflectSubscribers returns the export set covering the window offset.
+func (a *ABIU) ReflectSubscribers(off uint32) []int {
+	for _, e := range a.reflect.entries {
+		if off >= e.From && off < e.To {
+			return e.Subs
+		}
+	}
+	return nil
+}
+
+// ReflectDirtyLines returns (and clears) the dirty line indices intersecting
+// window offsets [from, from+n) — the hardware assist that spares the
+// firmware a software diff.
+func (a *ABIU) ReflectDirtyLines(from uint32, n int) []int {
+	var out []int
+	first := int(from) / bus.LineSize
+	last := (int(from) + n + bus.LineSize - 1) / bus.LineSize
+	for i := first; i < last && i < len(a.reflect.dirty); i++ {
+		if a.reflect.dirty[i] {
+			out = append(out, i)
+			a.reflect.dirty[i] = false
+		}
+	}
+	return out
+}
+
+// snoopReflect handles aP writes in the reflective window. The local memory
+// controller claims and stores the data (the window is DRAM-backed); the
+// aBIU only observes.
+func (a *ABIU) snoopReflect(tx *bus.Transaction) bus.Snoop {
+	if tx.Kind != bus.WriteLine && tx.Kind != bus.WriteWord {
+		return bus.Snoop{}
+	}
+	off := a.m.Reflect.Offset(tx.Addr)
+	switch a.reflect.mode {
+	case ReflectFirmware:
+		a.stats.ReflectCaptured++
+		a.toSP.Push(CapturedOp{Kind: tx.Kind, Addr: tx.Addr, Size: len(tx.Data),
+			Data: append([]byte(nil), tx.Data...), Reflect: true})
+	case ReflectHardware:
+		subs := a.ReflectSubscribers(off)
+		a.stats.ReflectHw += uint64(len(subs))
+		data := append([]byte(nil), tx.Data...)
+		for _, sub := range subs {
+			op := txrx.CmdWriteDram
+			if tx.Kind == bus.WriteWord {
+				op = txrx.CmdWriteWord
+			}
+			// The aBIU composes the update message itself on command
+			// queue 1, leaving queue 0 (and the sP) untouched.
+			a.c.IssueCommand(1, &ctrl.SendMsg{
+				Frame: &txrx.Frame{Kind: txrx.Cmd, Op: op, Addr: tx.Addr,
+					Payload: data},
+				Dest:     uint16(sub),
+				Priority: arctic.Low,
+			})
+		}
+	case ReflectDeferred:
+		line := int(off) / bus.LineSize
+		if line < len(a.reflect.dirty) {
+			a.reflect.dirty[line] = true
+			a.stats.ReflectDirty++
+		}
+	}
+	return bus.Snoop{}
+}

@@ -1,0 +1,460 @@
+// Package ctrl models the CTRL ASIC — layer 2 of StarT-Voyager's
+// communication architecture. CTRL owns the protected message-queue
+// abstraction: 16 transmit and 16 receive hardware queues with
+// producer/consumer pointers (shadowed into SRAM for processor polling),
+// prioritized transmit arbitration, destination translation through an
+// AND/OR mask and an SRAM-resident table, receive-queue caching with a
+// miss/overflow queue, per-queue protection with shutdown-on-violation, two
+// ordered local command queues plus a remote command queue, and the block
+// read / block transmit units. All data movement inside the NIU crosses the
+// IBus, which CTRL arbitrates.
+package ctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/sim"
+)
+
+// NumQueues is the number of hardware transmit and receive queues.
+const NumQueues = 16
+
+// SlotHeaderBytes is the software-visible header at the start of every
+// transmit/receive queue slot (see Tx slot format in tx.go).
+const SlotHeaderBytes = 8
+
+// BusPort is CTRL's path onto the aP memory bus (provided by the aBIU).
+type BusPort interface {
+	IssueBusOp(tx *bus.Transaction, done func())
+}
+
+// NetPort is CTRL's path into the network (provided by the TxU/RxU wiring).
+type NetPort interface {
+	Inject(dst int, pri arctic.Priority, wire []byte)
+	// Poke retries deliveries this NIU previously refused (Hold policy).
+	Poke()
+	// Ready reports whether the fabric can take another packet from this
+	// node on the given priority lane; when false, CTRL holds that lane's
+	// launches until NetReady is signaled. Lanes are independent so High
+	// traffic bypasses a backed-up Low lane.
+	Ready(pri arctic.Priority) bool
+}
+
+// IntPort carries CTRL's interrupt lines to the service processor.
+type IntPort interface {
+	// RxInterrupt fires when a message lands in an interrupt-enabled
+	// physical receive queue.
+	RxInterrupt(phys int)
+	// ProtViolation fires when a transmit queue is shut down.
+	ProtViolation(q int)
+}
+
+// FullPolicy selects what happens to a message for a full receive queue.
+type FullPolicy int
+
+const (
+	// Hold refuses delivery; the network stalls the packet's priority lane
+	// until space frees (can deadlock — the paper calls this out).
+	Hold FullPolicy = iota
+	// Drop discards the packet.
+	Drop
+	// Divert sends the packet to the miss/overflow queue.
+	Divert
+)
+
+// Config holds CTRL parameters.
+type Config struct {
+	CycleTime sim.Time // NIU clock (default 15 ns, bus-synchronous)
+	TxUCycles int      // per-packet transmit formatting (default 4)
+	RxUCycles int      // per-packet receive formatting (default 4)
+	// TransTableBase is the sSRAM offset of the destination translation
+	// table (8-byte entries).
+	TransTableBase uint32
+	// TransTableEntries bounds the masked virtual destination space.
+	TransTableEntries int
+	// MissQueue is the physical receive queue to which unresident logical
+	// destinations and Divert overflow are steered (-1 disables).
+	MissQueue int
+	// ScomaRange lets remote WriteDramCls/SetCls commands convert physical
+	// addresses into clsSRAM line indices.
+	ScomaRange bus.Range
+	// PaceFlitBytes/PaceFlitTime set the link rate the block-transmit unit
+	// paces itself to (defaults match Arctic: 16 bytes per 100 ns).
+	PaceFlitBytes int
+	PaceFlitTime  sim.Time
+}
+
+// DefaultConfig returns NIU-cycle defaults used by the standard machine.
+func DefaultConfig() Config {
+	return Config{CycleTime: 15, TxUCycles: 4, RxUCycles: 4,
+		TransTableBase: 0, TransTableEntries: 256, MissQueue: NumQueues - 1}
+}
+
+func (c *Config) fillDefaults() {
+	if c.CycleTime == 0 {
+		c.CycleTime = 15
+	}
+	if c.TxUCycles == 0 {
+		c.TxUCycles = 4
+	}
+	if c.RxUCycles == 0 {
+		c.RxUCycles = 4
+	}
+	if c.TransTableEntries == 0 {
+		c.TransTableEntries = 256
+	}
+	if c.PaceFlitBytes == 0 {
+		c.PaceFlitBytes = 16
+	}
+	if c.PaceFlitTime == 0 {
+		c.PaceFlitTime = 100
+	}
+}
+
+// TxConfig configures one hardware transmit queue.
+type TxConfig struct {
+	Buf        *sram.SRAM // aSRAM or sSRAM bank holding the slots
+	Base       uint32     // slot array base offset in Buf
+	EntryBytes int        // slot size (96 for Basic, 8 for Express)
+	Entries    int        // number of slots
+	ShadowBase uint32     // pointer shadow offset in Buf (8 bytes)
+
+	Express      bool   // 8-byte express slots composed by the aBIU
+	Translate    bool   // apply destination translation
+	AndMask      uint16 // translation pre-masks
+	OrMask       uint16
+	RawAllowed   bool   // permit untranslated (raw) messages
+	Priority     int    // arbitration class (lower value = served first)
+	AllowedDests uint64 // bitmask of permitted physical destinations
+	Enabled      bool
+}
+
+// RxConfig configures one hardware receive queue.
+type RxConfig struct {
+	Buf        *sram.SRAM
+	Base       uint32
+	EntryBytes int
+	Entries    int
+	ShadowBase uint32
+
+	Logical   uint16 // resident logical queue number
+	Express   bool   // slots use the 8-byte express format
+	Interrupt bool   // raise RxInterrupt on arrival
+	Full      FullPolicy
+	Enabled   bool
+}
+
+type txQueue struct {
+	cfg      TxConfig
+	producer uint32
+	consumer uint32
+	shutdown bool
+	// parked marks a queue whose head message targets a backpressured
+	// network lane; the arbiter skips it (so other lanes keep flowing)
+	// until the fabric signals room.
+	parked    bool
+	parkedPri arctic.Priority
+}
+
+type rxQueue struct {
+	cfg      RxConfig
+	producer uint32
+	consumer uint32
+	reserved uint32 // accepted but not yet written (in-flight through IBus)
+	holding  bool   // refused a delivery; poke the fabric on space
+}
+
+func (q *txQueue) pending() uint32 { return q.producer - q.consumer }
+func (q *rxQueue) used() uint32    { return q.producer + q.reserved - q.consumer }
+func (q *rxQueue) full() bool      { return q.used() >= uint32(q.cfg.Entries) }
+
+// Stats counts CTRL activity.
+type Stats struct {
+	TxMessages, RxMessages uint64
+	TxBytes, RxBytes       uint64
+	RxMisses               uint64 // steered to the miss queue
+	RxDrops                uint64
+	RxHolds                uint64 // deliveries refused (Hold backpressure)
+	ProtViolations         uint64
+	LocalCmds, RemoteCmds  uint64
+	BlockReads, BlockTxs   uint64
+	TagOns                 uint64
+}
+
+// Ctrl is one node's CTRL ASIC.
+type Ctrl struct {
+	eng    *sim.Engine
+	myNode int
+	cfg    Config
+
+	aSRAM *sram.SRAM
+	sSRAM *sram.SRAM
+	cls   *sram.Cls
+
+	busPort BusPort
+	net     NetPort
+	ints    IntPort
+
+	ibus *sim.Resource
+
+	tx [NumQueues]txQueue
+	rx [NumQueues]rxQueue
+
+	txBusy bool
+	txRR   int // round-robin cursor within a priority class
+
+	local  [2]*cmdQueue
+	remote *remoteQueue
+
+	// emitPending holds launches deferred by fabric backpressure, one FIFO
+	// per priority lane.
+	emitPending [2][]pendingEmit
+
+	blockRead *blockUnit
+	blockTx   *blockUnit
+
+	stats Stats
+}
+
+// New builds a CTRL for node myNode over the given SRAMs.
+func New(eng *sim.Engine, myNode int, aS, sS *sram.SRAM, cls *sram.Cls, cfg Config) *Ctrl {
+	cfg.fillDefaults()
+	c := &Ctrl{
+		eng: eng, myNode: myNode, cfg: cfg,
+		aSRAM: aS, sSRAM: sS, cls: cls,
+		ibus: sim.NewResource(eng, fmt.Sprintf("ibus%d", myNode)),
+	}
+	c.local[0] = newCmdQueue(c, "cmdq0")
+	c.local[1] = newCmdQueue(c, "cmdq1")
+	c.remote = newRemoteQueue(c)
+	c.blockRead = newBlockUnit(c, "blockread")
+	c.blockTx = newBlockUnit(c, "blocktx")
+	return c
+}
+
+// SetPorts wires CTRL to its bus master, network, and interrupt sinks.
+func (c *Ctrl) SetPorts(b BusPort, n NetPort, i IntPort) {
+	c.busPort, c.net, c.ints = b, n, i
+}
+
+// Node returns the node number.
+func (c *Ctrl) Node() int { return c.myNode }
+
+// Engine returns the simulation engine.
+func (c *Ctrl) Engine() *sim.Engine { return c.eng }
+
+// Stats returns a snapshot of counters.
+func (c *Ctrl) Stats() Stats { return c.stats }
+
+// IBusBusyTime returns accumulated IBus occupancy.
+func (c *Ctrl) IBusBusyTime() sim.Time { return c.ibus.BusyTime() }
+
+// Cls exposes the clsSRAM (written by remote commands and firmware).
+func (c *Ctrl) Cls() *sram.Cls { return c.cls }
+
+// ASram exposes the aSRAM bank.
+func (c *Ctrl) ASram() *sram.SRAM { return c.aSRAM }
+
+// SSram exposes the sSRAM bank.
+func (c *Ctrl) SSram() *sram.SRAM { return c.sSRAM }
+
+// cycles converts NIU cycles to time.
+func (c *Ctrl) cycles(n int) sim.Time { return sim.Time(n) * c.cfg.CycleTime }
+
+// ibusMove occupies the IBus long enough to move n bytes (8 bytes/cycle,
+// minimum one cycle), then runs done.
+func (c *Ctrl) ibusMove(n int, done func()) {
+	cyc := (n + 7) / 8
+	if cyc < 1 {
+		cyc = 1
+	}
+	c.ibus.Use(c.cycles(cyc), done)
+}
+
+// --- queue configuration (the "system register" interface) ---
+
+// ConfigureTx programs transmit queue q.
+func (c *Ctrl) ConfigureTx(q int, cfg TxConfig) {
+	c.checkQ(q)
+	if cfg.EntryBytes <= 0 || cfg.Entries <= 0 || cfg.Buf == nil {
+		panic(fmt.Sprintf("ctrl: bad tx config for queue %d", q))
+	}
+	c.tx[q] = txQueue{cfg: cfg}
+	c.shadowTx(q)
+}
+
+// ConfigureRx programs receive queue q.
+func (c *Ctrl) ConfigureRx(q int, cfg RxConfig) {
+	c.checkQ(q)
+	if cfg.EntryBytes <= 0 || cfg.Entries <= 0 || cfg.Buf == nil {
+		panic(fmt.Sprintf("ctrl: bad rx config for queue %d", q))
+	}
+	c.rx[q] = rxQueue{cfg: cfg}
+	c.shadowRx(q)
+}
+
+// TxQueueConfig returns the live configuration of transmit queue q.
+func (c *Ctrl) TxQueueConfig(q int) TxConfig { c.checkQ(q); return c.tx[q].cfg }
+
+// RxQueueConfig returns the live configuration of receive queue q.
+func (c *Ctrl) RxQueueConfig(q int) RxConfig { c.checkQ(q); return c.rx[q].cfg }
+
+// SetTxEnabled enables or disables a transmit queue (firmware re-enables a
+// queue after a protection shutdown this way).
+func (c *Ctrl) SetTxEnabled(q int, on bool) {
+	c.checkQ(q)
+	c.tx[q].cfg.Enabled = on
+	c.tx[q].shutdown = false
+	if on {
+		c.kickTx()
+	}
+}
+
+// SetTxPriority updates a queue's arbitration class (the dynamically
+// reconfigurable priority register of the paper).
+func (c *Ctrl) SetTxPriority(q, prio int) {
+	c.checkQ(q)
+	c.tx[q].cfg.Priority = prio
+}
+
+// SetTxAllowedDests updates a queue's destination permission mask (a
+// privileged system-register write; pointers are unaffected).
+func (c *Ctrl) SetTxAllowedDests(q int, mask uint64) {
+	c.checkQ(q)
+	c.tx[q].cfg.AllowedDests = mask
+}
+
+func (c *Ctrl) checkQ(q int) {
+	if q < 0 || q >= NumQueues {
+		panic(fmt.Sprintf("ctrl: queue %d out of range", q))
+	}
+}
+
+// --- pointers ---
+
+// TxProducerUpdate publishes a new transmit producer counter (absolute,
+// free-running); CTRL launches the newly composed messages in order.
+func (c *Ctrl) TxProducerUpdate(q int, producer uint32) {
+	c.checkQ(q)
+	tq := &c.tx[q]
+	if producer-tq.consumer > uint32(tq.cfg.Entries) {
+		panic(fmt.Sprintf("ctrl: tx%d producer %d overruns consumer %d (%d entries)",
+			q, producer, tq.consumer, tq.cfg.Entries))
+	}
+	if producer == tq.producer {
+		return
+	}
+	tq.producer = producer
+	c.shadowTx(q)
+	c.kickTx()
+}
+
+// RxConsumerUpdate publishes a new receive consumer counter, freeing slots.
+func (c *Ctrl) RxConsumerUpdate(q int, consumer uint32) {
+	c.checkQ(q)
+	rq := &c.rx[q]
+	if consumer-rq.consumer > rq.used() {
+		panic(fmt.Sprintf("ctrl: rx%d consumer %d passes producer %d", q, consumer, rq.producer))
+	}
+	rq.consumer = consumer
+	c.shadowRx(q)
+	if rq.holding && !rq.full() {
+		rq.holding = false
+		c.net.Poke()
+	}
+}
+
+// TxConsumer returns the transmit consumer counter (how far CTRL has
+// launched).
+func (c *Ctrl) TxConsumer(q int) uint32 { c.checkQ(q); return c.tx[q].consumer }
+
+// TxProducer returns the transmit producer counter.
+func (c *Ctrl) TxProducer(q int) uint32 { c.checkQ(q); return c.tx[q].producer }
+
+// RxProducer returns the receive producer counter (messages available).
+func (c *Ctrl) RxProducer(q int) uint32 { c.checkQ(q); return c.rx[q].producer }
+
+// RxConsumer returns the receive consumer counter.
+func (c *Ctrl) RxConsumer(q int) uint32 { c.checkQ(q); return c.rx[q].consumer }
+
+// TxShutdown reports whether queue q was shut down by protection.
+func (c *Ctrl) TxShutdown(q int) bool { c.checkQ(q); return c.tx[q].shutdown }
+
+// shadowTx mirrors tx pointers into SRAM so processors can poll them.
+func (c *Ctrl) shadowTx(q int) {
+	tq := &c.tx[q]
+	if tq.cfg.Buf == nil {
+		return
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:], tq.producer)
+	binary.BigEndian.PutUint32(b[4:], tq.consumer)
+	tq.cfg.Buf.Write(tq.cfg.ShadowBase, b[:])
+}
+
+func (c *Ctrl) shadowRx(q int) {
+	rq := &c.rx[q]
+	if rq.cfg.Buf == nil {
+		return
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:], rq.producer)
+	binary.BigEndian.PutUint32(b[4:], rq.consumer)
+	rq.cfg.Buf.Write(rq.cfg.ShadowBase, b[:])
+}
+
+// SlotOffset returns the SRAM offset of slot (ptr mod entries) of a queue
+// laid out at base with the given entry size.
+func SlotOffset(base uint32, entryBytes, entries int, ptr uint32) uint32 {
+	return base + uint32(int(ptr%uint32(entries))*entryBytes)
+}
+
+// --- translation table ---
+
+// TransEntry is one destination translation table entry.
+type TransEntry struct {
+	PhysNode uint16
+	LogicalQ uint16
+	Priority arctic.Priority
+	Valid    bool
+}
+
+// WriteTransEntry stores a translation entry at index idx (setup/firmware
+// path; timing is the caller's concern).
+func (c *Ctrl) WriteTransEntry(idx int, e TransEntry) {
+	if idx < 0 || idx >= c.cfg.TransTableEntries {
+		panic(fmt.Sprintf("ctrl: translation index %d out of range", idx))
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:], e.PhysNode)
+	binary.BigEndian.PutUint16(b[2:], e.LogicalQ)
+	flags := byte(0)
+	if e.Valid {
+		flags |= 1
+	}
+	if e.Priority == arctic.High {
+		flags |= 2
+	}
+	b[4] = flags
+	c.sSRAM.Write(c.cfg.TransTableBase+uint32(idx)*8, b[:])
+}
+
+// readTransEntry fetches and decodes entry idx from sSRAM.
+func (c *Ctrl) readTransEntry(idx int) TransEntry {
+	var b [8]byte
+	c.sSRAM.Read(c.cfg.TransTableBase+uint32(idx)*8, b[:])
+	pr := arctic.Low
+	if b[4]&2 != 0 {
+		pr = arctic.High
+	}
+	return TransEntry{
+		PhysNode: binary.BigEndian.Uint16(b[0:]),
+		LogicalQ: binary.BigEndian.Uint16(b[2:]),
+		Priority: pr,
+		Valid:    b[4]&1 != 0,
+	}
+}

@@ -1,0 +1,250 @@
+package ctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/niu/txrx"
+)
+
+// Receive slot formats.
+//
+// Basic queues (EntryBytes >= 8): src(2) logicalQ(2) len(2) reserved(2),
+// payload from byte 8.
+//
+// Express queues (EntryBytes == 8): valid(1)=0x80 src(2) payload(5).
+
+// TryReceive is the RxU entry point: the fabric offers a wire-encoded frame.
+// It reports acceptance; refusal (Hold policy on a full queue) stalls the
+// packet's network lane until CTRL pokes the fabric.
+func (c *Ctrl) TryReceive(wire []byte) bool {
+	frame, err := txrx.Decode(wire)
+	if err != nil {
+		panic(fmt.Sprintf("ctrl: node %d received garbage: %v", c.myNode, err))
+	}
+	if frame.Kind == txrx.Cmd {
+		// Remote commands always land in the (unbounded-from-the-network's-
+		// view, firmware-bounded in practice) remote command queue.
+		c.remote.enqueue(frame)
+		return true
+	}
+	q := c.lookupRx(frame.LogicalQ)
+	if q < 0 {
+		// Unresident logical queue: divert to the miss queue.
+		c.stats.RxMisses++
+		q = c.cfg.MissQueue
+		if q < 0 {
+			c.stats.RxDrops++
+			return true
+		}
+	}
+	return c.acceptInto(q, frame)
+}
+
+// lookupRx is the cache-tag style search for a resident logical queue.
+func (c *Ctrl) lookupRx(logical uint16) int {
+	for i := 0; i < NumQueues; i++ {
+		rq := &c.rx[i]
+		if rq.cfg.Buf != nil && rq.cfg.Enabled && rq.cfg.Logical == logical {
+			return i
+		}
+	}
+	return -1
+}
+
+// acceptInto applies the full policy and, if the message is accepted,
+// schedules the RxU + IBus work that lands it in SRAM.
+func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
+	rq := &c.rx[q]
+	if rq.cfg.Buf == nil || !rq.cfg.Enabled {
+		c.stats.RxDrops++
+		return true
+	}
+	if rq.full() {
+		switch rq.cfg.Full {
+		case Drop:
+			c.stats.RxDrops++
+			return true
+		case Divert:
+			if q != c.cfg.MissQueue && c.cfg.MissQueue >= 0 {
+				c.stats.RxMisses++
+				return c.acceptInto(c.cfg.MissQueue, frame)
+			}
+			c.stats.RxDrops++
+			return true
+		default: // Hold
+			c.stats.RxHolds++
+			rq.holding = true
+			return false
+		}
+	}
+	rq.reserved++
+	ptr := rq.producer + rq.reserved - 1
+	off := SlotOffset(rq.cfg.Base, rq.cfg.EntryBytes, rq.cfg.Entries, ptr)
+	c.eng.Schedule(c.cycles(c.cfg.RxUCycles), func() {
+		c.ibusMove(rq.cfg.EntryBytes, func() {
+			if rq.cfg.Express {
+				var slot [ExpressSlotBytes]byte
+				slot[0] = 0x80
+				binary.BigEndian.PutUint16(slot[1:], frame.SrcNode)
+				n := len(frame.Payload)
+				if n > ExpressPayload {
+					n = ExpressPayload
+				}
+				copy(slot[3:], frame.Payload[:n])
+				rq.cfg.Buf.Write(off, slot[:])
+			} else {
+				slot := make([]byte, rq.cfg.EntryBytes)
+				binary.BigEndian.PutUint16(slot[0:], frame.SrcNode)
+				binary.BigEndian.PutUint16(slot[2:], frame.LogicalQ)
+				binary.BigEndian.PutUint16(slot[4:], uint16(len(frame.Payload)))
+				n := len(frame.Payload)
+				if n > rq.cfg.EntryBytes-SlotHeaderBytes {
+					panic(fmt.Sprintf("ctrl: node %d: %d-byte message for %d-byte rx%d slots",
+						c.myNode, n, rq.cfg.EntryBytes, q))
+				}
+				copy(slot[SlotHeaderBytes:], frame.Payload)
+				rq.cfg.Buf.Write(off, slot)
+			}
+			rq.reserved--
+			rq.producer++
+			c.shadowRx(q)
+			c.stats.RxMessages++
+			c.stats.RxBytes += uint64(len(frame.Payload))
+			if rq.cfg.Interrupt && c.ints != nil {
+				c.ints.RxInterrupt(q)
+			}
+		})
+	})
+	return true
+}
+
+// ReadRxSlot decodes the message at the given receive pointer (a firmware /
+// library convenience over the raw SRAM layout; callers account their own
+// access timing).
+func (c *Ctrl) ReadRxSlot(q int, ptr uint32) (src uint16, logical uint16, payload []byte) {
+	c.checkQ(q)
+	rq := &c.rx[q]
+	off := SlotOffset(rq.cfg.Base, rq.cfg.EntryBytes, rq.cfg.Entries, ptr)
+	slot := make([]byte, rq.cfg.EntryBytes)
+	rq.cfg.Buf.Read(off, slot)
+	if rq.cfg.Express {
+		return binary.BigEndian.Uint16(slot[1:]), rq.cfg.Logical, append([]byte(nil), slot[3:8]...)
+	}
+	n := int(binary.BigEndian.Uint16(slot[4:]))
+	return binary.BigEndian.Uint16(slot[0:]), binary.BigEndian.Uint16(slot[2:]),
+		append([]byte(nil), slot[SlotHeaderBytes:SlotHeaderBytes+n]...)
+}
+
+// remoteQueue executes command frames from other nodes strictly in order.
+type remoteQueue struct {
+	c     *Ctrl
+	items []*txrx.Frame
+	busy  bool
+}
+
+func newRemoteQueue(c *Ctrl) *remoteQueue { return &remoteQueue{c: c} }
+
+func (r *remoteQueue) enqueue(f *txrx.Frame) {
+	r.items = append(r.items, f)
+	r.kick()
+}
+
+func (r *remoteQueue) kick() {
+	if r.busy || len(r.items) == 0 {
+		return
+	}
+	f := r.items[0]
+	r.items = r.items[1:]
+	r.busy = true
+	r.c.stats.RemoteCmds++
+	r.c.execRemote(f, func() {
+		r.busy = false
+		r.kick()
+	})
+}
+
+// execRemote performs one remote command.
+func (c *Ctrl) execRemote(f *txrx.Frame, done func()) {
+	switch f.Op {
+	case txrx.CmdWriteDram, txrx.CmdWriteDramCls:
+		c.writeDramLines(f.Addr, f.Payload, func() {
+			if f.Op == txrx.CmdWriteDramCls {
+				c.setClsForRange(f.Addr, len(f.Payload), sram.LineState(f.Aux))
+			}
+			done()
+		})
+	case txrx.CmdSetCls:
+		c.setClsLines(f.Addr, int(f.Count), sram.LineState(f.Aux))
+		c.eng.Schedule(c.cycles(1), done)
+	case txrx.CmdNotify:
+		g := &txrx.Frame{Kind: txrx.Data, SrcNode: f.SrcNode, LogicalQ: f.Aux,
+			Payload: f.Payload}
+		q := c.lookupRx(g.LogicalQ)
+		if q < 0 {
+			c.stats.RxMisses++
+			q = c.cfg.MissQueue
+		}
+		if q >= 0 {
+			// Notify deliveries ignore Hold (they bypass via accept-or-miss:
+			// a refused notify would deadlock the remote command queue).
+			if !c.acceptInto(q, g) {
+				c.rx[q].holding = false
+				c.stats.RxDrops++
+			}
+		}
+		done()
+	case txrx.CmdWriteSram:
+		c.ibusMove(len(f.Payload), func() {
+			c.aSRAM.Write(f.Addr, f.Payload)
+			done()
+		})
+	case txrx.CmdWriteWord:
+		c.ibusMove(len(f.Payload), func() {
+			tx := &bus.Transaction{Kind: bus.WriteWord, Addr: f.Addr,
+				Data: append([]byte(nil), f.Payload...)}
+			c.busPort.IssueBusOp(tx, done)
+		})
+	default:
+		panic(fmt.Sprintf("ctrl: node %d: unknown remote command %v", c.myNode, f.Op))
+	}
+}
+
+// writeDramLines issues WriteLine bus operations for each 32-byte line of
+// data starting at addr (moving the data across the IBus first).
+func (c *Ctrl) writeDramLines(addr uint32, data []byte, done func()) {
+	if len(data)%bus.LineSize != 0 || addr%bus.LineSize != 0 {
+		panic(fmt.Sprintf("ctrl: node %d: unaligned remote DRAM write %#x+%d",
+			c.myNode, addr, len(data)))
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i*bus.LineSize >= len(data) {
+			done()
+			return
+		}
+		line := data[i*bus.LineSize : (i+1)*bus.LineSize]
+		c.ibusMove(bus.LineSize, func() {
+			tx := &bus.Transaction{Kind: bus.WriteLine, Addr: addr + uint32(i*bus.LineSize),
+				Data: line}
+			c.busPort.IssueBusOp(tx, func() { step(i + 1) })
+		})
+	}
+	step(0)
+}
+
+// setClsForRange updates clsSRAM states for the lines covered by
+// [addr, addr+n) — the approach-5 aBIU extension.
+func (c *Ctrl) setClsForRange(addr uint32, n int, st sram.LineState) {
+	c.setClsLines(addr, (n+bus.LineSize-1)/bus.LineSize, st)
+}
+
+func (c *Ctrl) setClsLines(addr uint32, count int, st sram.LineState) {
+	if c.cls == nil || !c.cfg.ScomaRange.Contains(addr) {
+		return
+	}
+	first := int(c.cfg.ScomaRange.Offset(addr)) / bus.LineSize
+	c.cls.SetRange(first, first+count, st)
+}

@@ -1,0 +1,329 @@
+package ctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/niu/txrx"
+)
+
+// Transmit slot format (software composes this into the queue's SRAM slot):
+//
+//	bytes 0-1  destination (virtual; physical node when the raw flag is set)
+//	byte  2    flags (see Slot* constants)
+//	byte  3    inline payload length
+//	bytes 4-6  TagOn SRAM offset (24-bit)     | raw: bytes 4-5 logical queue
+//	byte  7    TagOn length in 16-byte units (0..5, i.e. up to 2.5 lines)
+//	bytes 8+   inline payload; for command frames: addr(4) aux(2) count(2)
+//	           then payload from byte 16
+//
+// Express queues use an 8-byte slot composed by the aBIU from a single
+// uncached store: dest(2) len(1) payload(5).
+const (
+	SlotFlagTagOn    = 1 << 0 // append TagOn data from SRAM
+	SlotFlagRaw      = 1 << 1 // bypass translation (dest is physical)
+	SlotFlagHighPri  = 1 << 2 // raw messages: use the high-priority network lane
+	SlotFlagCmd      = 1 << 3 // payload encodes a remote command frame
+	SlotFlagTagASram = 1 << 4 // TagOn data lives in aSRAM (else sSRAM)
+)
+
+// ExpressSlotBytes is the express queue entry size.
+const ExpressSlotBytes = 8
+
+// ExpressPayload is the express message payload size (one five-byte word).
+const ExpressPayload = 5
+
+// kickTx starts the transmit arbiter if it is idle.
+func (c *Ctrl) kickTx() {
+	if c.txBusy {
+		return
+	}
+	q := c.pickTx()
+	if q < 0 {
+		return
+	}
+	c.txBusy = true
+	c.launchFrom(q)
+}
+
+// pickTx selects the next transmit queue: best (lowest) priority class wins;
+// round-robin within the class.
+func (c *Ctrl) pickTx() int {
+	best, bestPri := -1, 0
+	for i := 0; i < NumQueues; i++ {
+		q := (c.txRR + 1 + i) % NumQueues
+		tq := &c.tx[q]
+		if tq.cfg.Buf == nil || !tq.cfg.Enabled || tq.shutdown || tq.parked ||
+			tq.pending() == 0 {
+			continue
+		}
+		if best < 0 || tq.cfg.Priority < bestPri {
+			best, bestPri = q, tq.cfg.Priority
+		}
+	}
+	return best
+}
+
+// launchFrom reads, translates and launches the head message of queue q,
+// then re-arms the arbiter.
+func (c *Ctrl) launchFrom(q int) {
+	tq := &c.tx[q]
+	off := SlotOffset(tq.cfg.Base, tq.cfg.EntryBytes, tq.cfg.Entries, tq.consumer)
+	slot := make([]byte, tq.cfg.EntryBytes)
+	// Pull the slot across the IBus.
+	c.ibusMove(tq.cfg.EntryBytes, func() {
+		tq.cfg.Buf.Read(off, slot)
+		if tq.cfg.Express {
+			c.launchExpress(q, slot)
+			return
+		}
+		c.launchBasic(q, slot)
+	})
+}
+
+func (c *Ctrl) launchExpress(q int, slot []byte) {
+	dest := binary.BigEndian.Uint16(slot[0:])
+	n := int(slot[2])
+	if n > ExpressPayload {
+		n = ExpressPayload
+	}
+	frame := &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
+		Payload: append([]byte(nil), slot[3:3+n]...)}
+	c.translateAndSend(q, dest, true, arctic.Low, frame)
+}
+
+func (c *Ctrl) launchBasic(q int, slot []byte) {
+	tq := &c.tx[q]
+	dest := binary.BigEndian.Uint16(slot[0:])
+	flags := slot[2]
+	n := int(slot[3])
+	payloadMax := tq.cfg.EntryBytes - SlotHeaderBytes
+	if flags&SlotFlagCmd != 0 {
+		payloadMax -= 8
+	}
+	if n > payloadMax {
+		c.violate(q)
+		return
+	}
+	var frame *txrx.Frame
+	if flags&SlotFlagCmd != 0 {
+		// Command frames reuse the TagOn field (bytes 4-5) for the op;
+		// TagOn and command framing are mutually exclusive.
+		frame = &txrx.Frame{
+			Kind:    txrx.Cmd,
+			SrcNode: uint16(c.myNode),
+			Op:      txrx.CmdOp(binary.BigEndian.Uint16(slot[4:])),
+			Addr:    binary.BigEndian.Uint32(slot[8:]),
+			Aux:     binary.BigEndian.Uint16(slot[12:]),
+			Count:   binary.BigEndian.Uint16(slot[14:]),
+			Payload: append([]byte(nil), slot[16:16+n]...),
+		}
+	} else {
+		frame = &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
+			Payload: append([]byte(nil), slot[8:8+n]...)}
+	}
+
+	finish := func() {
+		translate := tq.cfg.Translate && flags&SlotFlagRaw == 0
+		if flags&SlotFlagRaw != 0 && !tq.cfg.RawAllowed {
+			c.violate(q)
+			return
+		}
+		pri := arctic.Low
+		if flags&SlotFlagHighPri != 0 {
+			pri = arctic.High
+		}
+		if !translate {
+			frame.LogicalQ = binary.BigEndian.Uint16(slot[4:])
+		}
+		c.translateAndSend(q, dest, translate, pri, frame)
+	}
+
+	if flags&SlotFlagTagOn != 0 {
+		tagOff := uint32(slot[4])<<16 | uint32(slot[5])<<8 | uint32(slot[6])
+		tagLen := int(slot[7]) * 16
+		if tagLen > 0 {
+			bank := c.sSRAM
+			if flags&SlotFlagTagASram != 0 {
+				bank = c.aSRAM
+			}
+			if len(frame.Payload)+tagLen > txrx.MaxDataPayload || frame.Kind == txrx.Cmd {
+				c.violate(q)
+				return
+			}
+			c.stats.TagOns++
+			// Pull the TagOn data across the IBus and append it.
+			c.ibusMove(tagLen, func() {
+				frame.Payload = append(frame.Payload, bank.Slice(tagOff, tagLen)...)
+				finish()
+			})
+			return
+		}
+	}
+	finish()
+}
+
+// translateAndSend applies destination translation and protection, then
+// hands the frame to the TxU.
+func (c *Ctrl) translateAndSend(q int, dest uint16, translate bool, pri arctic.Priority, frame *txrx.Frame) {
+	tq := &c.tx[q]
+	send := func(phys uint16, pri arctic.Priority) {
+		if tq.cfg.AllowedDests>>(phys%64)&1 == 0 {
+			c.violate(q)
+			return
+		}
+		if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
+			// The lane is backpressured: park this queue (its head will be
+			// re-read and relaunched when room returns) and let queues
+			// bound for the other lane keep launching.
+			tq.parked = true
+			tq.parkedPri = pri
+			c.txBusy = false
+			c.kickTx()
+			return
+		}
+		c.emit(frame, int(phys), pri, func() {
+			tq.consumer++
+			c.shadowTx(q)
+			c.stats.TxMessages++
+			c.stats.TxBytes += uint64(len(frame.Payload))
+			c.txRR = q
+			c.txBusy = false
+			c.kickTx()
+		})
+	}
+	if !translate {
+		send(dest, pri)
+		return
+	}
+	idx := int(dest&tq.cfg.AndMask|tq.cfg.OrMask) % c.cfg.TransTableEntries
+	// Translation table lookup crosses the IBus (one 8-byte entry).
+	c.ibusMove(8, func() {
+		e := c.readTransEntry(idx)
+		if !e.Valid {
+			c.violate(q)
+			return
+		}
+		frame.LogicalQ = e.LogicalQ
+		send(e.PhysNode, e.Priority)
+	})
+}
+
+// pendingEmit is a launch deferred by fabric backpressure.
+type pendingEmit struct {
+	wire []byte
+	phys int
+	pri  arctic.Priority
+	done func()
+}
+
+// emit runs the TxU formatting and injects the encoded frame. When the
+// fabric's injection buffering is full, the launch (and everything behind
+// it) waits until the fabric signals readiness — finite network buffering
+// propagates backpressure into the NIU and from there to software.
+func (c *Ctrl) emit(frame *txrx.Frame, phys int, pri arctic.Priority, done func()) {
+	wire, err := txrx.Encode(frame)
+	if err != nil {
+		panic(fmt.Sprintf("ctrl: node %d: %v", c.myNode, err))
+	}
+	if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
+		c.emitPending[pri] = append(c.emitPending[pri], pendingEmit{wire, phys, pri, done})
+		return
+	}
+	c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
+		c.net.Inject(phys, pri, wire)
+		done()
+	})
+}
+
+// NetReady drains deferred launches; the node's fabric adapter calls it
+// whenever injection room returns on any lane.
+func (c *Ctrl) NetReady() {
+	for pri := arctic.Priority(0); pri < 2; pri++ {
+		for len(c.emitPending[pri]) > 0 && c.net.Ready(pri) {
+			pe := c.emitPending[pri][0]
+			c.emitPending[pri] = c.emitPending[pri][1:]
+			c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
+				c.net.Inject(pe.phys, pe.pri, pe.wire)
+				pe.done()
+			})
+		}
+	}
+	unparked := false
+	for q := range c.tx {
+		tq := &c.tx[q]
+		if tq.parked && len(c.emitPending[tq.parkedPri]) == 0 && c.net.Ready(tq.parkedPri) {
+			tq.parked = false
+			unparked = true
+		}
+	}
+	if unparked {
+		c.kickTx()
+	}
+}
+
+// violate shuts down queue q and raises the protection interrupt. The
+// offending message is left at the head of the queue for firmware to
+// inspect; the queue stops launching until re-enabled.
+func (c *Ctrl) violate(q int) {
+	tq := &c.tx[q]
+	tq.shutdown = true
+	tq.cfg.Enabled = false
+	c.stats.ProtViolations++
+	c.txBusy = false
+	if c.ints != nil {
+		c.ints.ProtViolation(q)
+	}
+	c.kickTx()
+}
+
+// ExpressCompose is the hardware path the aBIU uses to build and launch an
+// express message from a single uncached store: it writes the 8-byte slot
+// through CTRL into SRAM and bumps the producer pointer, all without
+// processor involvement beyond the original store.
+func (c *Ctrl) ExpressCompose(q int, dest uint16, payload []byte) {
+	c.checkQ(q)
+	tq := &c.tx[q]
+	if !tq.cfg.Express {
+		panic(fmt.Sprintf("ctrl: tx%d is not an express queue", q))
+	}
+	if len(payload) > ExpressPayload {
+		payload = payload[:ExpressPayload]
+	}
+	if tq.pending() >= uint32(tq.cfg.Entries) {
+		// Full express queue: the store is dropped on the floor; the
+		// library-level protocol (paper: "single uncached store") relies on
+		// software pacing. Count it for visibility.
+		c.stats.RxDrops++
+		return
+	}
+	slot := make([]byte, ExpressSlotBytes)
+	binary.BigEndian.PutUint16(slot[0:], dest)
+	slot[2] = byte(len(payload))
+	copy(slot[3:], payload)
+	off := SlotOffset(tq.cfg.Base, tq.cfg.EntryBytes, tq.cfg.Entries, tq.producer)
+	c.ibusMove(ExpressSlotBytes, func() {
+		tq.cfg.Buf.Write(off, slot)
+		c.TxProducerUpdate(q, tq.producer+1)
+	})
+}
+
+// ExpressReceive is the hardware path for the uncached load that receives an
+// express message: it returns the slot word and frees the buffer. The result
+// word layout is valid(1) src(2) payload(5); a canonical empty message (all
+// zeros) is returned when no message is pending.
+func (c *Ctrl) ExpressReceive(q int) [8]byte {
+	c.checkQ(q)
+	rq := &c.rx[q]
+	var out [8]byte
+	if rq.producer == rq.consumer {
+		return out
+	}
+	off := SlotOffset(rq.cfg.Base, rq.cfg.EntryBytes, rq.cfg.Entries, rq.consumer)
+	var slot [ExpressSlotBytes]byte
+	rq.cfg.Buf.Read(off, slot[:])
+	copy(out[:], slot[:])
+	c.RxConsumerUpdate(q, rq.consumer+1)
+	return out
+}

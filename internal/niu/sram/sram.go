@@ -1,0 +1,137 @@
+// Package sram models the NIU's buffer memories: the two dual-ported banks
+// (aSRAM on the aP bus side, sSRAM on the sP side, both also ported to the
+// IBus) and the single-ported clsSRAM that holds cache-line state bits for
+// S-COMA memory.
+//
+// Port contention is not modeled here: the IBus (a sim.Resource owned by
+// CTRL) is the serialization point for all NIU-internal data movement, and
+// the 60X buses serialize processor-side accesses, matching the dual-ported
+// parts' ability to serve both sides concurrently.
+package sram
+
+import "fmt"
+
+// SRAM is a byte-addressed buffer memory.
+type SRAM struct {
+	name string
+	data []byte
+}
+
+// New allocates an SRAM of size bytes.
+func New(name string, size int) *SRAM {
+	return &SRAM{name: name, data: make([]byte, size)}
+}
+
+// Name returns the bank's name ("aSRAM", "sSRAM").
+func (s *SRAM) Name() string { return s.name }
+
+// Size returns the bank capacity in bytes.
+func (s *SRAM) Size() int { return len(s.data) }
+
+// Read copies len(buf) bytes at off into buf.
+func (s *SRAM) Read(off uint32, buf []byte) {
+	s.check(off, len(buf))
+	copy(buf, s.data[off:])
+}
+
+// Write copies data into the bank at off.
+func (s *SRAM) Write(off uint32, data []byte) {
+	s.check(off, len(data))
+	copy(s.data[off:], data)
+}
+
+// ByteAt returns the byte at off.
+func (s *SRAM) ByteAt(off uint32) byte {
+	s.check(off, 1)
+	return s.data[off]
+}
+
+// Slice returns a view of [off, off+n) for zero-copy internal moves. Callers
+// must not retain it across writes they do not control.
+func (s *SRAM) Slice(off uint32, n int) []byte {
+	s.check(off, n)
+	return s.data[off : off+uint32(n)]
+}
+
+func (s *SRAM) check(off uint32, n int) {
+	if uint64(off)+uint64(n) > uint64(len(s.data)) {
+		panic(fmt.Sprintf("sram: %s access %#x+%d beyond size %#x", s.name, off, n, len(s.data)))
+	}
+}
+
+// LineState is a 4-bit S-COMA cache-line state stored in clsSRAM. The NIU
+// interprets states through the aBIU's action table, so the encoding itself
+// carries no fixed meaning to the hardware — these named values are the
+// convention used by the default S-COMA firmware protocol.
+type LineState uint8
+
+// Default S-COMA state encoding.
+const (
+	// CLInvalid: line not present locally; reads and writes must stall.
+	CLInvalid LineState = 0
+	// CLPending: a fill has been requested; stall without re-notifying sP.
+	CLPending LineState = 1
+	// CLReadOnly: local copy valid for reads; writes must upgrade.
+	CLReadOnly LineState = 2
+	// CLReadWrite: local copy exclusive; all accesses proceed.
+	CLReadWrite LineState = 3
+)
+
+// String names the default states.
+func (s LineState) String() string {
+	switch s {
+	case CLInvalid:
+		return "inv"
+	case CLPending:
+		return "pend"
+	case CLReadOnly:
+		return "ro"
+	case CLReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("state%d", uint8(s))
+	}
+}
+
+// Cls is the clsSRAM: one 4-bit state per 32-byte cache line of the S-COMA
+// region. It is read combinationally by the aBIU on every aP bus operation
+// and written under sP (or, in approach 5, block-unit) control.
+type Cls struct {
+	states []LineState
+}
+
+// NewCls sizes the state memory for the given number of cache lines.
+func NewCls(lines int) *Cls {
+	return &Cls{states: make([]LineState, lines)}
+}
+
+// Lines returns the number of tracked lines.
+func (c *Cls) Lines() int { return len(c.states) }
+
+// Get returns the state for line idx.
+func (c *Cls) Get(idx int) LineState {
+	c.check(idx)
+	return c.states[idx]
+}
+
+// Set stores the state for line idx.
+func (c *Cls) Set(idx int, st LineState) {
+	c.check(idx)
+	if st > 15 {
+		panic(fmt.Sprintf("sram: clsSRAM state %d exceeds 4 bits", st))
+	}
+	c.states[idx] = st
+}
+
+// SetRange stores st for lines [from, to).
+func (c *Cls) SetRange(from, to int, st LineState) {
+	for i := from; i < to; i++ {
+		c.Set(i, st)
+	}
+}
+
+func (c *Cls) check(idx int) {
+	if idx < 0 || idx >= len(c.states) {
+		panic(fmt.Sprintf("sram: clsSRAM line %d out of range %d", idx, len(c.states)))
+	}
+}

@@ -1,0 +1,162 @@
+// Package txrx implements the TxU/RxU datapath formatting: the wire encoding
+// of NIU messages into Arctic packet payloads and back. Two frame kinds
+// exist, mirroring the paper's receive-side demultiplexing: data frames are
+// steered to a logical receive queue, command frames are enqueued on the
+// destination NIU's remote command queue and executed by CTRL without
+// firmware involvement.
+package txrx
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"startvoyager/internal/arctic"
+)
+
+// Frame sizes. A data frame is an 8-byte header plus up to 88 payload bytes,
+// filling Arctic's 96-byte maximum packet; command frames carry a larger
+// header (target address and auxiliary field) and correspondingly less data.
+const (
+	DataHeaderBytes = 8
+	CmdHeaderBytes  = 16
+	MaxDataPayload  = arctic.MaxPacketBytes - DataHeaderBytes // 88
+	MaxCmdPayload   = arctic.MaxPacketBytes - CmdHeaderBytes  // 80
+)
+
+// Kind distinguishes frame types.
+type Kind uint8
+
+const (
+	// Data frames deliver payload to a logical receive queue.
+	Data Kind = iota
+	// Cmd frames carry a remote command for the destination CTRL.
+	Cmd
+)
+
+// CmdOp enumerates remote commands executed by the destination's CTRL.
+type CmdOp uint16
+
+const (
+	// CmdWriteDram writes the payload into destination DRAM at Addr (payload
+	// must be whole, aligned 32-byte lines).
+	CmdWriteDram CmdOp = iota
+	// CmdWriteDramCls is CmdWriteDram plus a clsSRAM state update for the
+	// written lines (state in Aux) — the aBIU extension of approach 5.
+	CmdWriteDramCls
+	// CmdSetCls sets the clsSRAM state (Aux) for the Count lines starting at
+	// the S-COMA line containing Addr.
+	CmdSetCls
+	// CmdNotify delivers the payload as a data message to logical queue Aux.
+	CmdNotify
+	// CmdWriteSram writes the payload into destination aSRAM at Addr.
+	CmdWriteSram
+	// CmdWriteWord writes the payload (1..8 bytes, within one beat) into
+	// destination DRAM at Addr with a single word bus operation — used by
+	// reflective-memory propagation of uncached stores.
+	CmdWriteWord
+)
+
+// String names the command op.
+func (op CmdOp) String() string {
+	switch op {
+	case CmdWriteDram:
+		return "WriteDram"
+	case CmdWriteDramCls:
+		return "WriteDramCls"
+	case CmdSetCls:
+		return "SetCls"
+	case CmdNotify:
+		return "Notify"
+	case CmdWriteSram:
+		return "WriteSram"
+	case CmdWriteWord:
+		return "WriteWord"
+	default:
+		return fmt.Sprintf("CmdOp(%d)", uint16(op))
+	}
+}
+
+// Frame is one decoded NIU message.
+type Frame struct {
+	Kind     Kind
+	SrcNode  uint16
+	LogicalQ uint16 // data frames: destination logical receive queue
+	Payload  []byte
+
+	// Command-frame fields.
+	Op    CmdOp
+	Addr  uint32
+	Aux   uint16
+	Count uint16
+}
+
+// WireSize returns the encoded size in bytes (== the Arctic packet size).
+func (f *Frame) WireSize() int {
+	if f.Kind == Cmd {
+		return CmdHeaderBytes + len(f.Payload)
+	}
+	return DataHeaderBytes + len(f.Payload)
+}
+
+// Encode serializes the frame to wire bytes.
+func Encode(f *Frame) ([]byte, error) {
+	switch f.Kind {
+	case Data:
+		if len(f.Payload) > MaxDataPayload {
+			return nil, fmt.Errorf("txrx: data payload %d exceeds %d", len(f.Payload), MaxDataPayload)
+		}
+		b := make([]byte, DataHeaderBytes+len(f.Payload))
+		b[0] = byte(Data)
+		binary.BigEndian.PutUint16(b[2:], f.SrcNode)
+		binary.BigEndian.PutUint16(b[4:], f.LogicalQ)
+		binary.BigEndian.PutUint16(b[6:], uint16(len(f.Payload)))
+		copy(b[DataHeaderBytes:], f.Payload)
+		return b, nil
+	case Cmd:
+		if len(f.Payload) > MaxCmdPayload {
+			return nil, fmt.Errorf("txrx: cmd payload %d exceeds %d", len(f.Payload), MaxCmdPayload)
+		}
+		b := make([]byte, CmdHeaderBytes+len(f.Payload))
+		b[0] = byte(Cmd)
+		binary.BigEndian.PutUint16(b[2:], f.SrcNode)
+		binary.BigEndian.PutUint16(b[4:], uint16(f.Op))
+		binary.BigEndian.PutUint16(b[6:], uint16(len(f.Payload)))
+		binary.BigEndian.PutUint32(b[8:], f.Addr)
+		binary.BigEndian.PutUint16(b[12:], f.Aux)
+		binary.BigEndian.PutUint16(b[14:], f.Count)
+		copy(b[CmdHeaderBytes:], f.Payload)
+		return b, nil
+	default:
+		return nil, fmt.Errorf("txrx: unknown frame kind %d", f.Kind)
+	}
+}
+
+// Decode parses wire bytes back into a frame.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < DataHeaderBytes {
+		return nil, fmt.Errorf("txrx: frame of %d bytes too short", len(b))
+	}
+	f := &Frame{Kind: Kind(b[0]), SrcNode: binary.BigEndian.Uint16(b[2:])}
+	n := int(binary.BigEndian.Uint16(b[6:]))
+	switch f.Kind {
+	case Data:
+		if len(b) != DataHeaderBytes+n {
+			return nil, fmt.Errorf("txrx: data frame length %d, header says %d", len(b), n)
+		}
+		f.LogicalQ = binary.BigEndian.Uint16(b[4:])
+		f.Payload = append([]byte(nil), b[DataHeaderBytes:]...)
+		return f, nil
+	case Cmd:
+		if len(b) < CmdHeaderBytes || len(b) != CmdHeaderBytes+n {
+			return nil, fmt.Errorf("txrx: cmd frame length %d, header says %d", len(b), n)
+		}
+		f.Op = CmdOp(binary.BigEndian.Uint16(b[4:]))
+		f.Addr = binary.BigEndian.Uint32(b[8:])
+		f.Aux = binary.BigEndian.Uint16(b[12:])
+		f.Count = binary.BigEndian.Uint16(b[14:])
+		f.Payload = append([]byte(nil), b[CmdHeaderBytes:]...)
+		return f, nil
+	default:
+		return nil, fmt.Errorf("txrx: unknown frame kind %d", b[0])
+	}
+}

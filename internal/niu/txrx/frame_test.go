@@ -1,0 +1,138 @@
+package txrx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"startvoyager/internal/arctic"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	f := &Frame{Kind: Data, SrcNode: 7, LogicalQ: 300, Payload: []byte("hello")}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != f.WireSize() || len(b) != DataHeaderBytes+5 {
+		t.Fatalf("wire size %d", len(b))
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != Data || g.SrcNode != 7 || g.LogicalQ != 300 || !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatalf("decoded %+v", g)
+	}
+}
+
+func TestCmdRoundTrip(t *testing.T) {
+	f := &Frame{Kind: Cmd, SrcNode: 3, Op: CmdWriteDramCls, Addr: 0x12345678,
+		Aux: 2, Count: 4, Payload: make([]byte, 64)}
+	b, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Op != CmdWriteDramCls || g.Addr != 0x12345678 || g.Aux != 2 || g.Count != 4 ||
+		len(g.Payload) != 64 {
+		t.Fatalf("decoded %+v", g)
+	}
+}
+
+func TestMaxSizesFitArctic(t *testing.T) {
+	d := &Frame{Kind: Data, Payload: make([]byte, MaxDataPayload)}
+	b, err := Encode(d)
+	if err != nil || len(b) != arctic.MaxPacketBytes {
+		t.Fatalf("max data frame: %d bytes, err %v", len(b), err)
+	}
+	c := &Frame{Kind: Cmd, Payload: make([]byte, MaxCmdPayload)}
+	b, err = Encode(c)
+	if err != nil || len(b) != arctic.MaxPacketBytes {
+		t.Fatalf("max cmd frame: %d bytes, err %v", len(b), err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	if _, err := Encode(&Frame{Kind: Data, Payload: make([]byte, MaxDataPayload+1)}); err == nil {
+		t.Fatal("oversize data accepted")
+	}
+	if _, err := Encode(&Frame{Kind: Cmd, Payload: make([]byte, MaxCmdPayload+1)}); err == nil {
+		t.Fatal("oversize cmd accepted")
+	}
+	if _, err := Encode(&Frame{Kind: Kind(9)}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},                      // too short
+		{9, 0, 0, 0, 0, 0, 0, 0}, // bad kind
+		{0, 0, 0, 0, 0, 0, 0, 5}, // data length mismatch
+		{1, 0, 0, 0, 0, 0, 0, 0}, // cmd too short for cmd header
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: decoded garbage", i)
+		}
+	}
+}
+
+func TestCmdOpString(t *testing.T) {
+	for op, want := range map[CmdOp]string{
+		CmdWriteDram: "WriteDram", CmdWriteDramCls: "WriteDramCls",
+		CmdSetCls: "SetCls", CmdNotify: "Notify", CmdWriteSram: "WriteSram",
+		CmdWriteWord: "WriteWord",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}
+
+// Property: Encode/Decode is the identity on valid frames.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kind bool, src, lq, aux, count uint16, addr uint32, op uint8, payload []byte) bool {
+		fr := &Frame{SrcNode: src}
+		if kind {
+			fr.Kind = Data
+			fr.LogicalQ = lq
+			if len(payload) > MaxDataPayload {
+				payload = payload[:MaxDataPayload]
+			}
+		} else {
+			fr.Kind = Cmd
+			fr.Op = CmdOp(op % 6)
+			fr.Addr = addr
+			fr.Aux = aux
+			fr.Count = count
+			if len(payload) > MaxCmdPayload {
+				payload = payload[:MaxCmdPayload]
+			}
+		}
+		fr.Payload = payload
+		b, err := Encode(fr)
+		if err != nil {
+			return false
+		}
+		g, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		if g.Kind != fr.Kind || g.SrcNode != fr.SrcNode || !bytes.Equal(g.Payload, fr.Payload) {
+			return false
+		}
+		if fr.Kind == Data {
+			return g.LogicalQ == fr.LogicalQ
+		}
+		return g.Op == fr.Op && g.Addr == fr.Addr && g.Aux == fr.Aux && g.Count == fr.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

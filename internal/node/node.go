@@ -1,0 +1,299 @@
+// Package node assembles one StarT-Voyager node: the stock SMP half (aP
+// cache, DRAM, 60X bus) plus the NIU occupying the second processor slot
+// (aBIU/sBIU, CTRL, SRAMs, TxU/RxU wiring, and the sP firmware engine), with
+// the standard address map and queue layout used by the default software.
+package node
+
+import (
+	"fmt"
+
+	"startvoyager/internal/arctic"
+	"startvoyager/internal/bus"
+	"startvoyager/internal/cache"
+	"startvoyager/internal/firmware"
+	"startvoyager/internal/mem"
+	"startvoyager/internal/niu/biu"
+	"startvoyager/internal/niu/ctrl"
+	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
+)
+
+// The standard physical address map (identical on every node).
+const (
+	DramBase = 0x0000_0000
+
+	NumaBase = 0x4000_0000 // remote-memory window
+	NumaSize = 0x1000_0000 // 256 MB modeled window (paper: 1 GB region)
+
+	ScomaBase = 0x8000_0000
+
+	ReflectBase = 0xA000_0000 // reflective-memory window
+
+	SramBase = 0xF000_0000 // aSRAM direct map
+	PtrBase  = 0xF010_0000 // pointer update/poll region
+	ExTxBase = 0xF020_0000 // express transmit region
+	ExRxBase = 0xF030_0000 // express receive region
+	ExTxSize = 1 << 19
+	PtrSize  = 4 << 10
+	ExRxSize = 4 << 10
+)
+
+// Hardware queue assignments (the default software convention).
+const (
+	TxBasic   = 0 // aP basic transmit queue
+	TxExpress = 1 // aP express transmit queue
+
+	RxBasic   = 0  // aP basic receive queue
+	RxExpress = 1  // aP express receive queue
+	RxNotify  = 2  // completion notifications (DMA, block transfer)
+	RxSvc     = 13 // sP service queue (interrupting)
+	RxMiss    = 14 // miss/overflow queue (interrupting)
+)
+
+// Logical receive queue numbers (network-visible names).
+const (
+	LqBasic   uint16 = 0x0001
+	LqExpress uint16 = 0x0002
+	LqNotify         = firmware.NotifyLogicalQ
+)
+
+// Translation table index bases: entry (base + node) routes to that node's
+// corresponding queue.
+const (
+	TransBasic   = 0
+	TransExpress = 64
+	TransSvc     = 128
+	TransNotify  = 192
+)
+
+// Queue geometry.
+const (
+	BasicSlotBytes = 96
+	BasicEntries   = 16
+	ExpressEntries = 32
+	SvcEntries     = 64
+)
+
+// aSRAM layout.
+const (
+	shadowBase       = 0x0000 // 16 tx + 16 rx shadow pairs (8 bytes each)
+	SramTxBasicBuf   = 0x0200
+	SramTxExpressBuf = SramTxBasicBuf + BasicSlotBytes*BasicEntries
+	SramRxBasicBuf   = SramTxExpressBuf + ctrl.ExpressSlotBytes*ExpressEntries
+	SramRxExpressBuf = SramRxBasicBuf + BasicSlotBytes*BasicEntries
+	SramRxNotifyBuf  = SramRxExpressBuf + ctrl.ExpressSlotBytes*ExpressEntries
+	// UserASram is the first aSRAM offset free for applications (TagOn
+	// payloads, experiment staging).
+	UserASram = SramRxNotifyBuf + BasicSlotBytes*BasicEntries
+
+	// DmaStagingOff and DmaStagingLen place the firmware DMA staging area
+	// at the top of the aSRAM.
+	DmaStagingLen = 8 << 10
+)
+
+// sSRAM layout.
+const (
+	transTableBase = 0x0000 // 256 entries * 8 bytes
+	sShadowBase    = 0x0800
+	svcBuf         = 0x1000
+	missBuf        = svcBuf + BasicSlotBytes*SvcEntries
+	// UserSSram is the first sSRAM offset free for firmware extensions.
+	UserSSram = missBuf + BasicSlotBytes*SvcEntries
+)
+
+// Config holds per-node construction parameters.
+type Config struct {
+	Bus         bus.Config
+	Cache       cache.Config
+	Ctrl        ctrl.Config
+	Biu         biu.Config
+	Costs       firmware.Costs
+	DramSize    uint32   // default 16 MB
+	DramLat     sim.Time // default 60 ns
+	ASramSize   int      // default 128 KB
+	SSramSize   int      // default 128 KB
+	ScomaSize   uint32   // S-COMA window size (0 disables S-COMA)
+	ReflectSize uint32   // reflective-memory window size (0 disables)
+	NumNodes    int      // cluster size (for S-COMA/NUMA layout)
+}
+
+func (c *Config) fillDefaults() {
+	if c.DramSize == 0 {
+		c.DramSize = 16 << 20
+	}
+	if c.DramLat == 0 {
+		c.DramLat = 60
+	}
+	if c.ASramSize == 0 {
+		c.ASramSize = 128 << 10
+	}
+	if c.SSramSize == 0 {
+		c.SSramSize = 128 << 10
+	}
+	if c.NumNodes == 0 {
+		c.NumNodes = 1
+	}
+}
+
+// Node is one assembled StarT-Voyager node.
+type Node struct {
+	ID  int
+	Eng *sim.Engine
+
+	Bus   *bus.Bus
+	Dram  *mem.DRAM
+	Cache *cache.Cache
+
+	ASram   *sram.SRAM
+	SSram   *sram.SRAM
+	ClsSram *sram.Cls
+	Ctrl    *ctrl.Ctrl
+	ABIU    *biu.ABIU
+	SBIU    *biu.SBIU
+	FW      *firmware.Engine
+
+	Map biu.Map
+	cfg Config
+
+	// APMeter accrues application-processor occupancy (started/stopped by
+	// the core library around aP activity).
+	APMeter *stats.Meter
+
+	fabric arctic.Fabric
+}
+
+// New builds a node (queues unconfigured; see SetupDefaultQueues).
+func New(eng *sim.Engine, id int, fabric arctic.Fabric, cfg Config) *Node {
+	cfg.fillDefaults()
+	n := &Node{ID: id, Eng: eng, cfg: cfg, fabric: fabric,
+		APMeter: stats.NewMeter(eng, fmt.Sprintf("aP%d", id))}
+
+	n.Bus = bus.New(eng, fmt.Sprintf("bus%d", id), cfg.Bus)
+	n.Dram = mem.New(bus.Range{Base: DramBase, Size: cfg.DramSize}, cfg.DramLat)
+	n.Cache = cache.New(fmt.Sprintf("l2-%d", id), n.Bus, cfg.Cache)
+	n.Cache.SetWritebackSink(n.Dram.Poke)
+
+	n.ASram = sram.New(fmt.Sprintf("aSRAM%d", id), cfg.ASramSize)
+	n.SSram = sram.New(fmt.Sprintf("sSRAM%d", id), cfg.SSramSize)
+
+	n.Map = biu.Map{
+		Sram:      bus.Range{Base: SramBase, Size: uint32(cfg.ASramSize)},
+		Ptr:       bus.Range{Base: PtrBase, Size: PtrSize},
+		ExpressTx: bus.Range{Base: ExTxBase, Size: ExTxSize},
+		ExpressRx: bus.Range{Base: ExRxBase, Size: ExRxSize},
+		Numa:      bus.Range{Base: NumaBase, Size: NumaSize},
+		Scoma:     bus.Range{Base: ScomaBase, Size: cfg.ScomaSize},
+		Reflect:   bus.Range{Base: ReflectBase, Size: cfg.ReflectSize},
+	}
+
+	ctrlCfg := cfg.Ctrl // remaining zero fields are filled by ctrl defaults
+	ctrlCfg.TransTableBase = transTableBase
+	ctrlCfg.MissQueue = RxMiss
+	ctrlCfg.ScomaRange = n.Map.Scoma
+	if cfg.ScomaSize > 0 {
+		n.ClsSram = sram.NewCls(int(cfg.ScomaSize) / bus.LineSize)
+		// Back the S-COMA window with frames at the top of DRAM.
+		n.Dram.AddAlias(n.Map.Scoma, cfg.DramSize-cfg.ScomaSize)
+	} else {
+		n.ClsSram = sram.NewCls(1)
+	}
+	if cfg.ReflectSize > 0 {
+		// Back the reflective window with frames below the S-COMA frames.
+		n.Dram.AddAlias(n.Map.Reflect, cfg.DramSize-cfg.ScomaSize-cfg.ReflectSize)
+	}
+	n.Ctrl = ctrl.New(eng, id, n.ASram, n.SSram, n.ClsSram, ctrlCfg)
+	n.ABIU = biu.NewABIU(eng, id, n.Bus, n.Ctrl, n.ASram, n.ClsSram, n.Map, cfg.Biu)
+	n.SBIU = biu.NewSBIU(n.ABIU, n.Ctrl)
+	n.FW = firmware.New(eng, id, n.SBIU, RxSvc, RxMiss, cfg.Costs)
+
+	n.Ctrl.SetPorts(n.ABIU, &netAdapter{n: n}, n.FW)
+	n.Bus.Attach(n.Dram)
+	n.Bus.Attach(n.Cache)
+	n.Bus.Attach(n.ABIU)
+	fabric.Attach(id, &netAdapter{n: n})
+	fabric.SetReadyHook(id, n.Ctrl.NetReady)
+	return n
+}
+
+// netAdapter bridges CTRL's NetPort to the Arctic fabric and the fabric's
+// Endpoint back into CTRL (the TxU/RxU wiring).
+type netAdapter struct{ n *Node }
+
+func (a *netAdapter) Inject(dst int, pri arctic.Priority, wire []byte) {
+	a.n.fabric.Inject(&arctic.Packet{
+		Src: a.n.ID, Dst: dst, Priority: pri, Size: len(wire), Payload: wire,
+	})
+}
+
+func (a *netAdapter) Poke() { a.n.fabric.Poke(a.n.ID) }
+
+func (a *netAdapter) Ready(pri arctic.Priority) bool { return a.n.fabric.InjectReady(a.n.ID, pri) }
+
+func (a *netAdapter) TryDeliver(pkt *arctic.Packet) bool {
+	return a.n.Ctrl.TryReceive(pkt.Payload.([]byte))
+}
+
+// ScomaWindow returns the S-COMA window range.
+func (n *Node) ScomaWindow() bus.Range { return n.Map.Scoma }
+
+// DmaStagingOff returns the aSRAM offset of the DMA staging area.
+func (n *Node) DmaStagingOff() uint32 { return uint32(n.cfg.ASramSize - DmaStagingLen) }
+
+// SetupDefaultQueues programs the standard queue layout and translation
+// table for a cluster of numNodes nodes, and installs the default firmware
+// services (miss handler; NUMA/S-COMA/DMA when enabled).
+func (n *Node) SetupDefaultQueues(numNodes int) {
+	c := n.Ctrl
+	// aP transmit queues.
+	c.ConfigureTx(TxBasic, ctrl.TxConfig{
+		Buf: n.ASram, Base: SramTxBasicBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
+		ShadowBase: shadowBase + TxBasic*8,
+		Translate:  true, AndMask: 0xFFFF, RawAllowed: false,
+		AllowedDests: ^uint64(0), Enabled: true,
+	})
+	c.ConfigureTx(TxExpress, ctrl.TxConfig{
+		Buf: n.ASram, Base: SramTxExpressBuf, EntryBytes: ctrl.ExpressSlotBytes,
+		Entries: ExpressEntries, ShadowBase: shadowBase + TxExpress*8,
+		Express: true, Translate: true, AndMask: 0xFFFF,
+		AllowedDests: ^uint64(0), Enabled: true,
+	})
+	// aP receive queues.
+	c.ConfigureRx(RxBasic, ctrl.RxConfig{
+		Buf: n.ASram, Base: SramRxBasicBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
+		ShadowBase: shadowBase + 0x100 + RxBasic*8,
+		Logical:    LqBasic, Full: ctrl.Hold, Enabled: true,
+	})
+	c.ConfigureRx(RxExpress, ctrl.RxConfig{
+		Buf: n.ASram, Base: SramRxExpressBuf, EntryBytes: ctrl.ExpressSlotBytes,
+		Entries: ExpressEntries, ShadowBase: shadowBase + 0x100 + RxExpress*8,
+		Logical: LqExpress, Express: true, Full: ctrl.Drop, Enabled: true,
+	})
+	c.ConfigureRx(RxNotify, ctrl.RxConfig{
+		Buf: n.ASram, Base: SramRxNotifyBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
+		ShadowBase: shadowBase + 0x100 + RxNotify*8,
+		Logical:    LqNotify, Full: ctrl.Hold, Enabled: true,
+	})
+	// sP queues (in sSRAM, interrupting).
+	c.ConfigureRx(RxSvc, ctrl.RxConfig{
+		Buf: n.SSram, Base: svcBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
+		ShadowBase: sShadowBase + RxSvc*8,
+		Logical:    firmware.SvcLogicalQ, Interrupt: true, Full: ctrl.Hold, Enabled: true,
+	})
+	c.ConfigureRx(RxMiss, ctrl.RxConfig{
+		Buf: n.SSram, Base: missBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
+		ShadowBase: sShadowBase + RxMiss*8,
+		Logical:    firmware.MissLogicalQ, Interrupt: true, Full: ctrl.Hold, Enabled: true,
+	})
+	// Destination translation table.
+	for i := 0; i < numNodes; i++ {
+		c.WriteTransEntry(TransBasic+i, ctrl.TransEntry{
+			PhysNode: uint16(i), LogicalQ: LqBasic, Priority: arctic.Low, Valid: true})
+		c.WriteTransEntry(TransExpress+i, ctrl.TransEntry{
+			PhysNode: uint16(i), LogicalQ: LqExpress, Priority: arctic.Low, Valid: true})
+		c.WriteTransEntry(TransSvc+i, ctrl.TransEntry{
+			PhysNode: uint16(i), LogicalQ: firmware.SvcLogicalQ, Priority: arctic.Low, Valid: true})
+		c.WriteTransEntry(TransNotify+i, ctrl.TransEntry{
+			PhysNode: uint16(i), LogicalQ: LqNotify, Priority: arctic.Low, Valid: true})
+	}
+}

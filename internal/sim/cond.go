@@ -1,0 +1,120 @@
+package sim
+
+// Cond is a simulated condition variable. Procs wait on it; components (or
+// other Procs) wake them. Waiters are resumed in FIFO order, each as its own
+// engine event at the current time, so wakeup order is deterministic.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait blocks p until a Signal or Broadcast resumes it. As with sync.Cond,
+// callers should re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.eng.blocked++
+	p.block()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.blocked--
+	c.eng.Schedule(0, p.run)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for len(c.waiters) > 0 {
+		c.Signal()
+	}
+}
+
+// Waiting returns the number of blocked processes.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Gate is a level-triggered condition: Procs wait until it is opened; once
+// open, waits return immediately. Useful for one-shot completions visible to
+// multiple observers.
+type Gate struct {
+	cond *Cond
+	open bool
+	at   Time // time the gate opened
+}
+
+// NewGate returns a closed gate.
+func NewGate(e *Engine) *Gate { return &Gate{cond: NewCond(e)} }
+
+// Close re-arms an open gate so future Waits block again (Gates are
+// reusable level-triggered signals). Closing a closed gate is a no-op.
+func (g *Gate) Close() { g.open = false }
+
+// Open opens the gate and wakes all waiters. Opening an open gate is a no-op.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.at = g.cond.eng.now
+	g.cond.Broadcast()
+}
+
+// IsOpen reports whether the gate has opened.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// OpenedAt returns the time the gate opened (zero if still closed).
+func (g *Gate) OpenedAt() Time { return g.at }
+
+// Wait blocks p until the gate is open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.cond.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO of items with blocking receive, for
+// producer/consumer coupling between components and Procs.
+type Queue[T any] struct {
+	cond  *Cond
+	items []T
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
+
+// Push appends an item and wakes one waiter.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop blocks p until an item is available, then removes and returns it.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns an item without blocking; ok is false when the
+// queue is empty.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,161 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying the StarT-Voyager model.
+//
+// The engine is single-threaded: events are executed strictly in (time,
+// sequence) order. Concurrency in the modeled system (processors, firmware,
+// routers) is expressed either as callback-style components that schedule
+// events, or as Procs — goroutines driven in strict handoff so that exactly
+// one of them runs at any instant. Both styles are deterministic and can be
+// mixed freely.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time with a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	nEvents uint64 // total events executed
+
+	procs   int // live Procs
+	blocked int // Procs blocked on a Cond (not on a scheduled event)
+
+	panicVal interface{} // pending panic propagated from a Proc
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nEvents }
+
+// Schedule runs fn after delay d (d may be zero; negative delays panic).
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nEvents++
+	ev.fn()
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets now to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunLimit executes at most n further events; it reports whether the event
+// queue drained within the limit. Useful as a livelock guard in tests.
+func (e *Engine) RunLimit(n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if !e.Step() {
+			return true
+		}
+	}
+	return len(e.events) == 0
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// BlockedProcs returns the number of live Procs currently blocked on a Cond
+// with no scheduled wakeup. If Run returns while this is nonzero the modeled
+// system has deadlocked.
+func (e *Engine) BlockedProcs() int { return e.blocked }
+
+// LiveProcs returns the number of spawned Procs that have not finished.
+func (e *Engine) LiveProcs() int { return e.procs }

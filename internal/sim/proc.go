@@ -1,0 +1,113 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated sequential process (an aP program, a firmware handler
+// loop, a traffic generator). A Proc runs on its own goroutine but in strict
+// handoff with the engine: the engine resumes it, then blocks until the Proc
+// either blocks again (Delay, Cond.Wait, Call) or returns. Exactly one
+// goroutine is ever runnable, preserving determinism.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	dead   bool
+}
+
+// Spawn starts body as a new process at the current simulated time.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+			}
+			p.dead = true
+			e.procs--
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.Schedule(0, func() { p.run() })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// run transfers control to the process goroutine and waits for it to yield.
+// It must only be called from an engine event.
+func (p *Proc) run() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block yields control back to the engine. The caller must have arranged a
+// wakeup (a scheduled event or Cond registration) that calls p.run().
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Delay advances the process by d of simulated time (modeling computation or
+// a fixed-latency operation).
+func (p *Proc) Delay(d Time) {
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, p.run)
+	p.block()
+}
+
+// Call invokes start, which must eventually invoke the provided done
+// callback (possibly immediately, possibly from a later event); the process
+// blocks until then. It adapts callback-style component APIs to blocking
+// style:
+//
+//	p.Call(func(done func()) { busPort.Issue(tx, done) })
+func (p *Proc) Call(start func(done func())) {
+	completed := false
+	blocked := false
+	start(func() {
+		if completed {
+			panic(fmt.Sprintf("sim: double completion in proc %q", p.name))
+		}
+		completed = true
+		if blocked {
+			p.run()
+		}
+	})
+	if !completed {
+		blocked = true
+		p.block()
+	}
+}
+
+// CallT is like Call but passes through a value from the completion.
+func CallT[T any](p *Proc, start func(done func(T))) T {
+	var v T
+	p.Call(func(done func()) {
+		start(func(x T) {
+			v = x
+			done()
+		})
+	})
+	return v
+}

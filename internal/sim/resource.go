@@ -1,0 +1,96 @@
+package sim
+
+// Resource is an exclusive-use resource (a bus, the IBus, a DMA engine port)
+// with FIFO granting and busy-time accounting. Requests are served strictly
+// in arrival order; each holder releases explicitly.
+type Resource struct {
+	eng       *Engine
+	name      string
+	busy      bool
+	queue     []func() // pending grant callbacks
+	busySince Time
+	busyTotal Time
+	grants    uint64
+}
+
+// NewResource returns an idle resource.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{eng: e, name: name}
+}
+
+// Acquire requests the resource; granted runs (as an engine event) once the
+// resource is exclusively held by the caller.
+func (r *Resource) Acquire(granted func()) {
+	if !r.busy {
+		r.busy = true
+		r.busySince = r.eng.now
+		r.grants++
+		r.eng.Schedule(0, granted)
+		return
+	}
+	r.queue = append(r.queue, granted)
+}
+
+// Release relinquishes the resource, granting it to the next waiter if any.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: release of idle resource " + r.name)
+	}
+	r.busyTotal += r.eng.now - r.busySince
+	r.busy = false
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.busy = true
+		r.busySince = r.eng.now
+		r.grants++
+		r.eng.Schedule(0, next)
+	}
+}
+
+// Use acquires the resource, holds it for d, then releases it, invoking done
+// (if non-nil) at release time. It is the common "occupy for a fixed service
+// time" pattern.
+func (r *Resource) Use(d Time, done func()) {
+	r.Acquire(func() {
+		r.eng.Schedule(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// UseP is the blocking form of Use for Procs.
+func (r *Resource) UseP(p *Proc, d Time) {
+	p.Call(func(doneCb func()) { r.Use(d, doneCb) })
+}
+
+// AcquireP blocks p until it exclusively holds the resource; the caller must
+// Release it explicitly.
+func (r *Resource) AcquireP(p *Proc) {
+	p.Call(func(granted func()) { r.Acquire(granted) })
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// BusyTime returns accumulated held time (including the current hold, if
+// any, up to now).
+func (r *Resource) BusyTime() Time {
+	t := r.busyTotal
+	if r.busy {
+		t += r.eng.now - r.busySince
+	}
+	return t
+}
+
+// Grants returns the number of times the resource has been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }

@@ -1,0 +1,114 @@
+// Package trace provides a lightweight event tracer for debugging and
+// studying the machine: components append timestamped records to a bounded
+// ring buffer that can be filtered and dumped. Tracing is opt-in and has no
+// effect on simulated timing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/sim"
+)
+
+// Event is one trace record.
+type Event struct {
+	At        sim.Time
+	Node      int
+	Component string // "bus", "ctrl", "fw", "net", ...
+	What      string
+	Detail    string
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s n%d %-5s %-12s %s", e.At, e.Node, e.Component, e.What, e.Detail)
+}
+
+// Buffer is a bounded event ring.
+type Buffer struct {
+	eng     *sim.Engine
+	cap     int
+	events  []Event
+	start   int // ring head when full
+	dropped uint64
+}
+
+// New creates a buffer holding up to capacity events (older events are
+// dropped first).
+func New(eng *sim.Engine, capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Buffer{eng: eng, cap: capacity}
+}
+
+// Add appends an event at the current simulated time.
+func (b *Buffer) Add(node int, component, what, detail string) {
+	e := Event{At: b.eng.Now(), Node: node, Component: component, What: what, Detail: detail}
+	if len(b.events) < b.cap {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.start] = e
+	b.start = (b.start + 1) % b.cap
+	b.dropped++
+}
+
+// Addf is Add with a formatted detail string.
+func (b *Buffer) Addf(node int, component, what, format string, args ...interface{}) {
+	b.Add(node, component, what, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Dropped returns how many events fell off the ring.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Events returns retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.start:]...)
+	out = append(out, b.events[:b.start]...)
+	return out
+}
+
+// Filter returns events matching the component prefix and/or substring of
+// What (empty strings match everything).
+func (b *Buffer) Filter(component, what string) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if component != "" && !strings.HasPrefix(e.Component, component) {
+			continue
+		}
+		if what != "" && !strings.Contains(e.What, what) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes all retained events to w.
+func (b *Buffer) Dump(w io.Writer) {
+	for _, e := range b.Events() {
+		fmt.Fprintln(w, e)
+	}
+	if b.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.dropped)
+	}
+}
+
+// AttachBus installs a hook recording every completed bus transaction.
+func AttachBus(b *Buffer, bs *bus.Bus, node int) {
+	bs.SetTraceHook(func(tx *bus.Transaction) {
+		detail := fmt.Sprintf("addr=%#x", tx.Addr)
+		if tx.Retries > 0 {
+			detail += fmt.Sprintf(" retries=%d", tx.Retries)
+		}
+		b.Add(node, "bus", tx.Kind.String(), detail)
+	})
+}

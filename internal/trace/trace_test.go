@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"startvoyager/internal/bus"
+	"startvoyager/internal/mem"
+	"startvoyager/internal/sim"
+)
+
+func TestAddAndOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 8)
+	eng.Schedule(10, func() { b.Add(0, "ctrl", "tx", "q0") })
+	eng.Schedule(20, func() { b.Addf(1, "fw", "dispatch", "svc=%#x", 0x20) })
+	eng.Run()
+	evs := b.Events()
+	if len(evs) != 2 || evs[0].At != 10 || evs[1].At != 20 {
+		t.Fatalf("events %v", evs)
+	}
+	if !strings.Contains(evs[1].Detail, "svc=0x20") {
+		t.Fatalf("detail %q", evs[1].Detail)
+	}
+	if !strings.Contains(evs[0].String(), "ctrl") {
+		t.Fatalf("string %q", evs[0])
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 3)
+	for i := 0; i < 5; i++ {
+		b.Addf(0, "x", "e", "%d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 3 || b.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", len(evs), b.Dropped())
+	}
+	if evs[0].Detail != "2" || evs[2].Detail != "4" {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 16)
+	b.Add(0, "bus", "ReadLine", "")
+	b.Add(0, "ctrl", "tx", "")
+	b.Add(0, "bus", "WriteLine", "")
+	if got := b.Filter("bus", ""); len(got) != 2 {
+		t.Fatalf("component filter: %d", len(got))
+	}
+	if got := b.Filter("", "Read"); len(got) != 1 {
+		t.Fatalf("what filter: %d", len(got))
+	}
+}
+
+func TestDump(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 2)
+	for i := 0; i < 3; i++ {
+		b.Add(0, "c", "e", "")
+	}
+	var sb strings.Builder
+	b.Dump(&sb)
+	if !strings.Contains(sb.String(), "dropped") {
+		t.Fatalf("dump missing drop note:\n%s", sb.String())
+	}
+}
+
+type master struct{}
+
+func (master) DeviceName() string                  { return "m" }
+func (master) SnoopBus(*bus.Transaction) bus.Snoop { return bus.Snoop{} }
+
+func TestAttachBus(t *testing.T) {
+	eng := sim.NewEngine()
+	bs := bus.New(eng, "b", bus.DefaultConfig())
+	d := mem.New(bus.Range{Base: 0, Size: 4096}, 10)
+	m := master{}
+	bs.Attach(d)
+	bs.Attach(m)
+	buf := New(eng, 16)
+	AttachBus(buf, bs, 3)
+	bs.Issue(&bus.Transaction{Kind: bus.ReadWord, Addr: 8, Data: make([]byte, 8), Master: m},
+		func() {})
+	eng.Run()
+	evs := buf.Filter("bus", "ReadWord")
+	if len(evs) != 1 || evs[0].Node != 3 {
+		t.Fatalf("bus trace %v", evs)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(sim.NewEngine(), 0)
+	if b.cap != 4096 {
+		t.Fatalf("cap = %d", b.cap)
+	}
+}

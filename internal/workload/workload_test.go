@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r := Run(cfg)
+	if r.Received != r.Sent {
+		t.Fatalf("%v: received %d of %d", cfg.Pattern, r.Received, r.Sent)
+	}
+	if r.Duration <= 0 || r.Throughput <= 0 {
+		t.Fatalf("%v: degenerate result %+v", cfg.Pattern, r)
+	}
+	return r
+}
+
+func TestAllPatternsComplete(t *testing.T) {
+	for _, pat := range []Pattern{Uniform, Hotspot, Neighbor, Transpose} {
+		run(t, Config{Nodes: 8, Pattern: pat, Messages: 40, PayloadSize: 64,
+			HotFraction: 70, Seed: 5})
+	}
+}
+
+func TestHotspotSlowerThanUniform(t *testing.T) {
+	uni := run(t, Config{Nodes: 8, Pattern: Uniform, Messages: 60, PayloadSize: 64, Seed: 1})
+	hot := run(t, Config{Nodes: 8, Pattern: Hotspot, Messages: 60, PayloadSize: 64,
+		HotFraction: 90, Seed: 1})
+	if hot.Duration <= uni.Duration {
+		t.Fatalf("hotspot (%v) not slower than uniform (%v)", hot.Duration, uni.Duration)
+	}
+	if hot.LatencyP99 <= uni.LatencyP99 {
+		t.Fatalf("hotspot p99 (%v) not above uniform (%v)", hot.LatencyP99, uni.LatencyP99)
+	}
+}
+
+func TestThinkTimeReducesMessageRate(t *testing.T) {
+	// Think time models computation between sends: the aP stays busy but
+	// the offered network load (messages per second) drops.
+	sat := run(t, Config{Nodes: 4, Pattern: Neighbor, Messages: 50, PayloadSize: 64, Seed: 2})
+	think := run(t, Config{Nodes: 4, Pattern: Neighbor, Messages: 50, PayloadSize: 64,
+		Think: 20_000, Seed: 2})
+	if think.MsgPerSec >= sat.MsgPerSec/2 {
+		t.Fatalf("think time did not reduce message rate: %.0f vs %.0f",
+			think.MsgPerSec, sat.MsgPerSec)
+	}
+	if think.Duration <= sat.Duration {
+		t.Fatal("think time did not stretch the run")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 5, Pattern: Uniform, Messages: 30, PayloadSize: 32, Seed: 9}
+	a, b := Run(cfg), Run(cfg)
+	if a.Duration != b.Duration || a.LatencyP99 != b.LatencyP99 {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table(4, 20, 64, []Pattern{Uniform, Neighbor})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestPatternString(t *testing.T) {
+	if Uniform.String() != "uniform" || Hotspot.String() != "hotspot" ||
+		Neighbor.String() != "neighbor" || Transpose.String() != "transpose" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestPayloadClamping(t *testing.T) {
+	r := run(t, Config{Nodes: 2, Pattern: Neighbor, Messages: 5, PayloadSize: 4000, Seed: 3})
+	if r.PayloadSize != 88 {
+		t.Fatalf("payload not clamped: %d", r.PayloadSize)
+	}
+	var _ sim.Time = r.Duration
+}
