@@ -1,0 +1,41 @@
+# Verify loop for the StarT-Voyager reproduction.
+#
+#   make        build + unit tests (tier-1)
+#   make lint   gofmt + go vet + voyager-vet determinism suite + race tests
+#   make ci     everything CI runs
+
+GO ?= go
+
+.PHONY: all build test fmt vet voyager-vet race lint ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# gofmt -l prints offending files; any output is a failure.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The determinism analyzer suite (nowalltime, noglobalrand, nomaporder,
+# nogoroutine, simtimeunits). -novet because `make lint` runs go vet itself.
+voyager-vet:
+	$(GO) run ./cmd/voyager-vet -novet ./...
+
+# The engine and core protocol layers are the only packages whose tests spin
+# real goroutines (sim.Proc handoff); run them under the race detector.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/core/...
+
+lint: fmt vet voyager-vet race
+
+ci: build test lint

@@ -64,7 +64,7 @@ func main() {
 					a.SendBasic(p, 0, payload)
 				case "express":
 					a.SendExpress(p, 0, []byte{byte(k)})
-					a.Compute(p, 2000) // pace: express drops on overflow
+					a.Compute(p, 2*sim.Microsecond) // pace: express drops on overflow
 				case "dma":
 					n := *size &^ 31
 					if n == 0 {

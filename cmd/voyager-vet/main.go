@@ -1,0 +1,120 @@
+// Command voyager-vet checks the simulator's determinism contract: a
+// multichecker that runs the internal/lint analyzer suite (nowalltime,
+// noglobalrand, nomaporder, nogoroutine, simtimeunits) and, by default, the
+// standard `go vet` passes over the same packages.
+//
+// Usage:
+//
+//	voyager-vet [-novet] [packages]       # default: ./...
+//	go vet -vettool=$(which voyager-vet)  # unit-checker protocol
+//
+// In the first form the tool loads, type-checks, and analyzes every matching
+// package, printing findings as file:line:col: [analyzer] message and
+// exiting 2 if any are found. In the second form it speaks the cmd/go vet
+// config-file protocol, so it slots into `go vet -vettool` (replacing the
+// standard passes, which cmd/go omits for external tools).
+//
+// Findings are suppressed with a justification comment on the same line or
+// the one above: //lint:allow <analyzer> <why> (nomaporder also accepts
+// //lint:ordered <why>). See the "Determinism rules" section of DESIGN.md.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"startvoyager/internal/lint"
+)
+
+// selfHash fingerprints this binary for the -V=full handshake.
+func selfHash() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go probes vettool binaries before use: -V=full must print a
+	// version line ending in a buildID (cmd/go caches vet results keyed on
+	// it, so hash the binary itself), and -flags must list the tool's
+	// flags as JSON.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", os.Args[0], selfHash())
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnitchecker(args[0])
+	}
+
+	fs := flag.NewFlagSet("voyager-vet", flag.ExitOnError)
+	novet := fs.Bool("novet", false, "skip the standard `go vet` passes")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: voyager-vet [-novet] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Determinism analyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(fs.Output(), "  %-13s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exit := 0
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			exit = 2
+		}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+		return 1
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "voyager-vet: %s: type error: %v\n", pkg.Path, terr)
+			exit = 1
+		}
+		diags, err := lint.RunAnalyzers(pkg, lint.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Category, d.Message)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}

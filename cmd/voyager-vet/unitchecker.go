@@ -1,0 +1,86 @@
+package main
+
+// The cmd/go vet protocol: `go vet -vettool=voyager-vet pkgs...` invokes the
+// tool once per package with a single JSON config-file argument describing
+// the package's sources and the export data of its (transitive) imports.
+// The tool must write its facts file (we keep no cross-package facts, so an
+// empty file), print findings to stderr, and exit 2 when it found any.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"startvoyager/internal/lint"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config file that we consume.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "voyager-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := lint.CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	diags, err := lint.RunAnalyzers(pkg, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager-vet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -38,7 +38,7 @@ func run(mode biu.ReflectMode) (lat sim.Time, spBusy sim.Time) {
 			var seq [8]byte
 			binary.BigEndian.PutUint64(seq[:], uint64(i))
 			a.ReflectStoreWord(p, seqOff, seq[:]) // publish
-			a.Compute(p, 5000)                    // produce every 5 us
+			a.Compute(p, 5*sim.Microsecond)       // produce every 5 us
 		}
 	})
 	m.Go(1, "consumer", func(p *sim.Proc, a *core.API) {

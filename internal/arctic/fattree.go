@@ -27,7 +27,8 @@ type Config struct {
 
 // DefaultConfig returns the Arctic-like parameter set.
 func DefaultConfig() Config {
-	return Config{Radix: 4, FlitBytes: 16, FlitTime: 100, RouterLatency: 50}
+	return Config{Radix: 4, FlitBytes: 16,
+		FlitTime: 100 * sim.Nanosecond, RouterLatency: 50 * sim.Nanosecond}
 }
 
 func (c *Config) fillDefaults() {
@@ -38,10 +39,10 @@ func (c *Config) fillDefaults() {
 		c.FlitBytes = 16
 	}
 	if c.FlitTime == 0 {
-		c.FlitTime = 100
+		c.FlitTime = 100 * sim.Nanosecond
 	}
 	if c.RouterLatency == 0 {
-		c.RouterLatency = 50
+		c.RouterLatency = 50 * sim.Nanosecond
 	}
 	if c.LaneCapacity == 0 {
 		c.LaneCapacity = 4

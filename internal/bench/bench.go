@@ -208,7 +208,7 @@ func expressPingPong() MechResult {
 			a.SendExpress(p, 1, []byte{1, 2, 3, 4, 5})
 			// Express queues drop on overflow; pace to the receive rate.
 			if i%16 == 15 {
-				a.Compute(p, 2000)
+				a.Compute(p, 2*sim.Microsecond)
 			}
 		}
 	})

@@ -25,9 +25,9 @@ func ExtGNetworkScaling(size int) *stats.Table {
 		name string
 		flit sim.Time // per-16B serialization
 	}{
-		{"160 MB/s (Arctic)", 100},
-		{"320 MB/s", 50},
-		{"640 MB/s", 25},
+		{"160 MB/s (Arctic)", 100 * sim.Nanosecond},
+		{"320 MB/s", 50 * sim.Nanosecond},
+		{"640 MB/s", 25 * sim.Nanosecond},
 	}
 	for _, l := range links {
 		hook := func(cfg *cluster.Config) { cfg.Net.FlitTime = l.flit }
@@ -73,7 +73,7 @@ func ExtHFirmwareSpeed(size int) *stats.Table {
 	}
 	speeds := []struct {
 		name  string
-		scale sim.Time // multiplier on default costs
+		scale int64 // dimensionless multiplier on default costs
 	}{
 		{"1x (default 604)", 1},
 		{"2x slower", 2},
@@ -82,10 +82,10 @@ func ExtHFirmwareSpeed(size int) *stats.Table {
 	for _, s := range speeds {
 		hook := func(cfg *cluster.Config) {
 			c := firmware.DefaultCosts()
-			c.Dispatch *= s.scale
-			c.Handler *= s.scale
-			c.PerByte *= s.scale
-			c.CmdIssue *= s.scale
+			c.Dispatch *= sim.Time(s.scale)
+			c.Handler *= sim.Time(s.scale)
+			c.PerByte *= sim.Time(s.scale)
+			c.CmdIssue *= sim.Time(s.scale)
 			cfg.Node.Costs = c
 		}
 		t.AddRow(s.name,

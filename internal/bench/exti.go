@@ -69,7 +69,7 @@ func multitaskRun(qos, bulk bool) (p50, p99 sim.Time, bulkBW float64) {
 		for i := 0; i < pings; i++ {
 			sendAt[i] = p.Now()
 			a.SendExpress(p, 1, []byte{byte(i), 0, 0, 0, 0})
-			a.Compute(p, 10_000) // one ping every 10 us
+			a.Compute(p, 10*sim.Microsecond) // one ping every 10 us
 		}
 	})
 	gotBulk, gotPing := 0, 0

@@ -165,18 +165,19 @@ type Config struct {
 
 // DefaultConfig returns 66 MHz 60X-like timing.
 func DefaultConfig() Config {
-	return Config{CycleTime: 15, AddrCycles: 2, RetryBackoff: 150, MaxRetries: 1e6}
+	return Config{CycleTime: 15 * sim.Nanosecond, AddrCycles: 2,
+		RetryBackoff: 150 * sim.Nanosecond, MaxRetries: 1e6}
 }
 
 func (c *Config) fillDefaults() {
 	if c.CycleTime == 0 {
-		c.CycleTime = 15
+		c.CycleTime = 15 * sim.Nanosecond
 	}
 	if c.AddrCycles == 0 {
 		c.AddrCycles = 2
 	}
 	if c.RetryBackoff == 0 {
-		c.RetryBackoff = 150
+		c.RetryBackoff = 150 * sim.Nanosecond
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 1e6

@@ -51,7 +51,9 @@ type Config struct {
 }
 
 // DefaultConfig returns a 512 KB 4-way cache with 6 ns hits.
-func DefaultConfig() Config { return Config{SizeBytes: 512 << 10, Assoc: 4, HitTime: 6} }
+func DefaultConfig() Config {
+	return Config{SizeBytes: 512 << 10, Assoc: 4, HitTime: 6 * sim.Nanosecond}
+}
 
 func (c *Config) fillDefaults() {
 	if c.SizeBytes == 0 {
@@ -61,7 +63,7 @@ func (c *Config) fillDefaults() {
 		c.Assoc = 4
 	}
 	if c.HitTime == 0 {
-		c.HitTime = 6
+		c.HitTime = 6 * sim.Nanosecond
 	}
 }
 

@@ -95,7 +95,7 @@ func New(cfg Config) *Cluster {
 	if cfg.DirectNet {
 		lat := cfg.DirectNetLatency
 		if lat == 0 {
-			lat = 250
+			lat = 250 * sim.Nanosecond
 		}
 		fabric = arctic.NewDirect(eng, cfg.Nodes, lat, cfg.Net.FlitTime)
 	} else {

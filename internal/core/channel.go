@@ -48,7 +48,9 @@ type Channel struct {
 	bufRx    uint32
 	rxCons   uint32
 	txProd   uint32
-	virts    map[int]int // destination node -> translation index
+	// virts is keyed lookups only — never ranged — so its iteration order
+	// cannot leak into scheduling (checked by the nomaporder analyzer).
+	virts map[int]int // destination node -> translation index
 }
 
 // OpenChannel allocates a protected channel with id cid (pair channels by

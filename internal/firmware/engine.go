@@ -32,7 +32,8 @@ type Costs struct {
 // matching the paper's caveat that its measurements use "very general and
 // unoptimized" code.
 func DefaultCosts() Costs {
-	return Costs{Dispatch: 300, Handler: 250, PerByte: 4, CmdIssue: 150}
+	return Costs{Dispatch: 300 * sim.Nanosecond, Handler: 250 * sim.Nanosecond,
+		PerByte: 4 * sim.Nanosecond, CmdIssue: 150 * sim.Nanosecond}
 }
 
 // Handler processes one service message delivered to the sP service queue.

@@ -3,6 +3,7 @@ package firmware
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"startvoyager/internal/arctic"
 	"startvoyager/internal/bus"
@@ -294,10 +295,17 @@ func (s *Scoma) process(p *sim.Proc, line uint32, e *dirEntry, req dirReq) {
 			e.migratory = true
 		}
 		e.pendingInvals = 0
+		// Invalidate in ascending node order: map order would vary run to
+		// run, and the injection order of inval messages is visible in
+		// network contention and ack arrival times.
+		targets := make([]int, 0, len(e.sharers))
 		for n := range e.sharers {
-			if n == req.node {
-				continue
+			if n != req.node {
+				targets = append(targets, n)
 			}
+		}
+		sort.Ints(targets)
+		for _, n := range targets {
 			e.pendingInvals++
 			var body [4]byte
 			binary.BigEndian.PutUint32(body[:], line)

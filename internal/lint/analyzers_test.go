@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+func TestNoWallTime(t *testing.T)   { runAnalyzerTest(t, NoWallTime, "testdata/nowalltime") }
+func TestNoGlobalRand(t *testing.T) { runAnalyzerTest(t, NoGlobalRand, "testdata/noglobalrand") }
+func TestNoMapOrder(t *testing.T)   { runAnalyzerTest(t, NoMapOrder, "testdata/nomaporder") }
+func TestNoGoroutine(t *testing.T)  { runAnalyzerTest(t, NoGoroutine, "testdata/nogoroutine") }
+func TestSimTimeUnits(t *testing.T) { runAnalyzerTest(t, SimTimeUnits, "testdata/simtimeunits") }
+
+// TestSuitePolicy pins which packages each analyzer covers: wall-clock and
+// goroutine rules protect model code under internal/ (sim itself may use
+// goroutines — it implements Proc with them), while the rand, map-order,
+// and time-unit rules apply module-wide.
+func TestSuitePolicy(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{NoWallTime, "startvoyager/internal/bus", true},
+		{NoWallTime, "startvoyager/cmd/voyager-bench", false},
+		{NoGoroutine, "startvoyager/internal/core", true},
+		{NoGoroutine, "startvoyager/internal/sim", false},
+		{NoGoroutine, "startvoyager/examples/samplesort", false},
+		{NoGlobalRand, "startvoyager/cmd/voyager-net", true},
+		{NoMapOrder, "startvoyager/internal/memcheck", true},
+		{SimTimeUnits, "startvoyager/examples/samplesort", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestSuiteComplete pins the suite contents so a new analyzer cannot be
+// added without being wired into the drivers' shared entry point.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"nowalltime", "noglobalrand", "nomaporder", "nogoroutine", "simtimeunits"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil || a.Applies == nil {
+			t.Errorf("%s: incomplete analyzer definition", a.Name)
+		}
+	}
+}

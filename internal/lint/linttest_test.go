@@ -1,0 +1,146 @@
+package lint
+
+// An analysistest-style harness on the stdlib: each analyzer has a testdata
+// directory holding one small package; comments of the form
+//
+//	expr // want "regexp" "regexp2"
+//
+// assert that the analyzer reports matching diagnostics on that line (one
+// regexp per expected diagnostic). The harness type-checks the testdata
+// against real export data — `go list -export` resolves imports, including
+// startvoyager/internal/sim — so analyzers see exactly the type information
+// the drivers give them.
+
+import (
+	"errors"
+	"go/parser"
+	"go/token"
+	"io"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var errNoImports = errors.New("linttest: package has no imports")
+
+var wantRE = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata in %s: %v", dir, err)
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := loadTestPackage(fset, dir, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("testdata type error: %v", terr)
+	}
+
+	wants := collectWants(t, fset, pkg)
+
+	pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range pass.Diagnostics() {
+		pos := fset.Position(d.Pos)
+		key := pos.Filename + ":" + itoa(pos.Line)
+		exps := wants[key]
+		ok := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+// loadTestPackage type-checks the testdata files, resolving their imports
+// (stdlib and in-module alike) through `go list -export`.
+func loadTestPackage(fset *token.FileSet, dir string, files []string) (*Package, error) {
+	imports, err := importsOf(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(string) (io.ReadCloser, error) { return nil, errNoImports }
+	if len(imports) > 0 {
+		deps, err := goList(".", imports)
+		if err != nil {
+			return nil, err
+		}
+		lookup = exportLookup(deps)
+	}
+	return checkFiles(fset, "startvoyager/internal/lint/"+filepath.Base(dir), files, lookup)
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + itoa(pos.Line)
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, arg[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func importsOf(fset *token.FileSet, files []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	return out, nil
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,89 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand (and /v2) package-level functions backed
+// by the shared global source. Constructors (New, NewSource, NewZipf, NewPCG,
+// NewChaCha8) and types (rand.Rand, rand.Source) remain legal: explicit,
+// seeded sources are exactly what the contract wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+// NoGlobalRand forbids the implicitly-seeded global math/rand source. All
+// randomness must flow through a *rand.Rand constructed from a seed carried
+// in run configuration; otherwise two runs with the same config can draw
+// different schedules (and Go randomizes the global seed since 1.20).
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid package-level math/rand functions and wall-clock-seeded sources; " +
+		"thread an explicitly seeded *rand.Rand from the run config",
+	Applies: func(string) bool { return true },
+	Run:     runNoGlobalRand,
+}
+
+func runNoGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, sel := selectorPkgFunc(pass.Info, e); sel != nil && isRandPkg(pkgPath) {
+				if globalRandFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global rand source; use a *rand.Rand seeded from the run config", name)
+				}
+			}
+			// rand.New(rand.NewSource(time.Now()...)) defeats seeding even
+			// though it goes through a constructor: the seed is wall clock.
+			if call, ok := e.(*ast.CallExpr); ok {
+				if pkgPath, name, sel := selectorPkgFunc(pass.Info, call.Fun); sel != nil &&
+					isRandPkg(pkgPath) && (name == "NewSource" || name == "New" || name == "NewPCG") {
+					for _, arg := range call.Args {
+						if callsWallClock(pass, arg) {
+							pass.Reportf(call.Pos(),
+								"rand source seeded from the wall clock; seed from the run config instead")
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callsWallClock reports whether the expression mentions a time function
+// from the wallClockFuncs set (time.Now().UnixNano() and similar). Nested
+// rand constructor calls are skipped: they are flagged in their own right,
+// so rand.New(rand.NewSource(time.Now())) reports once, at the source.
+func callsWallClock(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkgPath, _, sel := selectorPkgFunc(pass.Info, call.Fun); sel != nil && isRandPkg(pkgPath) {
+				return false
+			}
+		}
+		if sub, ok := n.(ast.Expr); ok {
+			if pkgPath, name, sel := selectorPkgFunc(pass.Info, sub); sel != nil &&
+				pkgPath == "time" && wallClockFuncs[name] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

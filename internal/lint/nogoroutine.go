@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoGoroutine forbids real concurrency — go statements, channels, select —
+// in model packages. The engine is single-threaded by design: modeled
+// concurrency must be expressed as scheduled events or as sim.Proc/sim.Cond,
+// which the engine runs in strict handoff. A raw goroutine or channel next
+// to the event loop reintroduces scheduler-dependent interleavings (the
+// exact failure mode the platform exists to exclude). Only internal/sim
+// itself may use them, to implement Proc's deterministic handoff.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements, channel operations, and select outside internal/sim; " +
+		"model concurrency with sim.Proc and sim.Cond",
+	Applies: func(path string) bool { return isModelPackage(path) && path != simPkgPath },
+	Run:     runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in model code; use sim.Proc for modeled concurrency")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in model code; use sim.Cond or sim.Queue for modeled waiting")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in model code; use sim.Queue for modeled queues")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in model code; use sim.Queue for modeled queues")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if _, ok := n.Args[0].(*ast.ChanType); ok {
+						pass.Reportf(n.Pos(), "channel creation in model code; use sim.Queue for modeled queues")
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel in model code; use sim.Queue for modeled queues")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

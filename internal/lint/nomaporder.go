@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoMapOrder flags range statements over maps whose body is sensitive to
+// iteration order. Go randomizes map order per run, so a map range that
+// schedules events, touches simulation state, appends to an ordered output,
+// accumulates floats (non-associative), or returns/breaks on an arbitrary
+// element makes results differ between identically-seeded runs. The fix is
+// to iterate a sorted key slice; a loop that is genuinely commutative can
+// carry a //lint:ordered justification instead.
+var NoMapOrder = &Analyzer{
+	Name: "nomaporder",
+	Doc: "flag order-sensitive iteration over maps; sort keys first or " +
+		"annotate the loop with //lint:ordered <why>",
+	Applies: func(string) bool { return true },
+	Run:     runNoMapOrder,
+}
+
+func runNoMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		sorted := sortedVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderSensitive(pass, rng, sorted); reason != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is random and this loop %s; iterate sorted keys or annotate //lint:ordered", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedVars collects variables that are passed to a sort call anywhere in
+// the file. Appending to such a slice inside a map range is the canonical
+// deterministic-iteration idiom (collect keys, sort, iterate), so those
+// appends are not order-sensitive.
+func sortedVars(pass *Pass, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkgPath, name, sel := selectorPkgFunc(pass.Info, call.Fun)
+		if sel == nil {
+			return true
+		}
+		isSort := (pkgPath == "sort" && (name == "Sort" || name == "Stable" || name == "Ints" ||
+			name == "Strings" || name == "Float64s" || name == "Slice" || name == "SliceStable")) ||
+			(pkgPath == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderSensitive scans a map-range body for effects whose outcome depends
+// on visit order, returning a description of the first one found.
+func orderSensitive(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) string {
+	reason := ""
+	// returnEscapes: a return here exits the enclosing function (false only
+	// inside func literals). breakBinds: a bare break here exits our map
+	// range (false under any nested loop/switch/select).
+	var walk func(n ast.Node, returnEscapes, breakBinds bool) bool
+	walk = func(n ast.Node, returnEscapes, breakBinds bool) bool {
+		if n == nil || reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A func literal's returns/breaks do not exit our loop, but its
+			// body still runs per-iteration if called, so keep scanning it
+			// for order-sensitive effects.
+			ast.Inspect(n.Body, func(m ast.Node) bool { return walk(m, false, false) })
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// break inside binds to the nested statement, but a return
+			// still exits the whole function.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				return walk(m, returnEscapes, false)
+			})
+			return false
+		case *ast.ReturnStmt:
+			if returnEscapes {
+				reason = "returns on an arbitrary element"
+			}
+			return false
+		case *ast.BranchStmt:
+			if breakBinds && n.Tok == token.BREAK {
+				reason = "breaks on an arbitrary element"
+			}
+			return false
+		case *ast.AssignStmt:
+			if r := orderSensitiveAssign(pass, rng, n, sorted); r != "" {
+				reason = r
+			}
+		case *ast.CallExpr:
+			if r := simEffectCall(pass, n); r != "" {
+				reason = r
+			}
+		}
+		return reason == ""
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if n == ast.Node(rng.Body) {
+			return true
+		}
+		return walk(n, true, true)
+	})
+	return reason
+}
+
+// orderSensitiveAssign recognizes appends to variables living outside the
+// loop and floating-point accumulation.
+func orderSensitiveAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(pass.Info.Types[as.Lhs[0]].Type) {
+			return "accumulates floating-point values (non-associative)"
+		}
+	case token.ASSIGN:
+		// x = x + v with float x.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isFloat(pass.Info.Types[as.Lhs[0]].Type) {
+			if lhs, ok := as.Lhs[0].(*ast.Ident); ok {
+				if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && mentionsIdent(pass, bin, lhs) {
+					return "accumulates floating-point values (non-associative)"
+				}
+			}
+		}
+	}
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			continue
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if target, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.Uses[target]; obj != nil && !sorted[obj] &&
+				(obj.Pos() < rng.Pos() || obj.Pos() > rng.End()) {
+				return "appends to ordered output declared outside it"
+			}
+		}
+	}
+	return ""
+}
+
+// simEffectCall reports calls that drive the simulation: methods on types
+// defined in internal/sim (Engine.Schedule, Cond.Signal, Queue.Push, ...)
+// and any call handed a *sim.Proc (the model-API convention for operations
+// that consume simulated time).
+func simEffectCall(pass *Pass, call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			if named, ok := derefType(s.Recv()).(*types.Named); ok {
+				if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == simPkgPath {
+					return "schedules simulation events (" + named.Obj().Name() + "." + sel.Sel.Name + ")"
+				}
+			}
+		}
+		if pkgPath, name, s := selectorPkgFunc(pass.Info, call.Fun); s != nil && pkgPath == simPkgPath {
+			return "schedules simulation events (sim." + name + ")"
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok {
+			if named, ok := derefType(tv.Type).(*types.Named); ok {
+				if pkg := named.Obj().Pkg(); pkg != nil &&
+					pkg.Path() == simPkgPath && named.Obj().Name() == "Proc" {
+					return "performs simulated-time operations (*sim.Proc argument)"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func mentionsIdent(pass *Pass, e ast.Expr, target *ast.Ident) bool {
+	obj := pass.Info.Uses[target]
+	if obj == nil {
+		obj = pass.Info.Defs[target]
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj && obj != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

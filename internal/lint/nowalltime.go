@@ -1,0 +1,50 @@
+package lint
+
+import "go/ast"
+
+// wallClockFuncs are the package time functions that observe or wait on the
+// host's clock. Pure conversions and formatting (time.Duration, ParseDuration)
+// stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallTime forbids wall-clock access in model packages. The simulator has
+// exactly one clock — sim.Time advanced by the engine — and any time.Now or
+// timer leaking into model code makes results depend on host speed and load,
+// destroying same-seed reproducibility.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid time.Now/Since/Sleep/After and friends in model packages; " +
+		"simulated components must read sim.Time from the engine",
+	Applies: isModelPackage,
+	Run:     runNoWallTime,
+}
+
+func runNoWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			// Flagging the selector itself (not just calls) also catches
+			// passing time.Now around as a function value.
+			pkgPath, name, sel := selectorPkgFunc(pass.Info, e)
+			if sel != nil && pkgPath == "time" && wallClockFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; model code must use the engine's sim.Time", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

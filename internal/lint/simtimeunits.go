@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SimTimeUnits flags raw integer literals flowing into sim.Time slots —
+// call arguments, struct/slice literals, conversions, and assignments.
+// `After(100)` reads as "100 somethings"; the contract is unit-qualified
+// expressions (`100 * sim.Nanosecond`, `2 * sim.Microsecond`) so latencies
+// in config tables and model code carry their scale. The literal 0 stays
+// legal: it means "now"/"disabled" and has no unit ambiguity.
+var SimTimeUnits = &Analyzer{
+	Name: "simtimeunits",
+	Doc: "flag raw integer literals used as sim.Time; write unit-qualified " +
+		"expressions like 100 * sim.Nanosecond",
+	Applies: func(string) bool { return true },
+	Run:     runSimTimeUnits,
+}
+
+func runSimTimeUnits(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isSimTime(pass.typeOf(n.Lhs[i])) {
+						reportRawLit(pass, rhs, "assigned to")
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil && isSimTime(pass.typeOf(n.Type)) {
+					for _, v := range n.Values {
+						reportRawLit(pass, v, "assigned to")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// checkCall flags raw literals in sim.Time parameter positions, and raw
+// literals converted directly via sim.Time(100).
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	ft, isConv := calleeType(pass, call.Fun)
+	if ft == nil {
+		return
+	}
+	if isConv {
+		if isSimTime(ft) && len(call.Args) == 1 {
+			reportRawLit(pass, call.Args[0], "converted to")
+		}
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if isSimTime(pt) {
+			reportRawLit(pass, arg, "passed as")
+		}
+	}
+}
+
+// calleeType resolves the type of a call's function expression and whether
+// the "call" is actually a type conversion.
+func calleeType(pass *Pass, fun ast.Expr) (types.Type, bool) {
+	if tv, ok := pass.Info.Types[fun]; ok {
+		return tv.Type, tv.IsType()
+	}
+	switch f := fun.(type) {
+	case *ast.ParenExpr:
+		return calleeType(pass, f.X)
+	case *ast.Ident:
+		if obj := pass.Info.Uses[f]; obj != nil {
+			_, isType := obj.(*types.TypeName)
+			return obj.Type(), isType
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Info.Uses[f.Sel]; obj != nil {
+			_, isType := obj.(*types.TypeName)
+			return obj.Type(), isType
+		}
+	}
+	return nil, false
+}
+
+// checkComposite flags raw literals in sim.Time-typed struct fields and
+// element positions of slice/array/map literals.
+func checkComposite(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		fieldByName := make(map[string]types.Type, t.NumFields())
+		for i := 0; i < t.NumFields(); i++ {
+			fieldByName[t.Field(i).Name()] = t.Field(i).Type()
+		}
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && isSimTime(fieldByName[key.Name]) {
+					reportRawLit(pass, kv.Value, "assigned to field "+key.Name+" of type")
+				}
+			} else if i < t.NumFields() && isSimTime(t.Field(i).Type()) {
+				reportRawLit(pass, el, "assigned to field "+t.Field(i).Name()+" of type")
+			}
+		}
+	case *types.Slice:
+		checkElemLits(pass, lit, t.Elem())
+	case *types.Array:
+		checkElemLits(pass, lit, t.Elem())
+	case *types.Map:
+		if isSimTime(t.Elem()) {
+			for _, el := range lit.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					reportRawLit(pass, kv.Value, "used as")
+				}
+			}
+		}
+	}
+}
+
+func checkElemLits(pass *Pass, lit *ast.CompositeLit, elem types.Type) {
+	if !isSimTime(elem) {
+		return
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		reportRawLit(pass, el, "used as")
+	}
+}
+
+// reportRawLit reports e if it is a bare nonzero integer literal (possibly
+// signed or parenthesized). Anything mentioning a unit constant, a named
+// value, or arithmetic is considered intentional.
+func reportRawLit(pass *Pass, e ast.Expr, how string) {
+	lit, neg := bareIntLit(e)
+	if lit == nil || lit.Value == "0" {
+		return
+	}
+	val := lit.Value
+	if neg {
+		val = "-" + val
+	}
+	pass.Reportf(e.Pos(),
+		"raw integer %s %s sim.Time; write a unit-qualified duration like %s * sim.Nanosecond",
+		val, how, val)
+}
+
+func bareIntLit(e ast.Expr) (*ast.BasicLit, bool) {
+	neg := false
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.SUB && v.Op != token.ADD {
+				return nil, false
+			}
+			neg = neg != (v.Op == token.SUB)
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind != token.INT {
+				return nil, false
+			}
+			return v, neg
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}

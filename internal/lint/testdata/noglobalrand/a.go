@@ -1,0 +1,34 @@
+// Package a exercises the noglobalrand analyzer: the implicitly-seeded
+// global source is forbidden; explicitly seeded *rand.Rand values are fine.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want "rand.Intn uses the global rand source"
+	_ = rand.Int63()                   // want "rand.Int63 uses the global rand source"
+	_ = rand.Float64()                 // want "rand.Float64 uses the global rand source"
+	_ = rand.Perm(4)                   // want "rand.Perm uses the global rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle uses the global rand source"
+	rand.Seed(42)                      // want "rand.Seed uses the global rand source"
+}
+
+func wallClockSeed() {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func good(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	zipf := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = zipf.Uint64()
+}
+
+func justified() {
+	//lint:allow noglobalrand demo code outside any measured run
+	_ = rand.Intn(3)
+}

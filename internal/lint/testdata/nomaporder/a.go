@@ -1,0 +1,122 @@
+// Package a exercises the nomaporder analyzer: ranging over a map is fine
+// until the body does something whose outcome depends on visit order.
+package a
+
+import (
+	"sort"
+
+	"startvoyager/internal/sim"
+)
+
+func appendsToOuter(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "appends to ordered output"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedAfter(m map[int]int) []int {
+	// The canonical fix: collecting keys is order-insensitive when the
+	// slice is sorted before use.
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floating-point"
+		sum += v
+	}
+	return sum
+}
+
+func floatAccumulatePlain(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "accumulates floating-point"
+		sum = sum + v
+	}
+	return sum
+}
+
+func intAccumulate(m map[string]int) int {
+	// Integer addition is associative and commutative: order cannot matter.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func earlyReturn(m map[int]int) int {
+	for k, v := range m { // want "returns on an arbitrary element"
+		if v > 3 {
+			return k
+		}
+	}
+	return -1
+}
+
+func earlyBreak(m map[int]int) {
+	found := false
+	for _, v := range m { // want "breaks on an arbitrary element"
+		if v == 0 {
+			found = true
+			break
+		}
+	}
+	_ = found
+}
+
+func returnInNestedLoop(m map[int][]int) int {
+	// A return exits the function from any nesting depth, so it still
+	// selects an arbitrary map element.
+	for k, vs := range m { // want "returns on an arbitrary element"
+		for _, v := range vs {
+			if v == 0 {
+				return k
+			}
+		}
+	}
+	return -1
+}
+
+func nestedLoopBreakIsFine(m map[int][]int) {
+	count := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v == 0 {
+				break
+			}
+			count += v
+		}
+	}
+	_ = count
+}
+
+func schedules(eng *sim.Engine, m map[int]int) {
+	for k := range m { // want "schedules simulation events"
+		k := k
+		eng.Schedule(0, func() { _ = k })
+	}
+}
+
+func procOps(p *sim.Proc, m map[int]sim.Time) {
+	wait := func(p *sim.Proc, d sim.Time) { p.Delay(d) }
+	for _, d := range m { // want "simulated-time operations"
+		wait(p, d)
+	}
+}
+
+func justified(m map[int]int) []int {
+	var out []int
+	//lint:ordered consumer treats this as a set; order is irrelevant
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

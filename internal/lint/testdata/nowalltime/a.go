@@ -1,0 +1,34 @@
+// Package a exercises the nowalltime analyzer: wall-clock reads and timers
+// are forbidden; pure time arithmetic and formatting are not.
+package a
+
+import "time"
+
+func bad() {
+	t := time.Now()            // want "time.Now reads the wall clock"
+	_ = time.Since(t)          // want "time.Since reads the wall clock"
+	_ = time.Until(t)          // want "time.Until reads the wall clock"
+	time.Sleep(time.Second)    // want "time.Sleep reads the wall clock"
+	<-time.After(time.Second)  // want "time.After reads the wall clock"
+	_ = time.Tick(time.Second) // want "time.Tick reads the wall clock"
+	_ = time.NewTimer(0)       // want "time.NewTimer reads the wall clock"
+	_ = time.NewTicker(1)      // want "time.NewTicker reads the wall clock"
+}
+
+func funcValue() {
+	// Passing the clock around as a value is just as much a leak as calling it.
+	clock := time.Now // want "time.Now reads the wall clock"
+	_ = clock
+}
+
+func good() {
+	var d time.Duration = 5 * time.Second
+	_ = d.String()
+	_, _ = time.ParseDuration("3ms")
+	_ = time.Unix(0, 0)
+}
+
+func justified() {
+	//lint:allow nowalltime host-side profiling hook, never feeds sim state
+	_ = time.Now()
+}

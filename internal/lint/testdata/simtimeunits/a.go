@@ -1,0 +1,57 @@
+// Package a exercises the simtimeunits analyzer: sim.Time slots take
+// unit-qualified expressions, not bare integer literals.
+package a
+
+import "startvoyager/internal/sim"
+
+type cfg struct {
+	Latency sim.Time
+	Cycles  int
+}
+
+func after(d sim.Time)        {}
+func sum(ds ...sim.Time)      {}
+func mixed(n int, d sim.Time) {}
+func run(eng *sim.Engine)     { eng.Schedule(10, func() {}) } // want "raw integer 10 passed as sim.Time"
+
+func badCalls() {
+	after(100)  // want "raw integer 100 passed as sim.Time"
+	after(-5)   // want "raw integer -5 passed as sim.Time"
+	mixed(3, 7) // want "raw integer 7 passed as sim.Time"
+	sum(1, 2)   // want "raw integer 1 passed as sim.Time" "raw integer 2 passed as sim.Time"
+}
+
+func badConversion() sim.Time {
+	return sim.Time(250) // want "raw integer 250 converted to sim.Time"
+}
+
+func badComposites() {
+	_ = cfg{Latency: 50, Cycles: 4}   // want "raw integer 50 assigned to field Latency"
+	_ = []sim.Time{5, 0}              // want "raw integer 5 used as sim.Time"
+	_ = map[string]sim.Time{"hit": 6} // want "raw integer 6 used as sim.Time"
+}
+
+func badAssigns() {
+	var d sim.Time = 10 // want "raw integer 10 assigned to sim.Time"
+	d = 20              // want "raw integer 20 assigned to sim.Time"
+	_ = d
+}
+
+func good() {
+	after(0) // zero means "now"; no unit ambiguity
+	after(100 * sim.Nanosecond)
+	after(2 * sim.Microsecond)
+	var d sim.Time
+	after(d)
+	after(sim.Time(someInt()))
+	_ = cfg{Latency: 15 * sim.Nanosecond, Cycles: 4}
+	n := 30
+	_ = n
+}
+
+func justified(eng *sim.Engine) {
+	//lint:allow simtimeunits legacy table transcribed verbatim from the paper
+	after(88)
+}
+
+func someInt() int { return 1 }

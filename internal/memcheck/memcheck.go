@@ -144,7 +144,15 @@ func (h *History) Check(initial uint64) error {
 	for i, w := range writeList {
 		writeRank[w.Value] = i
 	}
-	for proc, reads := range perProc {
+	// Check processes in ascending id order: ranging over the map directly
+	// would report an arbitrary process's violation when several exist.
+	procs := make([]int, 0, len(perProc))
+	for proc := range perProc {
+		procs = append(procs, proc)
+	}
+	sort.Ints(procs)
+	for _, proc := range procs {
+		reads := perProc[proc]
 		sort.Slice(reads, func(i, j int) bool { return reads[i].Start < reads[j].Start })
 		last := -2
 		for _, r := range reads {

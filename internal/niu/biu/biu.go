@@ -76,14 +76,16 @@ type Config struct {
 }
 
 // DefaultConfig returns FPGA-speed defaults.
-func DefaultConfig() Config { return Config{SramLatency: 45, RegLatency: 15} }
+func DefaultConfig() Config {
+	return Config{SramLatency: 45 * sim.Nanosecond, RegLatency: 15 * sim.Nanosecond}
+}
 
 func (c *Config) fillDefaults() {
 	if c.SramLatency == 0 {
-		c.SramLatency = 45
+		c.SramLatency = 45 * sim.Nanosecond
 	}
 	if c.RegLatency == 0 {
-		c.RegLatency = 15
+		c.RegLatency = 15 * sim.Nanosecond
 	}
 }
 

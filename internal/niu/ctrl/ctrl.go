@@ -90,13 +90,13 @@ type Config struct {
 
 // DefaultConfig returns NIU-cycle defaults used by the standard machine.
 func DefaultConfig() Config {
-	return Config{CycleTime: 15, TxUCycles: 4, RxUCycles: 4,
+	return Config{CycleTime: 15 * sim.Nanosecond, TxUCycles: 4, RxUCycles: 4,
 		TransTableBase: 0, TransTableEntries: 256, MissQueue: NumQueues - 1}
 }
 
 func (c *Config) fillDefaults() {
 	if c.CycleTime == 0 {
-		c.CycleTime = 15
+		c.CycleTime = 15 * sim.Nanosecond
 	}
 	if c.TxUCycles == 0 {
 		c.TxUCycles = 4
@@ -111,7 +111,7 @@ func (c *Config) fillDefaults() {
 		c.PaceFlitBytes = 16
 	}
 	if c.PaceFlitTime == 0 {
-		c.PaceFlitTime = 100
+		c.PaceFlitTime = 100 * sim.Nanosecond
 	}
 }
 

@@ -123,7 +123,7 @@ func (c *Config) fillDefaults() {
 		c.DramSize = 16 << 20
 	}
 	if c.DramLat == 0 {
-		c.DramLat = 60
+		c.DramLat = 60 * sim.Nanosecond
 	}
 	if c.ASramSize == 0 {
 		c.ASramSize = 128 << 10

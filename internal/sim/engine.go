@@ -19,6 +19,7 @@ type Time int64
 
 // Common time units.
 const (
+	//lint:allow simtimeunits the unit definitions are the base literals
 	Nanosecond  Time = 1
 	Microsecond Time = 1000 * Nanosecond
 	Millisecond Time = 1000 * Microsecond

@@ -10,6 +10,7 @@ package workload
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"startvoyager/internal/core"
@@ -71,6 +72,21 @@ type Result struct {
 	LatencyP99 sim.Time
 	MaxAPUtil  float64 // worst aP utilization
 	BusUtil    float64 // worst bus utilization
+	Events     uint64  // engine events executed over the whole run
+	TraceHash  uint64  // FNV-1a over the delivery trace; same seed => same hash
+}
+
+// seedFor derives the per-node RNG seed from the run seed with a SplitMix64
+// step, so node streams are decorrelated rather than linearly offset (and
+// identical run seeds still give identical schedules).
+func seedFor(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(id+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 // destFor computes one destination per the pattern.
@@ -116,9 +132,22 @@ func Run(cfg Config) Result {
 	total := cfg.Nodes * cfg.Messages
 	totalReceived := 0
 
+	// The delivery trace hash folds in (receiver, send time, receive time)
+	// for every message, in global delivery order. The engine is
+	// single-threaded, so this order is well-defined; any divergence
+	// between same-seed runs shows up as a different hash.
+	traceHash := fnv.New64a()
+	hashDelivery := func(node int, sentAt, at sim.Time) {
+		var rec [24]byte
+		binary.BigEndian.PutUint64(rec[0:], uint64(node))
+		binary.BigEndian.PutUint64(rec[8:], uint64(sentAt))
+		binary.BigEndian.PutUint64(rec[16:], uint64(at))
+		traceHash.Write(rec[:])
+	}
+
 	for id := 0; id < cfg.Nodes; id++ {
 		id := id
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+		rng := rand.New(rand.NewSource(seedFor(cfg.Seed, id)))
 		m.Go(id, "gen", func(p *sim.Proc, a *core.API) {
 			payload := make([]byte, cfg.PayloadSize)
 			sent := 0
@@ -135,6 +164,7 @@ func Run(cfg Config) Result {
 					drained = true
 					sentAt := sim.Time(binary.BigEndian.Uint64(pl))
 					lat.Add(float64(p.Now() - sentAt))
+					hashDelivery(id, sentAt, p.Now())
 					received[id]++
 					totalReceived++
 				}
@@ -147,14 +177,15 @@ func Run(cfg Config) Result {
 						a.Compute(p, sim.Time(rng.Int63n(int64(2*cfg.Think)+1)))
 					}
 				case !drained:
-					p.Delay(200) // idle-poll for stragglers
+					p.Delay(200 * sim.Nanosecond) // idle-poll for stragglers
 				}
 			}
 		})
 	}
 	m.Run()
 
-	res := Result{Config: cfg, Duration: m.Eng.Now(), Sent: total, Received: totalReceived}
+	res := Result{Config: cfg, Duration: m.Eng.Now(), Sent: total, Received: totalReceived,
+		Events: m.Eng.Executed(), TraceHash: traceHash.Sum64()}
 	res.Throughput = stats.MBps(totalReceived*cfg.PayloadSize, res.Duration)
 	res.MsgPerSec = float64(totalReceived) / float64(res.Duration) * 1e9
 	res.LatencyP50 = sim.Time(lat.Percentile(50))

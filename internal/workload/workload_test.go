@@ -42,7 +42,7 @@ func TestThinkTimeReducesMessageRate(t *testing.T) {
 	// the offered network load (messages per second) drops.
 	sat := run(t, Config{Nodes: 4, Pattern: Neighbor, Messages: 50, PayloadSize: 64, Seed: 2})
 	think := run(t, Config{Nodes: 4, Pattern: Neighbor, Messages: 50, PayloadSize: 64,
-		Think: 20_000, Seed: 2})
+		Think: 20 * sim.Microsecond, Seed: 2})
 	if think.MsgPerSec >= sat.MsgPerSec/2 {
 		t.Fatalf("think time did not reduce message rate: %.0f vs %.0f",
 			think.MsgPerSec, sat.MsgPerSec)
