@@ -1,12 +1,13 @@
 # Verify loop for the StarT-Voyager reproduction.
 #
-#   make        build + unit tests (tier-1)
-#   make lint   gofmt + go vet + voyager-vet determinism suite + race tests
-#   make ci     everything CI runs
+#   make             build + unit tests (tier-1)
+#   make lint        gofmt + go vet + voyager-vet determinism suite + race tests
+#   make bench-json  canonical instrumented run -> BENCH_observability.json (+ trace)
+#   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet race lint ci
+.PHONY: all build test fmt vet voyager-vet race lint bench-json ci
 
 all: build test
 
@@ -38,4 +39,10 @@ race:
 
 lint: fmt vet voyager-vet race
 
-ci: build test lint
+# The canonical instrumented run: metrics registry dump plus a Perfetto
+# trace, both byte-identical across invocations (diffable in CI).
+bench-json:
+	$(GO) run ./cmd/voyager-bench -fig none \
+		-metrics BENCH_observability.json -trace TRACE_observability.json
+
+ci: build test lint bench-json

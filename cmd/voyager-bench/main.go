@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all] [-max-size bytes]
+//	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all|none] [-max-size bytes]
+//	              [-trace file.json] [-metrics file.json]
+//
+// -trace / -metrics execute the canonical instrumented run (every mechanism
+// on a four-node machine) and export its Perfetto trace / metrics registry;
+// combine with -fig none to produce only the observability artifacts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"startvoyager/internal/bench"
@@ -16,8 +22,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, ext-a..ext-k, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, ext-a..ext-k, all, none")
 	maxSize := flag.Int("max-size", 256<<10, "largest transfer size in the sweep")
+	traceFile := flag.String("trace", "", "write a Perfetto trace of the canonical instrumented run")
+	metricsFile := flag.String("metrics", "", "write the canonical run's metrics registry as JSON")
 	flag.Parse()
 
 	sizes := []int{}
@@ -28,6 +36,18 @@ func main() {
 	}
 
 	ran := false
+	if *traceFile != "" || *metricsFile != "" {
+		obs := bench.ObservedRun()
+		if *traceFile != "" {
+			writeFile(*traceFile, func(f *os.File) error { return obs.Trace.WritePerfetto(f) })
+			fmt.Printf("trace: %s (simulated %v)\n", *traceFile, obs.SimTime)
+		}
+		if *metricsFile != "" {
+			writeFile(*metricsFile, func(f *os.File) error { return obs.Metrics.WriteJSON(f, obs.SimTime) })
+			fmt.Printf("metrics: %s\n", *metricsFile)
+		}
+		ran = true
+	}
 	show := func(name string, fn func()) {
 		if *fig == "all" || *fig == name {
 			fn()
@@ -59,8 +79,21 @@ func main() {
 		fmt.Println()
 		fmt.Print(bench.ExtKStencil(64, 8, 4))
 	})
-	if !ran {
+	if !ran && *fig != "none" {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

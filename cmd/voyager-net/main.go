@@ -4,22 +4,30 @@
 //
 // Usage:
 //
-//	voyager-net [-nodes n] [-packets p]
+//	voyager-net [-nodes n] [-packets p] [-trace file.json] [-metrics file.json]
+//
+// -trace / -metrics instrument the deterministic-routing load test and
+// export its Perfetto trace / fabric metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
+	"os"
 
 	"startvoyager/internal/arctic"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
+	"startvoyager/internal/trace"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 16, "number of endpoints")
 	packets := flag.Int("packets", 2000, "packets for the load test")
+	traceFile := flag.String("trace", "", "write a Perfetto trace of the deterministic load test")
+	metricsFile := flag.String("metrics", "", "write the fabric metrics of the deterministic load test as JSON")
 	flag.Parse()
 
 	// Unloaded latency by destination distance.
@@ -55,6 +63,18 @@ func main() {
 		cfg := arctic.DefaultConfig()
 		cfg.Adaptive = adaptive
 		f2 := arctic.NewFatTree(eng2, *nodes, cfg)
+		// Instrument the deterministic run only — one engine, one artifact.
+		var tbuf *trace.Buffer
+		var reg *stats.Registry
+		if !adaptive {
+			if *traceFile != "" {
+				tbuf = trace.Attach(eng2, 1<<18)
+			}
+			if *metricsFile != "" {
+				reg = stats.NewRegistry()
+				f2.RegisterMetrics(reg.Child("net"))
+			}
+		}
 		for i := 0; i < *nodes; i++ {
 			f2.Attach(i, arctic.EndpointFunc(func(p *arctic.Packet) {}))
 		}
@@ -72,5 +92,26 @@ func main() {
 		fmt.Printf("uniform random (%s): %d packets (%d bytes) drained in %v — aggregate %.1f MB/s\n",
 			name, st.Delivered, st.Bytes, eng2.Now(),
 			float64(st.Bytes)/float64(eng2.Now())*1e3)
+		if tbuf != nil {
+			writeFile(*traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
+			fmt.Printf("trace: %s\n", *traceFile)
+		}
+		if reg != nil {
+			writeFile(*metricsFile, func(f *os.File) error { return reg.WriteJSON(f, eng2.Now()) })
+			fmt.Printf("metrics: %s\n", *metricsFile)
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

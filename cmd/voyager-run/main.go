@@ -5,6 +5,11 @@
 // Usage:
 //
 //	voyager-run [-nodes n] [-mech basic|express|dma] [-count c] [-size s]
+//	            [-trace file.json] [-metrics file.json] [-dump n]
+//
+// -trace writes a Chrome trace-event (Perfetto) file of the run; open it at
+// ui.perfetto.dev. -metrics dumps the hierarchical metrics registry as JSON.
+// Both are byte-identical across runs with the same arguments.
 package main
 
 import (
@@ -24,14 +29,16 @@ func main() {
 	mech := flag.String("mech", "basic", "mechanism: basic, express, dma")
 	count := flag.Int("count", 100, "messages (or transfers) per sender")
 	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
-	traceN := flag.Int("trace", 0, "dump the last N bus transactions of node 0")
+	traceFile := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
+	metricsFile := flag.String("metrics", "", "write the metrics registry as JSON")
+	dumpN := flag.Int("dump", 0, "print the last N structured trace events")
+	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity (oldest events drop beyond this)")
 	flag.Parse()
 
 	m := core.NewMachine(*nodes)
 	var tbuf *trace.Buffer
-	if *traceN > 0 {
-		tbuf = trace.New(m.Eng, *traceN)
-		trace.AttachBus(tbuf, m.Nodes[0].Bus, 0)
+	if *traceFile != "" || *dumpN > 0 {
+		tbuf = m.Trace(*traceCap)
 	}
 	senders := *nodes - 1
 	total := senders * *count
@@ -96,9 +103,41 @@ func main() {
 			fmt.Sprint(cs.RxMessages))
 	}
 	fmt.Print(t)
-	if tbuf != nil {
-		fmt.Printf("\nlast %d bus transactions on node 0:\n", tbuf.Len())
-		tbuf.Dump(os.Stdout)
+
+	if *traceFile != "" {
+		writeFile(*traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
+		ts := tbuf.Stats()
+		fmt.Printf("trace: %s (%d events captured, %d retained)\n",
+			*traceFile, ts.Captured, ts.Retained)
+	}
+	if *metricsFile != "" {
+		writeFile(*metricsFile, func(f *os.File) error {
+			return m.Metrics().WriteJSON(f, m.Eng.Now())
+		})
+		fmt.Printf("metrics: %s\n", *metricsFile)
+	}
+	if *dumpN > 0 {
+		evs := tbuf.Events()
+		if len(evs) > *dumpN {
+			evs = evs[len(evs)-*dumpN:]
+		}
+		fmt.Printf("\nlast %d structured trace events:\n", len(evs))
+		for _, e := range evs {
+			fmt.Println(e.String())
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // Direct is an idealized fabric: every pair of nodes is connected by a
@@ -18,8 +19,9 @@ type Direct struct {
 
 	endpoints []Endpoint
 	// chans[src*nodes+dst] serializes per-direction traffic.
-	chans []*directChan
-	stats Stats
+	chans   []*directChan
+	stats   Stats
+	latHist *stats.Histogram // end-to-end delivery latency (ns)
 }
 
 type directChan struct {
@@ -41,6 +43,7 @@ func NewDirect(eng *sim.Engine, numNodes int, latency, flitTime sim.Time) *Direc
 		nodes:     numNodes,
 		endpoints: make([]Endpoint, numNodes),
 		chans:     make([]*directChan, numNodes*numNodes),
+		latHist:   stats.NewHistogram(stats.ExpBounds(1000, 2, 12)...),
 	}
 	for i := range d.chans {
 		d.chans[i] = &directChan{d: d, dst: i % numNodes}
@@ -54,6 +57,30 @@ func (d *Direct) NumNodes() int { return d.nodes }
 // Stats returns a snapshot of delivery counters.
 func (d *Direct) Stats() Stats { return d.stats }
 
+// RegisterMetrics registers the fabric's counters under r.
+func (d *Direct) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("injected", func() int64 { return int64(d.stats.Injected) })
+	r.Gauge("delivered", func() int64 { return int64(d.stats.Delivered) })
+	r.Gauge("bytes", func() int64 { return int64(d.stats.Bytes) })
+	r.Gauge("refusals", func() int64 { return int64(d.stats.Refusals) })
+	r.Gauge("high_pri", func() int64 { return int64(d.stats.ByPri[High]) })
+	r.Gauge("low_pri", func() int64 { return int64(d.stats.ByPri[Low]) })
+	r.Histogram("delivery_latency_ns", d.latHist)
+}
+
+// delivered updates delivery counters and emits the per-packet trace event.
+func (d *Direct) delivered(pkt *Packet) {
+	d.stats.Delivered++
+	d.stats.Bytes += uint64(pkt.Size)
+	lat := d.eng.Now() - pkt.injected
+	d.latHist.ObserveTime(lat)
+	if d.eng.Observed() {
+		d.eng.Instant(pkt.Dst, "net", "deliver",
+			sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
+			sim.Int("size", pkt.Size))
+	}
+}
+
 // Attach registers the endpoint for node.
 func (d *Direct) Attach(node int, ep Endpoint) { d.endpoints[node] = ep }
 
@@ -65,6 +92,11 @@ func (d *Direct) Inject(pkt *Packet) {
 	pkt.injected = d.eng.Now()
 	d.stats.Injected++
 	d.stats.ByPri[pkt.Priority]++
+	if d.eng.Observed() {
+		d.eng.Instant(pkt.Src, "net", "inject",
+			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
+			sim.Str("pri", pkt.Priority.String()))
+	}
 	ch := d.chans[pkt.Src*d.nodes+pkt.Dst]
 	ch.queue = append(ch.queue, pkt)
 	ch.kick()
@@ -99,8 +131,7 @@ func (c *directChan) arrive(pkt *Packet) {
 		return
 	}
 	if c.d.endpoints[pkt.Dst].TryDeliver(pkt) {
-		c.d.stats.Delivered++
-		c.d.stats.Bytes += uint64(pkt.Size)
+		c.d.delivered(pkt)
 		return
 	}
 	c.d.stats.Refusals++
@@ -124,8 +155,7 @@ func (d *Direct) Poke(node int) {
 				break
 			}
 			ch.stalled = ch.stalled[1:]
-			d.stats.Delivered++
-			d.stats.Bytes += uint64(pkt.Size)
+			d.delivered(pkt)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // Config holds fat-tree timing and shape parameters. The defaults reproduce
@@ -81,7 +82,8 @@ type FatTree struct {
 	// down[l][w*k+i]: switch(l, w) -> switch(l+1, w with digit l = i)
 	up, down [][]*link
 
-	stats Stats
+	stats   Stats
+	latHist *stats.Histogram // end-to-end delivery latency (ns)
 }
 
 // NewFatTree builds a fabric for numNodes endpoints (rounded up internally
@@ -106,6 +108,7 @@ func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
 		width:     leaves / k,
 		leaves:    leaves,
 		endpoints: make([]Endpoint, numNodes),
+		latHist:   stats.NewHistogram(stats.ExpBounds(1000, 2, 12)...),
 	}
 	f.readyHooks = make([]func(), numNodes)
 	f.inject = make([]*link, numNodes)
@@ -138,6 +141,31 @@ func (f *FatTree) Levels() int { return f.n }
 
 // Stats returns a snapshot of fabric counters.
 func (f *FatTree) Stats() Stats { return f.stats }
+
+// RegisterMetrics registers the fabric's counters under r.
+func (f *FatTree) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("injected", func() int64 { return int64(f.stats.Injected) })
+	r.Gauge("delivered", func() int64 { return int64(f.stats.Delivered) })
+	r.Gauge("bytes", func() int64 { return int64(f.stats.Bytes) })
+	r.Gauge("refusals", func() int64 { return int64(f.stats.Refusals) })
+	r.Gauge("high_pri", func() int64 { return int64(f.stats.ByPri[High]) })
+	r.Gauge("low_pri", func() int64 { return int64(f.stats.ByPri[Low]) })
+	r.Histogram("delivery_latency_ns", f.latHist)
+}
+
+// delivered updates delivery counters and emits the per-packet trace event;
+// both acceptance paths (first try and post-Poke retry) funnel through it.
+func (f *FatTree) delivered(pkt *Packet) {
+	f.stats.Delivered++
+	f.stats.Bytes += uint64(pkt.Size)
+	lat := f.eng.Now() - pkt.injected
+	f.latHist.ObserveTime(lat)
+	if f.eng.Observed() {
+		f.eng.Instant(pkt.Dst, "net", "deliver",
+			sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
+			sim.Int("size", pkt.Size))
+	}
+}
 
 // Attach registers the endpoint for node.
 func (f *FatTree) Attach(node int, ep Endpoint) { f.endpoints[node] = ep }
@@ -216,6 +244,11 @@ func (f *FatTree) Inject(pkt *Packet) {
 	pkt.injected = f.eng.Now()
 	f.stats.Injected++
 	f.stats.ByPri[pkt.Priority]++
+	if f.eng.Observed() {
+		f.eng.Instant(pkt.Src, "net", "inject",
+			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
+			sim.Str("pri", pkt.Priority.String()))
+	}
 	if f.cfg.Adaptive {
 		lca := f.lcaLevel(pkt.Src, pkt.Dst)
 		entry := &linkEntry{pkt: pkt}
@@ -416,8 +449,7 @@ func (l *link) afterSer(e *linkEntry) {
 			panic("arctic: delivery to unattached node " + l.name)
 		}
 		if ep.TryDeliver(e.pkt) {
-			l.f.stats.Delivered++
-			l.f.stats.Bytes += uint64(e.pkt.Size)
+			l.f.delivered(e.pkt)
 			return
 		}
 		l.f.stats.Refusals++
@@ -438,8 +470,7 @@ func (l *link) poke() {
 		}
 		if l.f.endpoints[l.dstNode].TryDeliver(e.pkt) {
 			l.blocked[pr] = nil
-			l.f.stats.Delivered++
-			l.f.stats.Bytes += uint64(e.pkt.Size)
+			l.f.delivered(e.pkt)
 			progressed = true
 		} else {
 			l.f.stats.Refusals++

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"startvoyager/internal/blockxfer"
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
+	"startvoyager/internal/trace"
+)
+
+// Observed bundles the artifacts of one instrumented canonical run.
+type Observed struct {
+	Trace   *trace.Buffer
+	Metrics *stats.Registry
+	SimTime sim.Time
+}
+
+// ObservedRun executes the canonical observability workload: a four-node
+// machine exercising every major mechanism at once — a hardware block
+// transfer (approach 3) between nodes 0 and 1, and Basic/Express/DMA
+// message traffic plus cached and S-COMA memory operations between nodes 2
+// and 3 — with the trace buffer attached from the start. Every model
+// package emits at least one span, instant, counter, or metric during this
+// run; the coverage test in observe_test.go holds the layer to that.
+func ObservedRun() Observed {
+	m := core.NewMachine(4)
+	tbuf := m.Trace(1 << 18)
+
+	xfer := blockxfer.NewTransfer(blockxfer.A3, m, 4<<10)
+	m.Go(0, "xfer-src", func(p *sim.Proc, api *core.API) {
+		xfer.Send(p, api)
+	})
+	m.Go(1, "xfer-dst", func(p *sim.Proc, api *core.API) {
+		xfer.Receive(p, api)
+		xfer.Consume(p, api)
+	})
+
+	const msgs = 8
+	m.Go(2, "mixed-src", func(p *sim.Proc, api *core.API) {
+		payload := make([]byte, 32)
+		for k := 0; k < msgs; k++ {
+			api.SendBasic(p, 3, payload)
+		}
+		api.SendExpress(p, 3, []byte{1, 2})
+		api.DmaPush(p, 3, 0x10_0000, 0x20_0000, 256, 7)
+		var line [64]byte
+		api.MemStore(p, 0x30_0000, line[:])
+		api.MemLoad(p, 0x30_0000, line[:])
+		api.ScomaLoad(p, 0, line[:32]) // remote page: capture + directory firmware
+	})
+	m.Go(3, "mixed-dst", func(p *sim.Proc, api *core.API) {
+		for got := 0; got < msgs; {
+			if _, _, ok := api.TryRecvBasic(p); ok {
+				got++
+			}
+		}
+		api.RecvExpress(p)
+		api.RecvNotify(p)
+	})
+	m.Run()
+	return Observed{Trace: tbuf, Metrics: m.Metrics(), SimTime: m.Eng.Now()}
+}

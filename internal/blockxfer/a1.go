@@ -22,7 +22,7 @@ type a1 struct {
 
 func newA1(m *core.Machine, size int) *a1 { return &a1{m: m, size: size} }
 
-func (x *a1) send(p *sim.Proc, api *core.API) {
+func (x *a1) Send(p *sim.Proc, api *core.API) {
 	chunk := make([]byte, a1ChunkBytes)
 	for off := 0; off < x.size; off += a1ChunkBytes {
 		n := x.size - off
@@ -34,7 +34,7 @@ func (x *a1) send(p *sim.Proc, api *core.API) {
 	}
 }
 
-func (x *a1) receive(p *sim.Proc, api *core.API) {
+func (x *a1) Receive(p *sim.Proc, api *core.API) {
 	got := 0
 	for got < x.size {
 		_, payload := api.RecvBasic(p)
@@ -47,7 +47,7 @@ func (x *a1) receive(p *sim.Proc, api *core.API) {
 	x.doneAt = p.Now()
 }
 
-func (x *a1) consume(p *sim.Proc, api *core.API) {
+func (x *a1) Consume(p *sim.Proc, api *core.API) {
 	buf := make([]byte, bus.LineSize*8)
 	for off := 0; off < x.size; off += len(buf) {
 		n := x.size - off
@@ -58,5 +58,5 @@ func (x *a1) consume(p *sim.Proc, api *core.API) {
 	}
 }
 
-func (x *a1) dstCheckAddr() uint32   { return dstAddr }
-func (x *a1) dataComplete() sim.Time { return x.doneAt }
+func (x *a1) DstCheckAddr() uint32   { return dstAddr }
+func (x *a1) DataComplete() sim.Time { return x.doneAt }

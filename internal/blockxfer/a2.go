@@ -46,7 +46,7 @@ func newA2(m *core.Machine, size int) *a2 {
 	return x
 }
 
-func (x *a2) send(p *sim.Proc, api *core.API) {
+func (x *a2) Send(p *sim.Proc, api *core.API) {
 	var body [12]byte
 	binary.BigEndian.PutUint32(body[0:], srcAddr)
 	binary.BigEndian.PutUint32(body[4:], dstAddr)
@@ -127,12 +127,12 @@ func (x *a2) onDone(p *sim.Proc, src uint16, body []byte) {
 	})
 }
 
-func (x *a2) receive(p *sim.Proc, api *core.API) {
+func (x *a2) Receive(p *sim.Proc, api *core.API) {
 	api.RecvNotify(p)
 	x.doneAt = p.Now()
 }
 
-func (x *a2) consume(p *sim.Proc, api *core.API) {
+func (x *a2) Consume(p *sim.Proc, api *core.API) {
 	buf := make([]byte, bus.LineSize*8)
 	for off := 0; off < x.size; off += len(buf) {
 		n := x.size - off
@@ -143,5 +143,5 @@ func (x *a2) consume(p *sim.Proc, api *core.API) {
 	}
 }
 
-func (x *a2) dstCheckAddr() uint32   { return dstAddr }
-func (x *a2) dataComplete() sim.Time { return x.doneAt }
+func (x *a2) DstCheckAddr() uint32   { return dstAddr }
+func (x *a2) DataComplete() sim.Time { return x.doneAt }

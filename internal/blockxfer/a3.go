@@ -17,16 +17,16 @@ type a3 struct {
 
 func newA3(m *core.Machine, size int) *a3 { return &a3{m: m, size: size} }
 
-func (x *a3) send(p *sim.Proc, api *core.API) {
+func (x *a3) Send(p *sim.Proc, api *core.API) {
 	api.DmaPush(p, 1, srcAddr, dstAddr, x.size, 0xB10C)
 }
 
-func (x *a3) receive(p *sim.Proc, api *core.API) {
+func (x *a3) Receive(p *sim.Proc, api *core.API) {
 	api.RecvNotify(p)
 	x.doneAt = p.Now()
 }
 
-func (x *a3) consume(p *sim.Proc, api *core.API) {
+func (x *a3) Consume(p *sim.Proc, api *core.API) {
 	buf := make([]byte, bus.LineSize*8)
 	for off := 0; off < x.size; off += len(buf) {
 		n := x.size - off
@@ -37,5 +37,5 @@ func (x *a3) consume(p *sim.Proc, api *core.API) {
 	}
 }
 
-func (x *a3) dstCheckAddr() uint32   { return dstAddr }
-func (x *a3) dataComplete() sim.Time { return x.doneAt }
+func (x *a3) DstCheckAddr() uint32   { return dstAddr }
+func (x *a3) DataComplete() sim.Time { return x.doneAt }

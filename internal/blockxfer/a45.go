@@ -68,7 +68,7 @@ func newA45(a Approach, m *core.Machine, size int) *a45 {
 // windowDst returns the receiver-side window address of the destination.
 func windowDst() uint32 { return node.ScomaBase + dstOff }
 
-func (x *a45) send(p *sim.Proc, api *core.API) {
+func (x *a45) Send(p *sim.Proc, api *core.API) {
 	var body [8]byte
 	binary.BigEndian.PutUint32(body[0:], uint32(x.size))
 	api.SendSvc(p, 0, svcA45Req, body[:])
@@ -202,14 +202,14 @@ func (x *a45) onProgress(p *sim.Proc, src uint16, body []byte) {
 
 func (x *a45) onDone(p *sim.Proc, src uint16, body []byte) { x.doneAt = p.Now() }
 
-func (x *a45) receive(p *sim.Proc, api *core.API) {
+func (x *a45) Receive(p *sim.Proc, api *core.API) {
 	api.RecvNotify(p) // the optimistic (25%) notification
 }
 
 // consume reads the transferred region through the S-COMA window; reads of
 // lines that have not arrived stall on bus retry until the state flips —
 // the latency-hiding (and aP-stalling) behaviour the paper describes.
-func (x *a45) consume(p *sim.Proc, api *core.API) {
+func (x *a45) Consume(p *sim.Proc, api *core.API) {
 	buf := make([]byte, bus.LineSize*8)
 	for off := 0; off < x.size; off += len(buf) {
 		n := x.size - off
@@ -220,5 +220,5 @@ func (x *a45) consume(p *sim.Proc, api *core.API) {
 	}
 }
 
-func (x *a45) dstCheckAddr() uint32   { return windowDst() }
-func (x *a45) dataComplete() sim.Time { return x.doneAt }
+func (x *a45) DstCheckAddr() uint32   { return windowDst() }
+func (x *a45) DataComplete() sim.Time { return x.doneAt }

@@ -92,20 +92,28 @@ func machine(a Approach, hook ConfigHook) *core.Machine {
 	return core.NewMachineConfig(cfg)
 }
 
-// transfer is one approach's implementation harness. send runs on the
-// sender's aP, receive/consume on the receiver's aP; dataComplete reports
+// Transfer is one approach's implementation harness. Send runs on the
+// sender's aP, Receive/Consume on the receiver's aP; DataComplete reports
 // the absolute time the last byte landed in receiver memory.
-type transfer interface {
-	send(p *sim.Proc, api *core.API)
-	receive(p *sim.Proc, api *core.API)
-	consume(p *sim.Proc, api *core.API)
-	dstCheckAddr() uint32
-	dataComplete() sim.Time
+type Transfer interface {
+	Send(p *sim.Proc, api *core.API)
+	Receive(p *sim.Proc, api *core.API)
+	Consume(p *sim.Proc, api *core.API)
+	DstCheckAddr() uint32
+	DataComplete() sim.Time
 }
 
-// newTransfer installs any approach-specific firmware and returns the
-// harness.
-func newTransfer(a Approach, m *core.Machine, size int) transfer {
+// NewTransfer installs any approach-specific firmware on a two-node machine
+// (sender node 0, receiver node 1) and returns the harness wrapped with
+// tracing: when an observer is attached, each Send is bracketed by a span on
+// the sender's "blockxfer" track and each Receive marks the notification
+// with an instant on the receiver's.
+func NewTransfer(a Approach, m *core.Machine, size int) Transfer {
+	return &observedTransfer{inner: rawTransfer(a, m, size), m: m, a: a, size: size}
+}
+
+// rawTransfer builds the uninstrumented harness.
+func rawTransfer(a Approach, m *core.Machine, size int) Transfer {
 	switch a {
 	case A1:
 		return newA1(m, size)
@@ -119,6 +127,36 @@ func newTransfer(a Approach, m *core.Machine, size int) transfer {
 		panic(fmt.Sprintf("blockxfer: unknown approach %d", a))
 	}
 }
+
+// observedTransfer traces the lifecycle of each transfer. Sends on one
+// machine never overlap (one harness, one sender proc), so the sender's
+// "blockxfer" track carries well-nested spans.
+type observedTransfer struct {
+	inner Transfer
+	m     *core.Machine
+	a     Approach
+	size  int
+}
+
+func (o *observedTransfer) Send(p *sim.Proc, api *core.API) {
+	var span sim.Span
+	if o.m.Eng.Observed() {
+		span = o.m.Eng.BeginSpan(0, "blockxfer", o.a.String(), sim.Int("size", o.size))
+	}
+	o.inner.Send(p, api)
+	span.End()
+}
+
+func (o *observedTransfer) Receive(p *sim.Proc, api *core.API) {
+	o.inner.Receive(p, api)
+	if o.m.Eng.Observed() {
+		o.m.Eng.Instant(1, "blockxfer", "notify", sim.Str("approach", o.a.String()))
+	}
+}
+
+func (o *observedTransfer) Consume(p *sim.Proc, api *core.API) { o.inner.Consume(p, api) }
+func (o *observedTransfer) DstCheckAddr() uint32               { return o.inner.DstCheckAddr() }
+func (o *observedTransfer) DataComplete() sim.Time             { return o.inner.DataComplete() }
 
 // fillPattern writes a deterministic test pattern.
 func fillPattern(buf []byte, seed byte) {
@@ -181,29 +219,29 @@ func measureOnce(a Approach, size int, consume bool) onceResult {
 
 	var res onceResult
 	var start sim.Time
-	xfer := newTransfer(a, m, size)
+	xfer := NewTransfer(a, m, size)
 
 	m.Go(0, "xfer-src", func(p *sim.Proc, api *core.API) {
 		start = p.Now()
-		xfer.send(p, api)
+		xfer.Send(p, api)
 	})
 	m.Go(1, "xfer-dst", func(p *sim.Proc, api *core.API) {
-		xfer.receive(p, api)
+		xfer.Receive(p, api)
 		res.NotifyAt = p.Now() - start
 		if consume {
-			xfer.consume(p, api)
+			xfer.Consume(p, api)
 			res.ConsumeDone = p.Now() - start
 		}
 	})
 	m.Run()
-	res.DataComplete = xfer.dataComplete() - start
+	res.DataComplete = xfer.DataComplete() - start
 	res.Latency = res.NotifyAt
 	if res.DataComplete > res.Latency {
 		res.Latency = res.DataComplete
 	}
 	// Verify integrity.
 	got := make([]byte, size)
-	m.API(1).Peek(xfer.dstCheckAddr(), got)
+	m.API(1).Peek(xfer.DstCheckAddr(), got)
 	for i := range got {
 		if got[i] != src[i] {
 			panic(fmt.Sprintf("blockxfer: %v size %d corrupt at %d: %#x != %#x",
@@ -230,16 +268,16 @@ func measureBandwidth(a Approach, size int, hook ConfigHook) float64 {
 	m.API(0).Poke(srcAddr, src)
 
 	var start, end sim.Time
-	xfer := newTransfer(a, m, size)
+	xfer := NewTransfer(a, m, size)
 	m.Go(0, "bw-src", func(p *sim.Proc, api *core.API) {
 		start = p.Now()
 		for r := 0; r < reps; r++ {
-			xfer.send(p, api)
+			xfer.Send(p, api)
 		}
 	})
 	m.Go(1, "bw-dst", func(p *sim.Proc, api *core.API) {
 		for r := 0; r < reps; r++ {
-			xfer.receive(p, api)
+			xfer.Receive(p, api)
 		}
 		end = p.Now()
 	})

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // LineSize is the coherence granularity (bytes) of the 604e systems modeled.
@@ -198,6 +199,8 @@ type Bus struct {
 	res     *sim.Resource
 	devices []Device
 	stats   Stats
+	node    int // owning node, for trace attribution (SetNode)
+	retHist *stats.Histogram
 	// snoopHook, if set, observes every completed transaction (tracing).
 	snoopHook func(tx *Transaction)
 }
@@ -205,7 +208,8 @@ type Bus struct {
 // New creates an empty bus.
 func New(eng *sim.Engine, name string, cfg Config) *Bus {
 	cfg.fillDefaults()
-	return &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, name)}
+	return &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, name),
+		retHist: stats.NewHistogram(0, 1, 2, 4, 8, 16, 64, 256)}
 }
 
 // Attach adds a device to the snoop set.
@@ -219,6 +223,19 @@ func (b *Bus) Stats() Stats { return b.stats }
 
 // BusyTime returns accumulated bus-held time.
 func (b *Bus) BusyTime() sim.Time { return b.res.BusyTime() }
+
+// SetNode records the owning node's id for trace attribution (node 0 until
+// set, which is right for single-node tests).
+func (b *Bus) SetNode(id int) { b.node = id }
+
+// RegisterMetrics registers the bus's counters under r.
+func (b *Bus) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("transactions", func() int64 { return int64(b.stats.Transactions) })
+	r.Gauge("retries", func() int64 { return int64(b.stats.Retries) })
+	r.Gauge("data_bytes", func() int64 { return int64(b.stats.DataBytes) })
+	r.Time("busy", b.res.BusyTime)
+	r.Histogram("retries_per_tx", b.retHist)
+}
 
 // SetTraceHook installs fn to observe each completed transaction.
 func (b *Bus) SetTraceHook(fn func(tx *Transaction)) { b.snoopHook = fn }
@@ -239,6 +256,12 @@ func (b *Bus) IssueP(p *sim.Proc, tx *Transaction) {
 
 func (b *Bus) attempt(tx *Transaction, done func()) {
 	b.res.Acquire(func() {
+		// One span per bus tenure, named by transaction kind.
+		var span sim.Span
+		if b.eng.Observed() {
+			span = b.eng.BeginSpan(b.node, "bus", tx.Kind.String(),
+				sim.Hex("addr", uint64(tx.Addr)))
+		}
 		// Address tenure, then snoop window.
 		b.eng.Schedule(sim.Time(b.cfg.AddrCycles)*b.cfg.CycleTime, func() {
 			retried := false
@@ -264,6 +287,7 @@ func (b *Bus) attempt(tx *Transaction, done func()) {
 				}
 			}
 			if retried {
+				span.End(sim.Str("result", "retry"))
 				b.res.Release()
 				b.stats.Retries++
 				tx.Retries++
@@ -288,6 +312,8 @@ func (b *Bus) attempt(tx *Transaction, done func()) {
 				b.eng.Schedule(sim.Time(tx.beats())*b.cfg.CycleTime, func() {
 					b.stats.Transactions++
 					b.stats.DataBytes += uint64(tx.beats() * BeatBytes)
+					b.retHist.Observe(int64(tx.Retries))
+					span.End()
 					b.res.Release()
 					if b.snoopHook != nil {
 						b.snoopHook(tx)

@@ -14,7 +14,15 @@ import (
 
 	"startvoyager/internal/bus"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
+
+func rwName(forWrite bool) string {
+	if forWrite {
+		return "w"
+	}
+	return "r"
+}
 
 // State is a MESI coherence state.
 type State int
@@ -90,6 +98,7 @@ type Cache struct {
 	sets [][]line
 	nset uint32
 	tick uint64
+	node int // owning node, for trace attribution (SetNode)
 
 	// writebackSink reflects intervention data to memory without a second
 	// bus transaction (the controller captures intervention data on real
@@ -115,6 +124,19 @@ func New(name string, b *bus.Bus, cfg Config) *Cache {
 
 // SetWritebackSink installs the memory reflection function.
 func (c *Cache) SetWritebackSink(fn func(addr uint32, data []byte)) { c.writebackSink = fn }
+
+// SetNode records the owning node's id for trace attribution.
+func (c *Cache) SetNode(id int) { c.node = id }
+
+// RegisterMetrics registers the cache's counters under r.
+func (c *Cache) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("hits", func() int64 { return int64(c.stats.Hits) })
+	r.Gauge("misses", func() int64 { return int64(c.stats.Misses) })
+	r.Gauge("writebacks", func() int64 { return int64(c.stats.Writebacks) })
+	r.Gauge("upgrades", func() int64 { return int64(c.stats.Upgrades) })
+	r.Gauge("snoop_invalidations", func() int64 { return int64(c.stats.SnoopInvalidations) })
+	r.Gauge("interventions", func() int64 { return int64(c.stats.Interventions) })
+}
 
 // DeviceName implements bus.Device.
 func (c *Cache) DeviceName() string { return c.name }
@@ -217,6 +239,10 @@ func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
 			}
 		default:
 			c.stats.Misses++
+			if eng := c.b.Engine(); eng.Observed() {
+				eng.Instant(c.node, "cache", "miss",
+					sim.Hex("addr", uint64(la)), sim.Str("rw", rwName(forWrite)))
+			}
 			v := c.victim(la)
 			if v.state == Modified {
 				c.stats.Writebacks++

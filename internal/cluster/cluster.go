@@ -11,6 +11,7 @@ import (
 	"startvoyager/internal/firmware"
 	"startvoyager/internal/node"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // Config holds machine-level construction parameters.
@@ -70,6 +71,10 @@ type Cluster struct {
 	Fabric arctic.Fabric
 	Nodes  []*node.Node
 	Cfg    Config
+	// Reg is the machine's metrics registry: every component registers its
+	// counters at construction under node<i>/<component> (fabric under net/),
+	// so Reg.WriteJSON dumps the whole machine's state at any time.
+	Reg *stats.Registry
 
 	Scomas    []*firmware.Scoma
 	Numas     []*firmware.Numa
@@ -102,7 +107,10 @@ func New(cfg Config) *Cluster {
 		fabric = arctic.NewFatTree(eng, cfg.Nodes, cfg.Net)
 	}
 
-	c := &Cluster{Eng: eng, Fabric: fabric, Cfg: cfg}
+	c := &Cluster{Eng: eng, Fabric: fabric, Cfg: cfg, Reg: stats.NewRegistry()}
+	if rm, ok := fabric.(interface{ RegisterMetrics(*stats.Registry) }); ok {
+		rm.RegisterMetrics(c.Reg.Child("net"))
+	}
 	ncfg := cfg.Node
 	ncfg.NumNodes = cfg.Nodes
 	if ncfg.Ctrl.PaceFlitBytes == 0 {
@@ -116,6 +124,7 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		n := node.New(eng, i, fabric, ncfg)
 		n.SetupDefaultQueues(cfg.Nodes)
+		n.RegisterMetrics(c.Reg.Child(fmt.Sprintf("node%d", i)))
 		c.Nodes = append(c.Nodes, n)
 	}
 

@@ -125,7 +125,7 @@ func (ch *Channel) Send(p *sim.Proc, dest int, payload []byte) error {
 		panic(fmt.Sprintf("core: payload %d exceeds Basic limit", len(payload)))
 	}
 	a := ch.api
-	defer a.busy()()
+	defer a.busy("Channel.Send")()
 	virt := ch.virtFor(dest)
 
 	// Wait for queue space, aborting if protection trips.
@@ -166,7 +166,7 @@ func (ch *Channel) Send(p *sim.Proc, dest int, payload []byte) error {
 // TryRecv polls this channel once.
 func (ch *Channel) TryRecv(p *sim.Proc) (src int, payload []byte, ok bool) {
 	a := ch.api
-	defer a.busy()()
+	defer a.busy("Channel.TryRecv")()
 	producer, _ := a.ptrLoad(p, ch.rxq, true)
 	if producer == ch.rxCons {
 		return 0, nil, false

@@ -88,15 +88,21 @@ func (a *API) NodeID() int { return a.n.ID }
 // NumNodes returns the machine size.
 func (a *API) NumNodes() int { return len(a.m.Nodes) }
 
-// busy brackets aP occupancy; nested calls meter once.
-func (a *API) busy() func() {
+// busy brackets aP occupancy; nested calls meter once. The outermost call
+// also opens a span named after the API operation on the node's "aP" track.
+func (a *API) busy(op string) func() {
+	var span sim.Span
 	if a.busyDepth == 0 {
 		a.n.APMeter.Start()
+		if eng := a.m.Eng; eng.Observed() {
+			span = eng.BeginSpan(a.n.ID, "aP", op)
+		}
 	}
 	a.busyDepth++
 	return func() {
 		a.busyDepth--
 		if a.busyDepth == 0 {
+			span.End()
 			a.n.APMeter.Stop()
 		}
 	}
@@ -104,7 +110,7 @@ func (a *API) busy() func() {
 
 // Compute models d of application computation on the aP.
 func (a *API) Compute(p *sim.Proc, d sim.Time) {
-	defer a.busy()()
+	defer a.busy("Compute")()
 	p.Delay(d)
 }
 
@@ -113,13 +119,13 @@ func (a *API) Compute(p *sim.Proc, d sim.Time) {
 // SendBasic sends payload (<= 88 bytes) to the Basic queue of node dest,
 // blocking while the transmit queue is full.
 func (a *API) SendBasic(p *sim.Proc, dest int, payload []byte) {
-	a.sendSlot(p, dest+node.TransBasic, 0, payload, 0, 0)
+	a.sendSlot(p, "SendBasic", dest+node.TransBasic, 0, payload, 0, 0)
 }
 
 // SendSvc sends a firmware service message (service id + body) to node
 // dest's sP — the aP→sP request path (e.g. DMA requests).
 func (a *API) SendSvc(p *sim.Proc, dest int, svc byte, body []byte) {
-	a.sendSlot(p, dest+node.TransSvc, 0, append([]byte{svc}, body...), 0, 0)
+	a.sendSlot(p, "SendSvc", dest+node.TransSvc, 0, append([]byte{svc}, body...), 0, 0)
 }
 
 // SendTagOn sends a Basic message whose payload is extended with tagLen
@@ -129,17 +135,18 @@ func (a *API) SendTagOn(p *sim.Proc, dest int, inline []byte, sramOff uint32, ta
 	if tagLen%16 != 0 || tagLen > 80 {
 		panic(fmt.Sprintf("core: bad TagOn length %d", tagLen))
 	}
-	a.sendSlot(p, dest+node.TransBasic, ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
+	a.sendSlot(p, "SendTagOn", dest+node.TransBasic, ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
 		inline, sramOff, tagLen)
 }
 
-// sendSlot composes and launches one Basic-queue message.
-func (a *API) sendSlot(p *sim.Proc, destIdx int, flags byte, payload []byte,
+// sendSlot composes and launches one Basic-queue message; op names the
+// public API call for the occupancy span.
+func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload []byte,
 	tagOff uint32, tagLen int) {
 	if len(payload) > MaxBasicPayload {
 		panic(fmt.Sprintf("core: payload %d exceeds Basic limit", len(payload)))
 	}
-	defer a.busy()()
+	defer a.busy(op)()
 	q := node.TxBasic
 	a.waitTxSpace(p, q, node.BasicEntries)
 
@@ -173,7 +180,7 @@ func (a *API) waitTxSpace(p *sim.Proc, q, entries int) {
 
 // TryRecvBasic polls the Basic receive queue once; ok is false if empty.
 func (a *API) TryRecvBasic(p *sim.Proc) (src int, payload []byte, ok bool) {
-	return a.tryRecvSlot(p, node.RxBasic, node.SramRxBasicBuf)
+	return a.tryRecvSlot(p, "TryRecvBasic", node.RxBasic, node.SramRxBasicBuf)
 }
 
 // RecvBasic blocks until a Basic message arrives.
@@ -189,7 +196,7 @@ func (a *API) RecvBasic(p *sim.Proc) (src int, payload []byte) {
 // arrives on the notification queue.
 func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
 	for {
-		if s, pl, ok := a.tryRecvSlot(p, node.RxNotify, node.SramRxNotifyBuf); ok {
+		if s, pl, ok := a.tryRecvSlot(p, "RecvNotify", node.RxNotify, node.SramRxNotifyBuf); ok {
 			return s, pl
 		}
 	}
@@ -197,11 +204,11 @@ func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
 
 // TryRecvNotify polls the notification queue once.
 func (a *API) TryRecvNotify(p *sim.Proc) (src int, payload []byte, ok bool) {
-	return a.tryRecvSlot(p, node.RxNotify, node.SramRxNotifyBuf)
+	return a.tryRecvSlot(p, "TryRecvNotify", node.RxNotify, node.SramRxNotifyBuf)
 }
 
-func (a *API) tryRecvSlot(p *sim.Proc, q int, bufOff uint32) (int, []byte, bool) {
-	defer a.busy()()
+func (a *API) tryRecvSlot(p *sim.Proc, op string, q int, bufOff uint32) (int, []byte, bool) {
+	defer a.busy(op)()
 	producer, _ := a.ptrLoad(p, q, true)
 	if producer == a.rxCons[q] {
 		return 0, nil, false
@@ -232,7 +239,7 @@ func (a *API) SendExpress(p *sim.Proc, dest int, payload []byte) {
 	if len(payload) > MaxExpressPayload {
 		panic(fmt.Sprintf("core: payload %d exceeds Express limit", len(payload)))
 	}
-	defer a.busy()()
+	defer a.busy("SendExpress")()
 	destIdx := uint32(node.TransExpress + dest)
 	addr := node.ExTxBase + (uint32(node.TxExpress)<<12|destIdx)<<3
 	var word [8]byte
@@ -243,7 +250,7 @@ func (a *API) SendExpress(p *sim.Proc, dest int, payload []byte) {
 // TryRecvExpress polls the Express receive queue with a single uncached
 // load; ok is false when empty.
 func (a *API) TryRecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]byte, ok bool) {
-	defer a.busy()()
+	defer a.busy("TryRecvExpress")()
 	var word [8]byte
 	addr := node.ExRxBase + uint32(node.RxExpress)*8
 	a.n.Cache.LoadUncached(p, addr, word[:])
@@ -290,26 +297,26 @@ func (a *API) ScomaAddr(off uint32) uint32 { return node.ScomaBase + off }
 // ScomaLoad reads from the S-COMA window through the cache (stalling, via
 // bus retry, until the protocol delivers the lines).
 func (a *API) ScomaLoad(p *sim.Proc, off uint32, buf []byte) {
-	defer a.busy()()
+	defer a.busy("ScomaLoad")()
 	a.n.Cache.Load(p, a.ScomaAddr(off), buf)
 }
 
 // ScomaStore writes to the S-COMA window through the cache.
 func (a *API) ScomaStore(p *sim.Proc, off uint32, data []byte) {
-	defer a.busy()()
+	defer a.busy("ScomaStore")()
 	a.n.Cache.Store(p, a.ScomaAddr(off), data)
 }
 
 // NumaLoad reads up to 8 bytes from the NUMA window (uncached remote
 // access).
 func (a *API) NumaLoad(p *sim.Proc, off uint32, buf []byte) {
-	defer a.busy()()
+	defer a.busy("NumaLoad")()
 	a.n.Cache.LoadUncached(p, node.NumaBase+off, buf)
 }
 
 // NumaStore writes up to 8 bytes into the NUMA window.
 func (a *API) NumaStore(p *sim.Proc, off uint32, data []byte) {
-	defer a.busy()()
+	defer a.busy("NumaStore")()
 	a.n.Cache.StoreUncached(p, node.NumaBase+off, data)
 }
 
@@ -317,20 +324,20 @@ func (a *API) NumaStore(p *sim.Proc, off uint32, data []byte) {
 
 // MemLoad reads local DRAM through the cache.
 func (a *API) MemLoad(p *sim.Proc, addr uint32, buf []byte) {
-	defer a.busy()()
+	defer a.busy("MemLoad")()
 	a.n.Cache.Load(p, addr, buf)
 }
 
 // MemStore writes local DRAM through the cache.
 func (a *API) MemStore(p *sim.Proc, addr uint32, data []byte) {
-	defer a.busy()()
+	defer a.busy("MemStore")()
 	a.n.Cache.Store(p, addr, data)
 }
 
 // MemFlush writes back and invalidates the cache lines covering
 // [addr, addr+n) so the data is visible to the NIU's bus reads.
 func (a *API) MemFlush(p *sim.Proc, addr uint32, n int) {
-	defer a.busy()()
+	defer a.busy("MemFlush")()
 	first := addr &^ (bus.LineSize - 1)
 	for la := first; la < addr+uint32(n); la += bus.LineSize {
 		a.n.Cache.Flush(p, la)
@@ -340,7 +347,7 @@ func (a *API) MemFlush(p *sim.Proc, addr uint32, n int) {
 // StageASram copies data into the aSRAM at off using cached stores plus
 // flushes (the TagOn staging path).
 func (a *API) StageASram(p *sim.Proc, off uint32, data []byte) {
-	defer a.busy()()
+	defer a.busy("StageASram")()
 	addr := node.SramBase + off
 	a.n.Cache.Store(p, addr, data)
 	for la := addr &^ (bus.LineSize - 1); la < addr+uint32(len(data)); la += bus.LineSize {

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"startvoyager/internal/stats"
+	"startvoyager/internal/trace"
+)
+
+// Trace attaches a structured event buffer to the machine's engine and
+// returns it. Capacity <= 0 selects the default. Call before Run; tracing
+// has no effect on simulated timing.
+func (m *Machine) Trace(capacity int) *trace.Buffer {
+	return trace.Attach(m.Eng, capacity)
+}
+
+// Metrics returns the machine's metrics registry (populated by every
+// component at construction).
+func (m *Machine) Metrics() *stats.Registry { return m.Reg }

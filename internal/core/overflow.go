@@ -37,13 +37,13 @@ func (a *API) MapVirtualDest(virt int, destNode int, logicalQ uint16) {
 // SendVirtual sends a Basic-queue message to a previously mapped virtual
 // destination (which may name a non-resident logical queue).
 func (a *API) SendVirtual(p *sim.Proc, virt int, payload []byte) {
-	a.sendSlot(p, virt, 0, payload, 0, 0)
+	a.sendSlot(p, "SendVirtual", virt, 0, payload, 0, 0)
 }
 
 // TryRecvOverflow polls the DRAM overflow ring for one message delivered to
 // a non-resident logical queue.
 func (a *API) TryRecvOverflow(p *sim.Proc) (src int, logicalQ uint16, payload []byte, ok bool) {
-	defer a.busy()()
+	defer a.busy("TryRecvOverflow")()
 	var prod [8]byte
 	a.n.Cache.Load(p, cluster.MissRingBase, prod[:])
 	producer := uint32(binary.BigEndian.Uint64(prod[:]))

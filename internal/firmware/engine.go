@@ -18,6 +18,7 @@ import (
 	"startvoyager/internal/niu/ctrl"
 	"startvoyager/internal/niu/txrx"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // Costs models sP occupancy per firmware activity.
@@ -84,7 +85,7 @@ func New(s *sim.Engine, node int, sb *biu.SBIU, svcQueue, missQueue int, costs C
 	if costs == (Costs{}) {
 		costs = DefaultCosts()
 	}
-	return &Engine{
+	e := &Engine{
 		sim: s, node: node, sb: sb, costs: costs,
 		res:        sim.NewResource(s, fmt.Sprintf("sp%d", node)),
 		svcQueue:   svcQueue,
@@ -93,6 +94,10 @@ func New(s *sim.Engine, node int, sb *biu.SBIU, svcQueue, missQueue int, costs C
 		rxNotify:   sim.NewQueue[int](s),
 		protNotify: sim.NewQueue[int](s),
 	}
+	e.res.Observe(node, "sP")
+	e.rxNotify.Observe(node, "fw", "rx-int-pending")
+	e.protNotify.Observe(node, "fw", "prot-pending")
+	return e
 }
 
 // Node returns the node id.
@@ -112,6 +117,15 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // BusyTime returns accumulated sP occupancy.
 func (e *Engine) BusyTime() sim.Time { return e.res.BusyTime() }
+
+// RegisterMetrics registers the firmware engine's counters under r.
+func (e *Engine) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("messages", func() int64 { return int64(e.stats.Messages) })
+	r.Gauge("miss_served", func() int64 { return int64(e.stats.MissServed) })
+	r.Gauge("captures", func() int64 { return int64(e.stats.Captures) })
+	r.Gauge("prot_viols", func() int64 { return int64(e.stats.ProtViols) })
+	r.Time("sp_busy", e.res.BusyTime)
+}
 
 // Register installs h for service id svc (the first payload byte).
 func (e *Engine) Register(svc byte, h Handler) {
@@ -188,18 +202,35 @@ func (e *Engine) msgLoop(p *sim.Proc) {
 			}
 			e.Occupy(p, e.costs.Handler+sim.Time(hdr)*e.costs.PerByte)
 			c.RxConsumerUpdate(q, ptr+1)
+			// One span per handled message on the node's "fw" track. Only
+			// this loop opens "fw" spans, so they never overlap (the other
+			// loops emit instants); sP occupancy itself is traced by the
+			// observed sp resource on the "sP" track.
 			switch {
 			case q == e.missQueue:
 				e.stats.MissServed++
 				if e.missH != nil {
+					span := e.handlerSpan("miss", src)
 					e.missH(p, src, logical, payload)
+					span.End()
 				}
 			default:
 				e.stats.Messages++
+				span := e.handlerSpan("svc", src)
 				e.dispatch(p, src, payload)
+				span.End()
 			}
 		}
 	}
+}
+
+// handlerSpan opens a dispatch span on the "fw" track (inert when tracing
+// is off).
+func (e *Engine) handlerSpan(name string, src uint16) sim.Span {
+	if !e.sim.Observed() {
+		return sim.Span{}
+	}
+	return e.sim.BeginSpan(e.node, "fw", name, sim.Int("src", int(src)))
 }
 
 func (e *Engine) dispatch(p *sim.Proc, src uint16, payload []byte) {
@@ -219,6 +250,15 @@ func (e *Engine) captureLoop(p *sim.Proc) {
 	for {
 		op := q.Pop(p)
 		e.stats.Captures++
+		if e.sim.Observed() {
+			kind := "numa"
+			if op.Reflect {
+				kind = "reflect"
+			} else if op.Scoma {
+				kind = "scoma"
+			}
+			e.sim.Instant(e.node, "fw", "capture", sim.Str("kind", kind))
+		}
 		e.Occupy(p, e.costs.Dispatch)
 		switch {
 		case op.Reflect:
@@ -245,6 +285,7 @@ func (e *Engine) protLoop(p *sim.Proc) {
 	for {
 		q := e.protNotify.Pop(p)
 		e.stats.ProtViols++
+		e.sim.Instant(e.node, "fw", "prot-viol", sim.Int("q", q))
 		e.Occupy(p, e.costs.Dispatch)
 		if e.protViol != nil {
 			e.protViol(p, q)

@@ -9,6 +9,7 @@ import (
 
 	"startvoyager/internal/bus"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
 
 // DRAM is main memory plus its controller, attached to a node bus.
@@ -91,6 +92,12 @@ func (d *DRAM) SnoopBus(tx *bus.Transaction) bus.Snoop {
 
 // Accesses returns the number of read and write transactions served.
 func (d *DRAM) Accesses() (reads, writes uint64) { return d.reads, d.writes }
+
+// RegisterMetrics registers the controller's access counters under r.
+func (d *DRAM) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("reads", func() int64 { return int64(d.reads) })
+	r.Gauge("writes", func() int64 { return int64(d.writes) })
+}
 
 // Peek copies memory at addr into buf without consuming simulated time.
 func (d *DRAM) Peek(addr uint32, buf []byte) {

@@ -18,7 +18,19 @@ import (
 	"startvoyager/internal/bus"
 	"startvoyager/internal/niu/sram"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 )
+
+// txqName/rxqName are precomputed counter-track names so queue-depth
+// sampling allocates nothing on the hot path.
+var txqName, rxqName [NumQueues]string
+
+func init() {
+	for i := range txqName {
+		txqName[i] = fmt.Sprintf("txq%d", i)
+		rxqName[i] = fmt.Sprintf("rxq%d", i)
+	}
+}
 
 // NumQueues is the number of hardware transmit and receive queues.
 const NumQueues = 16
@@ -217,7 +229,8 @@ type Ctrl struct {
 	blockRead *blockUnit
 	blockTx   *blockUnit
 
-	stats Stats
+	stats      Stats
+	rxSizeHist *stats.Histogram // received payload bytes
 }
 
 // New builds a CTRL for node myNode over the given SRAMs.
@@ -226,8 +239,10 @@ func New(eng *sim.Engine, myNode int, aS, sS *sram.SRAM, cls *sram.Cls, cfg Conf
 	c := &Ctrl{
 		eng: eng, myNode: myNode, cfg: cfg,
 		aSRAM: aS, sSRAM: sS, cls: cls,
-		ibus: sim.NewResource(eng, fmt.Sprintf("ibus%d", myNode)),
+		ibus:       sim.NewResource(eng, fmt.Sprintf("ibus%d", myNode)),
+		rxSizeHist: stats.NewHistogram(8, 16, 32, 64, 96),
 	}
+	c.ibus.Observe(myNode, "niu")
 	c.local[0] = newCmdQueue(c, "cmdq0")
 	c.local[1] = newCmdQueue(c, "cmdq1")
 	c.remote = newRemoteQueue(c)
@@ -252,6 +267,39 @@ func (c *Ctrl) Stats() Stats { return c.stats }
 
 // IBusBusyTime returns accumulated IBus occupancy.
 func (c *Ctrl) IBusBusyTime() sim.Time { return c.ibus.BusyTime() }
+
+// RegisterMetrics registers CTRL's counters under r.
+func (c *Ctrl) RegisterMetrics(r *stats.Registry) {
+	r.Gauge("tx_messages", func() int64 { return int64(c.stats.TxMessages) })
+	r.Gauge("rx_messages", func() int64 { return int64(c.stats.RxMessages) })
+	r.Gauge("tx_bytes", func() int64 { return int64(c.stats.TxBytes) })
+	r.Gauge("rx_bytes", func() int64 { return int64(c.stats.RxBytes) })
+	r.Gauge("rx_misses", func() int64 { return int64(c.stats.RxMisses) })
+	r.Gauge("rx_drops", func() int64 { return int64(c.stats.RxDrops) })
+	r.Gauge("rx_holds", func() int64 { return int64(c.stats.RxHolds) })
+	r.Gauge("prot_violations", func() int64 { return int64(c.stats.ProtViolations) })
+	r.Gauge("local_cmds", func() int64 { return int64(c.stats.LocalCmds) })
+	r.Gauge("remote_cmds", func() int64 { return int64(c.stats.RemoteCmds) })
+	r.Gauge("block_reads", func() int64 { return int64(c.stats.BlockReads) })
+	r.Gauge("block_txs", func() int64 { return int64(c.stats.BlockTxs) })
+	r.Gauge("tagons", func() int64 { return int64(c.stats.TagOns) })
+	r.Time("ibus_busy", c.ibus.BusyTime)
+	r.Histogram("rx_payload_bytes", c.rxSizeHist)
+}
+
+// sampleTx emits transmit queue q's depth on the node's "ctrl" track.
+func (c *Ctrl) sampleTx(q int) {
+	if c.eng.Observed() {
+		c.eng.Sample(c.myNode, "ctrl", txqName[q], int64(c.tx[q].pending()))
+	}
+}
+
+// sampleRx emits receive queue q's depth on the node's "ctrl" track.
+func (c *Ctrl) sampleRx(q int) {
+	if c.eng.Observed() {
+		c.eng.Sample(c.myNode, "ctrl", rxqName[q], int64(c.rx[q].used()))
+	}
+}
 
 // Cls exposes the clsSRAM (written by remote commands and firmware).
 func (c *Ctrl) Cls() *sram.Cls { return c.cls }
@@ -350,6 +398,7 @@ func (c *Ctrl) TxProducerUpdate(q int, producer uint32) {
 	}
 	tq.producer = producer
 	c.shadowTx(q)
+	c.sampleTx(q)
 	c.kickTx()
 }
 
@@ -362,6 +411,7 @@ func (c *Ctrl) RxConsumerUpdate(q int, consumer uint32) {
 	}
 	rq.consumer = consumer
 	c.shadowRx(q)
+	c.sampleRx(q)
 	if rq.holding && !rq.full() {
 		rq.holding = false
 		c.net.Poke()

@@ -111,8 +111,10 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 			rq.reserved--
 			rq.producer++
 			c.shadowRx(q)
+			c.sampleRx(q)
 			c.stats.RxMessages++
 			c.stats.RxBytes += uint64(len(frame.Payload))
+			c.rxSizeHist.Observe(int64(len(frame.Payload)))
 			if rq.cfg.Interrupt && c.ints != nil {
 				c.ints.RxInterrupt(q)
 			}

@@ -186,6 +186,7 @@ func (c *Ctrl) translateAndSend(q int, dest uint16, translate bool, pri arctic.P
 		c.emit(frame, int(phys), pri, func() {
 			tq.consumer++
 			c.shadowTx(q)
+			c.sampleTx(q)
 			c.stats.TxMessages++
 			c.stats.TxBytes += uint64(len(frame.Payload))
 			c.txRR = q

@@ -170,8 +170,10 @@ func New(eng *sim.Engine, id int, fabric arctic.Fabric, cfg Config) *Node {
 		APMeter: stats.NewMeter(eng, fmt.Sprintf("aP%d", id))}
 
 	n.Bus = bus.New(eng, fmt.Sprintf("bus%d", id), cfg.Bus)
+	n.Bus.SetNode(id)
 	n.Dram = mem.New(bus.Range{Base: DramBase, Size: cfg.DramSize}, cfg.DramLat)
 	n.Cache = cache.New(fmt.Sprintf("l2-%d", id), n.Bus, cfg.Cache)
+	n.Cache.SetNode(id)
 	n.Cache.SetWritebackSink(n.Dram.Poke)
 
 	n.ASram = sram.New(fmt.Sprintf("aSRAM%d", id), cfg.ASramSize)
@@ -232,6 +234,17 @@ func (a *netAdapter) Ready(pri arctic.Priority) bool { return a.n.fabric.InjectR
 
 func (a *netAdapter) TryDeliver(pkt *arctic.Packet) bool {
 	return a.n.Ctrl.TryReceive(pkt.Payload.([]byte))
+}
+
+// RegisterMetrics registers every component's counters under r (one child
+// per component, mirroring the trace track taxonomy).
+func (n *Node) RegisterMetrics(r *stats.Registry) {
+	r.Meter("aP", n.APMeter)
+	n.Bus.RegisterMetrics(r.Child("bus"))
+	n.Cache.RegisterMetrics(r.Child("cache"))
+	n.Dram.RegisterMetrics(r.Child("mem"))
+	n.Ctrl.RegisterMetrics(r.Child("ctrl"))
+	n.FW.RegisterMetrics(r.Child("fw"))
 }
 
 // ScomaWindow returns the S-COMA window range.

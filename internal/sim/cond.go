@@ -84,14 +84,35 @@ func (g *Gate) Wait(p *Proc) {
 type Queue[T any] struct {
 	cond  *Cond
 	items []T
+
+	observed bool
+	obsNode  int
+	obsComp  string
+	obsName  string
 }
 
 // NewQueue returns an empty queue bound to e.
 func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
 
+// Observe samples the queue depth onto the observability track
+// (node, component) under name whenever the depth changes.
+func (q *Queue[T]) Observe(node int, component, name string) {
+	q.observed = true
+	q.obsNode = node
+	q.obsComp = component
+	q.obsName = name
+}
+
+func (q *Queue[T]) sample() {
+	if q.observed {
+		q.cond.eng.Sample(q.obsNode, q.obsComp, q.obsName, int64(len(q.items)))
+	}
+}
+
 // Push appends an item and wakes one waiter.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
+	q.sample()
 	q.cond.Signal()
 }
 
@@ -102,6 +123,7 @@ func (q *Queue[T]) Pop(p *Proc) T {
 	}
 	v := q.items[0]
 	q.items = q.items[1:]
+	q.sample()
 	return v
 }
 
@@ -113,6 +135,7 @@ func (q *Queue[T]) TryPop() (v T, ok bool) {
 	}
 	v = q.items[0]
 	q.items = q.items[1:]
+	q.sample()
 	return v, true
 }
 

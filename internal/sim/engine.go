@@ -76,6 +76,9 @@ type Engine struct {
 	blocked int // Procs blocked on a Cond (not on a scheduled event)
 
 	panicVal interface{} // pending panic propagated from a Proc
+
+	obs     Observer // instrumentation sink (nil: all hooks are no-ops)
+	spanSeq uint64   // deterministic span id allocator
 }
 
 // NewEngine returns an empty engine at time zero.

@@ -11,6 +11,14 @@ type Resource struct {
 	busySince Time
 	busyTotal Time
 	grants    uint64
+
+	// Observation state (see Observe): each hold becomes a span on track
+	// (obsNode, obsComp) and waiter-queue depth is sampled on change.
+	observed    bool
+	obsNode     int
+	obsComp     string
+	waitersName string
+	span        Span
 }
 
 // NewResource returns an idle resource.
@@ -18,17 +26,38 @@ func NewResource(e *Engine, name string) *Resource {
 	return &Resource{eng: e, name: name}
 }
 
+// Observe puts each hold of the resource on the observability track
+// (node, component) as a span named after the resource, and samples the
+// waiter-queue depth whenever it changes. With no engine observer installed
+// the emission calls are no-ops.
+func (r *Resource) Observe(node int, component string) {
+	r.observed = true
+	r.obsNode = node
+	r.obsComp = component
+	r.waitersName = r.name + "-waiters"
+}
+
+func (r *Resource) grant() {
+	r.busy = true
+	r.busySince = r.eng.now
+	r.grants++
+	if r.observed {
+		r.span = r.eng.BeginSpan(r.obsNode, r.obsComp, r.name)
+	}
+}
+
 // Acquire requests the resource; granted runs (as an engine event) once the
 // resource is exclusively held by the caller.
 func (r *Resource) Acquire(granted func()) {
 	if !r.busy {
-		r.busy = true
-		r.busySince = r.eng.now
-		r.grants++
+		r.grant()
 		r.eng.Schedule(0, granted)
 		return
 	}
 	r.queue = append(r.queue, granted)
+	if r.observed {
+		r.eng.Sample(r.obsNode, r.obsComp, r.waitersName, int64(len(r.queue)))
+	}
 }
 
 // Release relinquishes the resource, granting it to the next waiter if any.
@@ -38,12 +67,17 @@ func (r *Resource) Release() {
 	}
 	r.busyTotal += r.eng.now - r.busySince
 	r.busy = false
+	if r.observed {
+		r.span.End()
+		r.span = Span{}
+	}
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		r.busy = true
-		r.busySince = r.eng.now
-		r.grants++
+		if r.observed {
+			r.eng.Sample(r.obsNode, r.obsComp, r.waitersName, int64(len(r.queue)))
+		}
+		r.grant()
 		r.eng.Schedule(0, next)
 	}
 }

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+
+	"startvoyager/internal/sim"
+)
+
+// Histogram counts int64 samples into fixed buckets. Bucket i holds samples
+// v with bounds[i-1] < v <= bounds[i]; one extra overflow bucket holds
+// everything above the last bound. Fixed boundaries (rather than adaptive
+// ones) keep dumps byte-identical across runs and diffable across code
+// changes.
+type Histogram struct {
+	bounds []int64
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns a histogram with the given strictly increasing upper
+// bucket bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d: %d <= %d",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// ExpBounds builds n exponentially growing bounds: start, start*factor, ...
+func ExpBounds(start, factor int64, n int) []int64 {
+	if start <= 0 || factor < 2 || n < 1 {
+		panic("stats: bad ExpBounds parameters")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// ObserveTime records a simulated duration in nanoseconds.
+func (h *Histogram) ObserveTime(t sim.Time) { h.Observe(int64(t)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// NumBuckets returns the bucket count, including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Bucket returns bucket i's inclusive upper bound and count; the final
+// (overflow) bucket reports ok=false for its bound.
+func (h *Histogram) Bucket(i int) (bound int64, count uint64, bounded bool) {
+	if i < len(h.bounds) {
+		return h.bounds[i], h.counts[i], true
+	}
+	return 0, h.counts[i], false
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"startvoyager/internal/sim"
+)
+
+// Registry is a hierarchical metrics registry. Components register their
+// counters, meters, gauges, and histograms at construction under a
+// slash-separated path ("node0/bus/transactions"); the whole tree dumps as
+// one stable machine-readable JSON document. Registration stores references
+// (or read closures), so the dump always reflects live values — there is no
+// sampling cost during simulation.
+//
+// Dumps are deterministic: paths are emitted in sorted order and every value
+// is an integer (simulated-time nanoseconds, counts, bytes), so two
+// identically-seeded runs produce byte-identical files.
+type Registry struct {
+	prefix string
+	root   *registryRoot
+}
+
+type registryRoot struct {
+	entries map[string]func() interface{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{root: &registryRoot{entries: make(map[string]func() interface{})}}
+}
+
+// Child returns a view of the registry scoped under name.
+func (r *Registry) Child(name string) *Registry {
+	return &Registry{prefix: r.join(name), root: r.root}
+}
+
+// Path returns the registry's scope prefix ("" at the root).
+func (r *Registry) Path() string { return r.prefix }
+
+func (r *Registry) join(name string) string {
+	if name == "" || strings.Contains(name, "/") {
+		panic(fmt.Sprintf("stats: bad registry name %q", name))
+	}
+	if r.prefix == "" {
+		return name
+	}
+	return r.prefix + "/" + name
+}
+
+func (r *Registry) add(name string, read func() interface{}) {
+	path := r.join(name)
+	if _, dup := r.root.entries[path]; dup {
+		panic("stats: duplicate metric " + path)
+	}
+	r.root.entries[path] = read
+}
+
+// Gauge registers an integer read at dump time.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	r.add(name, func() interface{} {
+		return map[string]interface{}{"kind": "gauge", "value": fn()}
+	})
+}
+
+// Counter registers an event/amount counter.
+func (r *Registry) Counter(name string, c *Counter) {
+	r.add(name, func() interface{} {
+		return map[string]interface{}{"kind": "counter", "events": c.Events, "amount": c.Amount}
+	})
+}
+
+// Meter registers a busy-time meter; the dump reports accumulated busy
+// nanoseconds and completed spans.
+func (r *Registry) Meter(name string, m *Meter) {
+	r.add(name, func() interface{} {
+		return map[string]interface{}{
+			"kind": "meter", "busy_ns": int64(m.BusyTime()), "spans": m.Spans(),
+		}
+	})
+}
+
+// Time registers a simulated-time quantity (resource busy time, latency sum)
+// read at dump time, reported in nanoseconds.
+func (r *Registry) Time(name string, fn func() sim.Time) {
+	r.add(name, func() interface{} {
+		return map[string]interface{}{"kind": "time", "ns": int64(fn())}
+	})
+}
+
+// Histogram registers a fixed-bucket histogram.
+func (r *Registry) Histogram(name string, h *Histogram) {
+	r.add(name, func() interface{} {
+		buckets := make([]interface{}, h.NumBuckets())
+		for i := range buckets {
+			bound, count, bounded := h.Bucket(i)
+			le := interface{}("+inf")
+			if bounded {
+				le = bound
+			}
+			buckets[i] = map[string]interface{}{"le": le, "count": count}
+		}
+		return map[string]interface{}{
+			"kind": "histogram", "count": h.Count(), "sum": h.Sum(),
+			"min": h.Min(), "max": h.Max(), "buckets": buckets,
+		}
+	})
+}
+
+// Paths returns every registered metric path, sorted.
+func (r *Registry) Paths() []string {
+	var out []string
+	for p := range r.root.entries {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON writes the whole registry as one indented JSON document, with
+// now recorded as the dump's simulated timestamp. Output is byte-stable for
+// a given registry state (sorted paths, integer values only).
+func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
+	metrics := make(map[string]interface{}, len(r.root.entries))
+	for _, p := range r.Paths() {
+		metrics[p] = r.root.entries[p]()
+	}
+	doc := map[string]interface{}{
+		"schema":      "voyager-metrics/v1",
+		"sim_time_ns": int64(now),
+		"metrics":     metrics,
+	}
+	// encoding/json sorts map keys, which is exactly the stability we want.
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}

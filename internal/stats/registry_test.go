@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func buildRegistry(eng *sim.Engine) *Registry {
+	reg := NewRegistry()
+	n0 := reg.Child("node0")
+	c := &Counter{}
+	c.Add(64)
+	c.Add(96)
+	n0.Child("bus").Counter("data", c)
+	n0.Child("bus").Gauge("retries", func() int64 { return 7 })
+	m := NewMeter(eng, "aP0")
+	m.Start()
+	n0.Meter("aP", m)
+	n0.Time("uptime", func() sim.Time { return eng.Now() })
+	h := NewHistogram(8, 16, 32)
+	h.Observe(8)
+	h.Observe(9)
+	h.Observe(40)
+	reg.Child("net").Histogram("latency", h)
+	return reg
+}
+
+func TestRegistryGolden(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := buildRegistry(eng)
+	eng.Schedule(250, func() {})
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("metrics JSON differs from golden (run with -update to refresh):\n%s", buf.String())
+	}
+}
+
+func TestRegistryPathsSorted(t *testing.T) {
+	reg := buildRegistry(sim.NewEngine())
+	paths := reg.Paths()
+	if len(paths) != 5 {
+		t.Fatalf("paths %v", paths)
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1] >= paths[i] {
+			t.Fatalf("paths not sorted: %v", paths)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "duplicate") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	reg := NewRegistry()
+	reg.Gauge("x", func() int64 { return 0 })
+	reg.Gauge("x", func() int64 { return 1 })
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	for _, bad := range []string{"", "a/b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q did not panic", bad)
+				}
+			}()
+			NewRegistry().Child(bad)
+		}()
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(10, 20, 40)
+	// A sample exactly on a bound lands in that bucket (le semantics);
+	// one past it lands in the next.
+	h.Observe(10) // bucket 0 (le 10)
+	h.Observe(11) // bucket 1 (le 20)
+	h.Observe(20) // bucket 1
+	h.Observe(40) // bucket 2 (le 40)
+	h.Observe(41) // overflow
+	h.Observe(-5) // below first bound: bucket 0
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if _, c, _ := h.Bucket(i); c != w {
+			t.Fatalf("bucket %d count %d, want %d", i, c, w)
+		}
+	}
+	if h.Count() != 6 || h.Min() != -5 || h.Max() != 41 || h.Sum() != 10+11+20+40+41-5 {
+		t.Fatalf("summary count=%d min=%d max=%d sum=%d", h.Count(), h.Min(), h.Max(), h.Sum())
+	}
+	if _, _, bounded := h.Bucket(3); bounded {
+		t.Fatal("overflow bucket reported a bound")
+	}
+}
+
+func TestHistogramSingleObservationMinMax(t *testing.T) {
+	h := NewHistogram(100)
+	h.Observe(42)
+	if h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramObserveTime(t *testing.T) {
+	h := NewHistogram(int64(sim.Microsecond))
+	h.ObserveTime(500 * sim.Nanosecond)
+	if _, c, _ := h.Bucket(0); c != 1 {
+		t.Fatalf("bucket 0 count %d", c)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]int64{{}, {5, 5}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(1000, 2, 4)
+	want := []int64{1000, 2000, 4000, 8000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBounds = %v", got)
+		}
+	}
+}
+
+func TestMeterPanicsNameTime(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, "aP3")
+	m.Start()
+	func() {
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, "aP3") || !strings.Contains(msg, "must not nest") {
+				t.Fatalf("Start panic %q", msg)
+			}
+		}()
+		m.Start()
+	}()
+	func() {
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, "aP3") || !strings.Contains(msg, "Reset while busy") {
+				t.Fatalf("Reset panic %q", msg)
+			}
+		}()
+		m.Reset()
+	}()
+	m.Stop()
+	func() {
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, "aP3") || !strings.Contains(msg, "Stop while idle") {
+				t.Fatalf("Stop panic %q", msg)
+			}
+		}()
+		m.Stop()
+	}()
+}

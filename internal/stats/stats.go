@@ -44,7 +44,8 @@ func NewMeter(e *sim.Engine, name string) *Meter {
 // must not nest, since that would double-count occupancy.
 func (m *Meter) Start() {
 	if m.busy {
-		panic("stats: meter " + m.name + " already busy")
+		panic(fmt.Sprintf("stats: meter %q: Start while busy (interval open since %v, now %v); busy intervals must not nest",
+			m.name, m.since, m.eng.Now()))
 	}
 	m.busy = true
 	m.since = m.eng.Now()
@@ -53,7 +54,8 @@ func (m *Meter) Start() {
 // Stop marks the resource idle.
 func (m *Meter) Stop() {
 	if !m.busy {
-		panic("stats: meter " + m.name + " not busy")
+		panic(fmt.Sprintf("stats: meter %q: Stop while idle at %v; every Stop needs a matching Start",
+			m.name, m.eng.Now()))
 	}
 	m.total += m.eng.Now() - m.since
 	m.busy = false
@@ -83,7 +85,8 @@ func (m *Meter) Utilization(from, to sim.Time) float64 {
 // Reset zeroes the meter (it must be idle).
 func (m *Meter) Reset() {
 	if m.busy {
-		panic("stats: reset of busy meter " + m.name)
+		panic(fmt.Sprintf("stats: meter %q: Reset while busy (interval open since %v, now %v)",
+			m.name, m.since, m.eng.Now()))
 	}
 	m.total = 0
 	m.spans = 0

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticEvents builds a small hand-authored event stream covering every
+// event kind across two nodes and three components.
+func syntheticEvents() []Event {
+	return []Event{
+		{At: 1500, Node: 0, Component: "bus", Kind: SpanBegin, Name: "ReadLine", Span: 1,
+			Fields: []sim.Field{sim.Hex("addr", 0x12c0)}},
+		{At: 1750, Node: 1, Component: "net", Kind: Instant, Name: "inject",
+			Fields: []sim.Field{sim.Int("dst", 0), sim.Str("pri", "high")}},
+		{At: 2000, Node: 0, Component: "ctrl", Kind: Counter, Name: "txq0", Value: 3},
+		{At: 2250, Node: 0, Component: "bus", Kind: SpanEnd, Span: 1},
+		{At: 3001, Node: 1, Component: "net", Kind: Counter, Name: "inflight", Value: 1},
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, syntheticEvents(), Stats{Captured: 5, Retained: 5}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto output differs from golden (run with -update to refresh):\n%s", buf.String())
+	}
+}
+
+func TestPerfettoIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, syntheticEvents(), Stats{Captured: 7, Dropped: 2, Retained: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		OtherData       map[string]string        `json:"otherData"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData["dropped"] != "2" || doc.OtherData["truncated"] != "true" {
+		t.Fatalf("truncation not surfaced: %v", doc.OtherData)
+	}
+	// 2 process metadata events per node × 2 nodes + 2 thread metadata events
+	// per track × 3 tracks + 5 payload events.
+	if len(doc.TraceEvents) != 4+6+5 {
+		t.Fatalf("event count %d", len(doc.TraceEvents))
+	}
+	// Spot-check exact-microsecond timestamps and track assignment.
+	var sawBegin bool
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "B" {
+			sawBegin = true
+			if ev["ts"] != 1.5 {
+				t.Fatalf("ts = %v, want 1.5", ev["ts"])
+			}
+			args := ev["args"].(map[string]interface{})
+			if args["addr"] != "0x12c0" {
+				t.Fatalf("args = %v", args)
+			}
+		}
+	}
+	if !sawBegin {
+		t.Fatal("no B event found")
+	}
+}
+
+func TestPerfettoDeterministicTracks(t *testing.T) {
+	// Byte-identical across repeated exports of the same stream (track id
+	// assignment must not depend on map iteration order).
+	var a, b bytes.Buffer
+	evs := syntheticEvents()
+	if err := WritePerfetto(&a, evs, Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, evs, Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated exports differ")
+	}
+}

@@ -1,7 +1,9 @@
-// Package trace provides a lightweight event tracer for debugging and
-// studying the machine: components append timestamped records to a bounded
-// ring buffer that can be filtered and dumped. Tracing is opt-in and has no
-// effect on simulated timing.
+// Package trace captures the machine's structured observability stream: it
+// implements sim.Observer with a bounded ring buffer of typed events
+// (spans, instants, counter samples) that can be filtered, dumped as text,
+// or exported as a Perfetto/Chrome trace-event file (see perfetto.go).
+// Tracing is opt-in — install a Buffer with sim.Engine.SetObserver — and has
+// no effect on simulated timing.
 package trace
 
 import (
@@ -9,25 +11,82 @@ import (
 	"io"
 	"strings"
 
-	"startvoyager/internal/bus"
 	"startvoyager/internal/sim"
 )
 
-// Event is one trace record.
+// Kind is the type of one trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// SpanBegin opens a span (a duration on one node×component track).
+	SpanBegin Kind = iota
+	// SpanEnd closes the span with the matching id.
+	SpanEnd
+	// Instant is a point event.
+	Instant
+	// Counter is a sampled value of a named quantity.
+	Counter
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SpanBegin:
+		return "B"
+	case SpanEnd:
+		return "E"
+	case Instant:
+		return "I"
+	case Counter:
+		return "C"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one structured trace record. Payload lives in typed Fields, not
+// preformatted strings, so exporters and tests can consume it directly.
 type Event struct {
 	At        sim.Time
 	Node      int
-	Component string // "bus", "ctrl", "fw", "net", ...
-	What      string
-	Detail    string
+	Component string // track within the node: "bus", "aP", "fw", ...
+	Kind      Kind
+	Name      string // span/instant/counter name ("" on SpanEnd)
+	Span      uint64 // span id linking Begin/End pairs (0 otherwise)
+	Value     int64  // Counter sample value
+	Fields    []sim.Field
 }
 
 // String renders the event as one line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12s n%d %-5s %-12s %s", e.At, e.Node, e.Component, e.What, e.Detail)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s n%d %-9s %s", e.At, e.Node, e.Component, e.Kind)
+	if e.Name != "" {
+		fmt.Fprintf(&b, " %-14s", e.Name)
+	}
+	if e.Span != 0 {
+		fmt.Fprintf(&b, " #%d", e.Span)
+	}
+	if e.Kind == Counter {
+		fmt.Fprintf(&b, " =%d", e.Value)
+	}
+	for _, f := range e.Fields {
+		fmt.Fprintf(&b, " %s=%s", f.Key, f.Value())
+	}
+	return b.String()
 }
 
-// Buffer is a bounded event ring.
+// Stats summarizes a buffer's capture so truncated traces are never
+// mistaken for complete ones.
+type Stats struct {
+	Captured uint64 // events offered to the buffer
+	Retained uint64 // events currently held
+	Dropped  uint64 // events that fell off the ring
+}
+
+// Buffer is a bounded ring of events implementing sim.Observer (older
+// events are dropped first).
 type Buffer struct {
 	eng     *sim.Engine
 	cap     int
@@ -36,8 +95,8 @@ type Buffer struct {
 	dropped uint64
 }
 
-// New creates a buffer holding up to capacity events (older events are
-// dropped first).
+// New creates a buffer holding up to capacity events. The buffer must still
+// be installed with eng.SetObserver (or use Attach).
 func New(eng *sim.Engine, capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = 4096
@@ -45,9 +104,14 @@ func New(eng *sim.Engine, capacity int) *Buffer {
 	return &Buffer{eng: eng, cap: capacity}
 }
 
-// Add appends an event at the current simulated time.
-func (b *Buffer) Add(node int, component, what, detail string) {
-	e := Event{At: b.eng.Now(), Node: node, Component: component, What: what, Detail: detail}
+// Attach creates a buffer and installs it as eng's observer.
+func Attach(eng *sim.Engine, capacity int) *Buffer {
+	b := New(eng, capacity)
+	eng.SetObserver(b)
+	return b
+}
+
+func (b *Buffer) add(e Event) {
 	if len(b.events) < b.cap {
 		b.events = append(b.events, e)
 		return
@@ -57,18 +121,41 @@ func (b *Buffer) Add(node int, component, what, detail string) {
 	b.dropped++
 }
 
-// Addf is Add with a formatted detail string.
-func (b *Buffer) Addf(node int, component, what, format string, args ...interface{}) {
-	b.Add(node, component, what, fmt.Sprintf(format, args...))
+// SpanBegin implements sim.Observer.
+func (b *Buffer) SpanBegin(at sim.Time, node int, component, name string, id uint64, fields []sim.Field) {
+	b.add(Event{At: at, Node: node, Component: component, Kind: SpanBegin,
+		Name: name, Span: id, Fields: fields})
+}
+
+// SpanEnd implements sim.Observer.
+func (b *Buffer) SpanEnd(at sim.Time, node int, component string, id uint64, fields []sim.Field) {
+	b.add(Event{At: at, Node: node, Component: component, Kind: SpanEnd,
+		Span: id, Fields: fields})
+}
+
+// Instant implements sim.Observer.
+func (b *Buffer) Instant(at sim.Time, node int, component, name string, fields []sim.Field) {
+	b.add(Event{At: at, Node: node, Component: component, Kind: Instant,
+		Name: name, Fields: fields})
+}
+
+// CounterSample implements sim.Observer.
+func (b *Buffer) CounterSample(at sim.Time, node int, component, name string, value int64) {
+	b.add(Event{At: at, Node: node, Component: component, Kind: Counter,
+		Name: name, Value: value})
 }
 
 // Len returns the number of retained events.
 func (b *Buffer) Len() int { return len(b.events) }
 
-// Dropped returns how many events fell off the ring.
-func (b *Buffer) Dropped() uint64 { return b.dropped }
+// Stats reports capture totals, including how many events were dropped —
+// callers must check Dropped before treating a trace as complete.
+func (b *Buffer) Stats() Stats {
+	retained := uint64(len(b.events))
+	return Stats{Captured: retained + b.dropped, Retained: retained, Dropped: b.dropped}
+}
 
-// Events returns retained events in chronological order.
+// Events returns retained events in emission order.
 func (b *Buffer) Events() []Event {
 	out := make([]Event, 0, len(b.events))
 	out = append(out, b.events[b.start:]...)
@@ -77,14 +164,14 @@ func (b *Buffer) Events() []Event {
 }
 
 // Filter returns events matching the component prefix and/or substring of
-// What (empty strings match everything).
-func (b *Buffer) Filter(component, what string) []Event {
+// Name (empty strings match everything).
+func (b *Buffer) Filter(component, name string) []Event {
 	var out []Event
 	for _, e := range b.Events() {
 		if component != "" && !strings.HasPrefix(e.Component, component) {
 			continue
 		}
-		if what != "" && !strings.Contains(e.What, what) {
+		if name != "" && !strings.Contains(e.Name, name) {
 			continue
 		}
 		out = append(out, e)
@@ -92,23 +179,17 @@ func (b *Buffer) Filter(component, what string) []Event {
 	return out
 }
 
-// Dump writes all retained events to w.
+// Dump writes all retained events to w, followed by a capture summary that
+// surfaces any truncation.
 func (b *Buffer) Dump(w io.Writer) {
 	for _, e := range b.Events() {
 		fmt.Fprintln(w, e)
 	}
-	if b.dropped > 0 {
-		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.dropped)
+	s := b.Stats()
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "(TRUNCATED: %d of %d events dropped; %d retained)\n",
+			s.Dropped, s.Captured, s.Retained)
+	} else {
+		fmt.Fprintf(w, "(%d events, none dropped)\n", s.Retained)
 	}
-}
-
-// AttachBus installs a hook recording every completed bus transaction.
-func AttachBus(b *Buffer, bs *bus.Bus, node int) {
-	bs.SetTraceHook(func(tx *bus.Transaction) {
-		detail := fmt.Sprintf("addr=%#x", tx.Addr)
-		if tx.Retries > 0 {
-			detail += fmt.Sprintf(" retries=%d", tx.Retries)
-		}
-		b.Add(node, "bus", tx.Kind.String(), detail)
-	})
 }

@@ -4,91 +4,104 @@ import (
 	"strings"
 	"testing"
 
-	"startvoyager/internal/bus"
-	"startvoyager/internal/mem"
 	"startvoyager/internal/sim"
 )
 
-func TestAddAndOrder(t *testing.T) {
+func TestObserverCapture(t *testing.T) {
 	eng := sim.NewEngine()
-	b := New(eng, 8)
-	eng.Schedule(10, func() { b.Add(0, "ctrl", "tx", "q0") })
-	eng.Schedule(20, func() { b.Addf(1, "fw", "dispatch", "svc=%#x", 0x20) })
+	b := Attach(eng, 16)
+	eng.Schedule(10, func() {
+		s := eng.BeginSpan(0, "bus", "ReadLine", sim.Hex("addr", 0x100))
+		eng.Schedule(5, func() { s.End() })
+	})
+	eng.Schedule(20, func() { eng.Instant(1, "cache", "miss", sim.Int("set", 3)) })
+	eng.Schedule(30, func() { eng.Sample(0, "ctrl", "txq0", 2) })
 	eng.Run()
+
 	evs := b.Events()
-	if len(evs) != 2 || evs[0].At != 10 || evs[1].At != 20 {
-		t.Fatalf("events %v", evs)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events: %v", len(evs), evs)
 	}
-	if !strings.Contains(evs[1].Detail, "svc=0x20") {
-		t.Fatalf("detail %q", evs[1].Detail)
+	if evs[0].Kind != SpanBegin || evs[0].At != 10 || evs[0].Name != "ReadLine" || evs[0].Span == 0 {
+		t.Fatalf("begin event %v", evs[0])
 	}
-	if !strings.Contains(evs[0].String(), "ctrl") {
-		t.Fatalf("string %q", evs[0])
+	if evs[1].Kind != SpanEnd || evs[1].At != 15 || evs[1].Span != evs[0].Span {
+		t.Fatalf("end event %v", evs[1])
 	}
+	if evs[2].Kind != Instant || evs[2].Node != 1 || evs[2].Component != "cache" {
+		t.Fatalf("instant event %v", evs[2])
+	}
+	if evs[3].Kind != Counter || evs[3].Value != 2 || evs[3].Name != "txq0" {
+		t.Fatalf("counter event %v", evs[3])
+	}
+	if got := evs[0].String(); !strings.Contains(got, "addr=0x100") || !strings.Contains(got, "bus") {
+		t.Fatalf("string %q", got)
+	}
+	if got := evs[3].String(); !strings.Contains(got, "=2") {
+		t.Fatalf("counter string %q", got)
+	}
+}
+
+func TestSpanInertWithoutObserver(t *testing.T) {
+	eng := sim.NewEngine()
+	s := eng.BeginSpan(0, "bus", "ReadLine")
+	if s.Active() {
+		t.Fatal("span active with no observer")
+	}
+	s.End() // must not panic
+	eng.Instant(0, "x", "e")
+	eng.Sample(0, "x", "q", 1)
 }
 
 func TestRingDropsOldest(t *testing.T) {
 	eng := sim.NewEngine()
-	b := New(eng, 3)
+	b := Attach(eng, 3)
 	for i := 0; i < 5; i++ {
-		b.Addf(0, "x", "e", "%d", i)
+		eng.Instant(0, "x", "e", sim.Int("i", i))
 	}
 	evs := b.Events()
-	if len(evs) != 3 || b.Dropped() != 2 {
-		t.Fatalf("len=%d dropped=%d", len(evs), b.Dropped())
+	s := b.Stats()
+	if len(evs) != 3 || s.Dropped != 2 || s.Retained != 3 || s.Captured != 5 {
+		t.Fatalf("len=%d stats=%+v", len(evs), s)
 	}
-	if evs[0].Detail != "2" || evs[2].Detail != "4" {
+	if evs[0].Fields[0].Value() != "2" || evs[2].Fields[0].Value() != "4" {
 		t.Fatalf("ring order wrong: %v", evs)
 	}
 }
 
 func TestFilter(t *testing.T) {
 	eng := sim.NewEngine()
-	b := New(eng, 16)
-	b.Add(0, "bus", "ReadLine", "")
-	b.Add(0, "ctrl", "tx", "")
-	b.Add(0, "bus", "WriteLine", "")
+	b := Attach(eng, 16)
+	eng.Instant(0, "bus", "ReadLine")
+	eng.Instant(0, "ctrl", "tx")
+	eng.Instant(0, "bus", "WriteLine")
 	if got := b.Filter("bus", ""); len(got) != 2 {
 		t.Fatalf("component filter: %d", len(got))
 	}
 	if got := b.Filter("", "Read"); len(got) != 1 {
-		t.Fatalf("what filter: %d", len(got))
+		t.Fatalf("name filter: %d", len(got))
 	}
 }
 
-func TestDump(t *testing.T) {
+func TestDumpSurfacesTruncation(t *testing.T) {
 	eng := sim.NewEngine()
-	b := New(eng, 2)
+	b := Attach(eng, 2)
 	for i := 0; i < 3; i++ {
-		b.Add(0, "c", "e", "")
+		eng.Instant(0, "c", "e")
 	}
 	var sb strings.Builder
 	b.Dump(&sb)
-	if !strings.Contains(sb.String(), "dropped") {
-		t.Fatalf("dump missing drop note:\n%s", sb.String())
+	if !strings.Contains(sb.String(), "TRUNCATED: 1 of 3 events dropped") {
+		t.Fatalf("dump missing truncation note:\n%s", sb.String())
 	}
-}
 
-type master struct{}
-
-func (master) DeviceName() string                  { return "m" }
-func (master) SnoopBus(*bus.Transaction) bus.Snoop { return bus.Snoop{} }
-
-func TestAttachBus(t *testing.T) {
-	eng := sim.NewEngine()
-	bs := bus.New(eng, "b", bus.DefaultConfig())
-	d := mem.New(bus.Range{Base: 0, Size: 4096}, 10)
-	m := master{}
-	bs.Attach(d)
-	bs.Attach(m)
-	buf := New(eng, 16)
-	AttachBus(buf, bs, 3)
-	bs.Issue(&bus.Transaction{Kind: bus.ReadWord, Addr: 8, Data: make([]byte, 8), Master: m},
-		func() {})
-	eng.Run()
-	evs := buf.Filter("bus", "ReadWord")
-	if len(evs) != 1 || evs[0].Node != 3 {
-		t.Fatalf("bus trace %v", evs)
+	eng2 := sim.NewEngine()
+	b2 := Attach(eng2, 8)
+	eng2.Instant(0, "c", "e")
+	sb.Reset()
+	b2.Dump(&sb)
+	if !strings.Contains(sb.String(), "none dropped") {
+		t.Fatalf("dump missing completeness note:\n%s", sb.String())
 	}
 }
 

@@ -7,10 +7,13 @@ package workload
 // seed must actually change the outcome, proving the hash has teeth.
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
+	"startvoyager/internal/core"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/trace"
 )
 
 func detConfig(seed int64) Config {
@@ -52,6 +55,66 @@ func TestDifferentSeedDiverges(t *testing.T) {
 	}
 	if r1.Duration == r3.Duration && r1.LatencyP50 == r3.LatencyP50 && r1.LatencyP99 == r3.LatencyP99 {
 		t.Errorf("all timing stats identical across different seeds: %+v", r1)
+	}
+}
+
+// observedRun executes one instrumented run and renders the Perfetto trace
+// and metrics dump to bytes.
+func observedRun(t *testing.T, seed int64) (Result, []byte, []byte) {
+	t.Helper()
+	var tbuf *trace.Buffer
+	var mach *core.Machine
+	res := RunInstrumented(detConfig(seed), func(m *core.Machine) {
+		mach = m
+		tbuf = m.Trace(1 << 16)
+	})
+	var traceOut, metricsOut bytes.Buffer
+	if err := tbuf.WritePerfetto(&traceOut); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	if err := mach.Metrics().WriteJSON(&metricsOut, mach.Eng.Now()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return res, traceOut.Bytes(), metricsOut.Bytes()
+}
+
+// TestObservedOutputsDeterministic extends the same-seed contract to the
+// observability layer: two instrumented runs must produce byte-identical
+// Perfetto traces and metrics dumps, and a different seed must change the
+// trace (so the comparison is not vacuous).
+func TestObservedOutputsDeterministic(t *testing.T) {
+	_, trace1, metrics1 := observedRun(t, 42)
+	_, trace2, metrics2 := observedRun(t, 42)
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("Perfetto traces differ between same-seed runs")
+	}
+	if !bytes.Equal(metrics1, metrics2) {
+		t.Error("metrics dumps differ between same-seed runs")
+	}
+
+	_, trace3, _ := observedRun(t, 43)
+	if bytes.Equal(trace1, trace3) {
+		t.Error("Perfetto trace identical across different seeds; trace is not capturing the schedule")
+	}
+}
+
+// TestObserverZeroTimingImpact: attaching the observability layer must not
+// perturb the simulation — an instrumented run and a bare run with the same
+// seed report identical duration, event count, and delivery-trace hash.
+func TestObserverZeroTimingImpact(t *testing.T) {
+	bare := Run(detConfig(42))
+	observed, _, _ := observedRun(t, 42)
+	if bare.Duration != observed.Duration {
+		t.Errorf("observer changed simulated duration: %v vs %v", bare.Duration, observed.Duration)
+	}
+	if bare.Events != observed.Events {
+		t.Errorf("observer changed engine event count: %d vs %d", bare.Events, observed.Events)
+	}
+	if bare.TraceHash != observed.TraceHash {
+		t.Errorf("observer changed the delivery trace: %#x vs %#x", bare.TraceHash, observed.TraceHash)
+	}
+	if !reflect.DeepEqual(bare, observed) {
+		t.Errorf("observer changed run results:\n  bare:     %+v\n  observed: %+v", bare, observed)
 	}
 }
 

@@ -116,7 +116,14 @@ func destFor(cfg Config, rng *rand.Rand, me int) int {
 
 // Run executes the workload and gathers statistics. Each message carries
 // its send timestamp; receivers sample delivery latency.
-func Run(cfg Config) Result {
+func Run(cfg Config) Result { return RunInstrumented(cfg, nil) }
+
+// RunInstrumented is Run with a hook called on the freshly built machine
+// before any traffic starts — the place to attach a trace buffer or grab
+// the metrics registry. attach == nil degenerates to Run; the hook must not
+// change simulated behavior (observers never schedule events), so results
+// are identical either way.
+func RunInstrumented(cfg Config, attach func(*core.Machine)) Result {
 	if cfg.Nodes < 2 {
 		panic("workload: need at least two nodes")
 	}
@@ -127,6 +134,9 @@ func Run(cfg Config) Result {
 		cfg.PayloadSize = core.MaxBasicPayload
 	}
 	m := core.NewMachine(cfg.Nodes)
+	if attach != nil {
+		attach(m)
+	}
 	var lat stats.Sampler
 	received := make([]int, cfg.Nodes)
 	total := cfg.Nodes * cfg.Messages
