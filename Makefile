@@ -3,11 +3,12 @@
 #   make             build + unit tests (tier-1)
 #   make lint        gofmt + go vet + voyager-vet determinism suite + race tests
 #   make bench-json  canonical instrumented run -> BENCH_observability.json (+ trace)
+#   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet race lint bench-json ci
+.PHONY: all build test fmt vet voyager-vet race lint bench-json faults ci
 
 all: build test
 
@@ -45,4 +46,11 @@ bench-json:
 	$(GO) run ./cmd/voyager-bench -fig none \
 		-metrics BENCH_observability.json -trace TRACE_observability.json
 
-ci: build test lint bench-json
+# The fault-injection smoke matrix: {drop, corrupt, outage, node-death} x
+# three seeds of reliable traffic, with every cell's metrics registry dumped
+# to one JSON artifact. A cell that loses or duplicates a message panics.
+faults:
+	$(GO) run ./cmd/voyager-bench -fig none -fault-matrix \
+		-fault-seeds 1,2,3 -faults-json FAULTS_matrix.json
+
+ci: build test lint bench-json faults

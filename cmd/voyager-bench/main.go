@@ -5,27 +5,40 @@
 //
 //	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all|none] [-max-size bytes]
 //	              [-trace file.json] [-metrics file.json]
+//	              [-fault-matrix] [-fault-seeds 1,2,3] [-faults-json file.json]
 //
 // -trace / -metrics execute the canonical instrumented run (every mechanism
 // on a four-node machine) and export its Perfetto trace / metrics registry;
 // combine with -fig none to produce only the observability artifacts.
+//
+// -fault-matrix runs the reliability smoke matrix (drop, corrupt, outage and
+// node-death scenarios at each seed in -fault-seeds); -faults-json writes
+// every cell's metrics registry to one JSON artifact.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"startvoyager/internal/bench"
 	"startvoyager/internal/workload"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, ext-a..ext-k, all, none")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, ext-a..ext-l, all, none")
 	maxSize := flag.Int("max-size", 256<<10, "largest transfer size in the sweep")
 	traceFile := flag.String("trace", "", "write a Perfetto trace of the canonical instrumented run")
 	metricsFile := flag.String("metrics", "", "write the canonical run's metrics registry as JSON")
+	faultMatrix := flag.Bool("fault-matrix", false, "run the fault-injection smoke matrix")
+	faultSeeds := flag.String("fault-seeds", "1,2,3", "comma-separated fault seeds for the matrix")
+	faultMsgs := flag.Int("fault-msgs", 30, "reliable messages per fault-matrix cell")
+	faultsJSON := flag.String("faults-json", "", "write the fault matrix's per-cell metrics as one JSON file")
 	flag.Parse()
 
 	sizes := []int{}
@@ -79,10 +92,62 @@ func main() {
 		fmt.Println()
 		fmt.Print(bench.ExtKStencil(64, 8, 4))
 	})
+	show("ext-l", func() { fmt.Print(bench.ExtLReliability(50, bench.ExtLDrops)) })
+	if *faultMatrix || *faultsJSON != "" {
+		var seeds []uint64
+		for _, s := range strings.Split(*faultSeeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+			if err != nil {
+				log.Fatalf("-fault-seeds: %v", err)
+			}
+			seeds = append(seeds, v)
+		}
+		table, runs := bench.FaultMatrix(*faultMsgs, seeds)
+		fmt.Print(table)
+		fmt.Println()
+		if *faultsJSON != "" {
+			writeFile(*faultsJSON, func(f *os.File) error { return writeFaultRuns(f, runs) })
+			fmt.Printf("fault metrics: %s\n", *faultsJSON)
+		}
+		ran = true
+	}
 	if !ran && *fig != "none" {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// writeFaultRuns renders the fault matrix as one JSON document: a summary
+// plus the full metrics registry per cell (the CI artifact).
+func writeFaultRuns(f *os.File, runs []bench.FaultRun) error {
+	type cell struct {
+		Scenario  string          `json:"scenario"`
+		Seed      uint64          `json:"seed"`
+		Delivered int             `json:"delivered"`
+		Failed    int             `json:"failed"`
+		Metrics   json.RawMessage `json:"metrics"`
+	}
+	doc := struct {
+		Schema string `json:"schema"`
+		Cells  []cell `json:"cells"`
+	}{Schema: "voyager-fault-matrix/v1"}
+	for _, r := range runs {
+		var buf bytes.Buffer
+		if err := r.Reg.WriteJSON(&buf, r.Now); err != nil {
+			return err
+		}
+		doc.Cells = append(doc.Cells, cell{
+			Scenario: r.Scenario, Seed: r.Seed,
+			Delivered: r.Delivered, Failed: r.Failed,
+			Metrics: json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(out, '\n'))
+	return err
 }
 
 func writeFile(path string, write func(*os.File) error) {

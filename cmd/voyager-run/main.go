@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	voyager-run [-nodes n] [-mech basic|express|dma] [-count c] [-size s]
-//	            [-trace file.json] [-metrics file.json] [-dump n]
+//	voyager-run [-nodes n] [-mech basic|express|dma|reliable] [-count c] [-size s]
+//	            [-faults plan] [-trace file.json] [-metrics file.json] [-dump n]
 //
 // -trace writes a Chrome trace-event (Perfetto) file of the run; open it at
 // ui.perfetto.dev. -metrics dumps the hierarchical metrics registry as JSON.
 // Both are byte-identical across runs with the same arguments.
+//
+// -faults attaches a deterministic fault-injection plan to the network, e.g.
+//
+//	voyager-run -mech reliable -faults 'seed=7,drop=0.05,corrupt=0.02'
+//	voyager-run -mech reliable -faults 'outage=1-0@20us:200us'
+//
+// See internal/fault.ParsePlan for the full plan grammar (drop/corrupt/dup/
+// delay per lane, link outage windows, node deaths).
 package main
 
 import (
@@ -18,7 +26,9 @@ import (
 	"log"
 	"os"
 
+	"startvoyager/internal/cluster"
 	"startvoyager/internal/core"
+	"startvoyager/internal/fault"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
@@ -26,16 +36,25 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
-	mech := flag.String("mech", "basic", "mechanism: basic, express, dma")
+	mech := flag.String("mech", "basic", "mechanism: basic, express, dma, reliable")
 	count := flag.Int("count", 100, "messages (or transfers) per sender")
 	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
+	faults := flag.String("faults", "", "fault-injection plan (e.g. 'seed=7,drop=0.05,outage=1-0@20us:200us')")
 	traceFile := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
 	metricsFile := flag.String("metrics", "", "write the metrics registry as JSON")
 	dumpN := flag.Int("dump", 0, "print the last N structured trace events")
 	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity (oldest events drop beyond this)")
 	flag.Parse()
 
-	m := core.NewMachine(*nodes)
+	cfg := cluster.DefaultConfig(*nodes)
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		cfg.Faults = plan
+	}
+	m := core.NewMachineConfig(cfg)
 	var tbuf *trace.Buffer
 	if *traceFile != "" || *dumpN > 0 {
 		tbuf = m.Trace(*traceCap)
@@ -44,7 +63,23 @@ func main() {
 	total := senders * *count
 
 	received := 0
+	failed := 0
+	sendersDone := 0
 	m.Go(0, "sink", func(p *sim.Proc, a *core.API) {
+		if *mech == "reliable" {
+			// Senders may legitimately fail under a fault plan (dead peers),
+			// so the sink drains with a bounded wait and leaves once every
+			// sender has finished and the pipeline has gone quiet.
+			for {
+				if _, _, err := a.RecvReliableTimeout(p, m.RelBound()); err != nil {
+					if sendersDone == senders {
+						return
+					}
+					continue
+				}
+				received++
+			}
+		}
 		for received < total {
 			switch *mech {
 			case "basic":
@@ -72,6 +107,11 @@ func main() {
 				case "express":
 					a.SendExpress(p, 0, []byte{byte(k)})
 					a.Compute(p, 2*sim.Microsecond) // pace: express drops on overflow
+				case "reliable":
+					payload := make([]byte, min(*size, core.MaxReliablePayload))
+					if err := a.SendReliable(p, 0, payload); err != nil {
+						failed++
+					}
 				case "dma":
 					n := *size &^ 31
 					if n == 0 {
@@ -82,12 +122,31 @@ func main() {
 					log.Fatalf("unknown mechanism %q", *mech)
 				}
 			}
+			sendersDone++
 		})
 	}
 	m.Run()
 
 	fmt.Printf("mechanism=%s nodes=%d messages=%d simulated=%v\n",
 		*mech, *nodes, total, m.Eng.Now())
+	if *mech == "reliable" {
+		fmt.Printf("reliable: delivered=%d failed=%d bound=%v\n", received, failed, m.RelBound())
+	}
+	if m.Faults != nil {
+		fs := m.Faults.Stats()
+		var retrans, dups uint64
+		var garbage uint64
+		for _, r := range m.Rels {
+			retrans += r.Stats().Retransmits
+			dups += r.Stats().DupSuppressed
+		}
+		for _, n := range m.Nodes {
+			garbage += n.Ctrl.Stats().RxGarbage
+		}
+		fmt.Printf("faults: drops=%d corrupted=%d duplicated=%d delayed=%d outage-drops=%d death-drops=%d\n",
+			fs.InjectedDrops, fs.Corrupted, fs.Duplicated, fs.Delayed, fs.OutageDrops, fs.DeathDrops)
+		fmt.Printf("recovery: retransmits=%d dup-suppressed=%d rx-garbage=%d\n", retrans, dups, garbage)
+	}
 	t := &stats.Table{
 		Title:   "per-node statistics",
 		Columns: []string{"node", "aP-busy", "sP-busy", "bus-busy", "ibus-busy", "tx-msgs", "rx-msgs"},

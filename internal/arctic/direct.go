@@ -3,6 +3,7 @@ package arctic
 import (
 	"fmt"
 
+	"startvoyager/internal/fault"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 )
@@ -22,6 +23,7 @@ type Direct struct {
 	chans   []*directChan
 	stats   Stats
 	latHist *stats.Histogram // end-to-end delivery latency (ns)
+	faults  *fault.Injector  // nil = ideal network
 }
 
 type directChan struct {
@@ -53,6 +55,9 @@ func NewDirect(eng *sim.Engine, numNodes int, latency, flitTime sim.Time) *Direc
 
 // NumNodes returns the endpoint count.
 func (d *Direct) NumNodes() int { return d.nodes }
+
+// SetFaults attaches a fault injector; nil restores the ideal network.
+func (d *Direct) SetFaults(in *fault.Injector) { d.faults = in }
 
 // Stats returns a snapshot of delivery counters.
 func (d *Direct) Stats() Stats { return d.stats }
@@ -97,7 +102,30 @@ func (d *Direct) Inject(pkt *Packet) {
 			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
 			sim.Str("pri", pkt.Priority.String()))
 	}
+	if d.faults != nil {
+		launch, delay := judgeFault(d.faults, pkt, func(dup *Packet) {
+			d.stats.Injected++
+			d.stats.ByPri[dup.Priority]++
+		})
+		for _, lp := range launch {
+			d.launchAfter(lp, delay)
+		}
+		return
+	}
+	d.launchAfter(pkt, 0)
+}
+
+// launchAfter enters pkt into its directional channel, optionally after a
+// fault-injected extra latency.
+func (d *Direct) launchAfter(pkt *Packet, delay sim.Time) {
 	ch := d.chans[pkt.Src*d.nodes+pkt.Dst]
+	if delay > 0 {
+		d.eng.Schedule(delay, func() {
+			ch.queue = append(ch.queue, pkt)
+			ch.kick()
+		})
+		return
+	}
 	ch.queue = append(ch.queue, pkt)
 	ch.kick()
 }
@@ -124,6 +152,9 @@ func (c *directChan) kick() {
 }
 
 func (c *directChan) arrive(pkt *Packet) {
+	if c.d.faults != nil && c.d.faults.DropOnDelivery(pkt.Dst) {
+		return
+	}
 	// Preserve FIFO past a refusal: while anything is stalled, new arrivals
 	// queue behind it.
 	if len(c.stalled) > 0 {
@@ -150,6 +181,10 @@ func (d *Direct) Poke(node int) {
 		ch := d.chans[src*d.nodes+node]
 		for len(ch.stalled) > 0 {
 			pkt := ch.stalled[0]
+			if d.faults != nil && d.faults.DropOnDelivery(pkt.Dst) {
+				ch.stalled = ch.stalled[1:]
+				continue
+			}
 			if !d.endpoints[node].TryDeliver(pkt) {
 				d.stats.Refusals++
 				break

@@ -3,6 +3,7 @@ package arctic
 import (
 	"fmt"
 
+	"startvoyager/internal/fault"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 )
@@ -84,6 +85,7 @@ type FatTree struct {
 
 	stats   Stats
 	latHist *stats.Histogram // end-to-end delivery latency (ns)
+	faults  *fault.Injector  // nil = fault-free fabric
 }
 
 // NewFatTree builds a fabric for numNodes endpoints (rounded up internally
@@ -138,6 +140,9 @@ func (f *FatTree) NumNodes() int { return f.nodes }
 
 // Levels returns the number of switch levels in the tree.
 func (f *FatTree) Levels() int { return f.n }
+
+// SetFaults attaches a fault injector; nil restores the fault-free fabric.
+func (f *FatTree) SetFaults(in *fault.Injector) { f.faults = in }
 
 // Stats returns a snapshot of fabric counters.
 func (f *FatTree) Stats() Stats { return f.stats }
@@ -249,6 +254,26 @@ func (f *FatTree) Inject(pkt *Packet) {
 			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
 			sim.Str("pri", pkt.Priority.String()))
 	}
+	if f.faults != nil {
+		launch, delay := judgeFault(f.faults, pkt, func(dup *Packet) {
+			f.stats.Injected++
+			f.stats.ByPri[dup.Priority]++
+		})
+		for _, lp := range launch {
+			lp := lp
+			if delay > 0 {
+				f.eng.Schedule(delay, func() { f.launch(lp) })
+			} else {
+				f.launch(lp)
+			}
+		}
+		return
+	}
+	f.launch(pkt)
+}
+
+// launch enters a (fault-approved) packet into the routed fabric.
+func (f *FatTree) launch(pkt *Packet) {
 	if f.cfg.Adaptive {
 		lca := f.lcaLevel(pkt.Src, pkt.Dst)
 		entry := &linkEntry{pkt: pkt}
@@ -444,6 +469,9 @@ func (l *link) admitWaiter(pr Priority) {
 func (l *link) afterSer(e *linkEntry) {
 	pr := e.pkt.Priority
 	if l.dstNode >= 0 {
+		if l.f.faults != nil && l.f.faults.DropOnDelivery(e.pkt.Dst) {
+			return // dead destination: the packet dies, the lane stays free
+		}
 		ep := l.f.endpoints[l.dstNode]
 		if ep == nil {
 			panic("arctic: delivery to unattached node " + l.name)
@@ -466,6 +494,11 @@ func (l *link) poke() {
 	for pr := Priority(0); pr < numPriorities; pr++ {
 		e := l.blocked[pr]
 		if e == nil {
+			continue
+		}
+		if l.f.faults != nil && l.f.faults.DropOnDelivery(e.pkt.Dst) {
+			l.blocked[pr] = nil
+			progressed = true
 			continue
 		}
 		if l.f.endpoints[l.dstNode].TryDeliver(e.pkt) {

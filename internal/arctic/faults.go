@@ -1,0 +1,39 @@
+package arctic
+
+import (
+	"startvoyager/internal/fault"
+	"startvoyager/internal/sim"
+)
+
+// Both fabrics consult a fault.Injector at two boundaries: once at injection
+// (Judge — probabilistic drop/corrupt/duplicate/delay, outage windows, dead
+// endpoints) and once at ejection (DropOnDelivery — in-flight packets whose
+// destination died after injection die at the delivery boundary, as they
+// would on real hardware whose receiver simply went away).
+
+// judgeFault applies the injector's injection-time ruling to pkt. It returns
+// the packets to actually launch — empty for a drop, the original (possibly
+// with corrupted payload bytes) otherwise, plus an independent copy when the
+// packet is duplicated — and the extra latency to charge each of them.
+// countDup lets the fabric account the duplicate in its injection counters so
+// delivered <= injected stays true.
+func judgeFault(in *fault.Injector, pkt *Packet, countDup func(*Packet)) (launch []*Packet, delay sim.Time) {
+	wire, _ := pkt.Payload.([]byte)
+	v := in.Judge(pkt.Src, pkt.Dst, int(pkt.Priority), wire)
+	if v.Drop {
+		return nil, 0
+	}
+	if wire != nil {
+		pkt.Payload = v.Wire
+	}
+	launch = append(launch, pkt)
+	if v.Dup {
+		dup := *pkt
+		if wire != nil {
+			dup.Payload = append([]byte(nil), v.Wire...)
+		}
+		countDup(&dup)
+		launch = append(launch, &dup)
+	}
+	return launch, v.Delay
+}

@@ -83,3 +83,24 @@ func TestExtKSmoke(t *testing.T) {
 		t.Fatalf("rows %d", len(tab2.Rows))
 	}
 }
+
+func TestExtLSmoke(t *testing.T) {
+	tab := ExtLReliability(20, ExtLDrops)
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 1+len(ExtLDrops) {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+}
+
+func TestFaultMatrixSmoke(t *testing.T) {
+	tab, runs := FaultMatrix(10, []uint64{1})
+	t.Logf("\n%s", tab)
+	if len(runs) != 4 {
+		t.Fatalf("runs %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.Reg == nil || r.Now <= 0 {
+			t.Fatalf("run %s missing registry/time", r.Scenario)
+		}
+	}
+}

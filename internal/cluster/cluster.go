@@ -8,6 +8,7 @@ import (
 
 	"startvoyager/internal/arctic"
 	"startvoyager/internal/bus"
+	"startvoyager/internal/fault"
 	"startvoyager/internal/firmware"
 	"startvoyager/internal/node"
 	"startvoyager/internal/sim"
@@ -44,6 +45,15 @@ type Config struct {
 	// (mode and export map are configured per-node via the aBIU).
 	ReflectSize uint32
 
+	// Faults, when non-nil, attaches a deterministic fault-injection plan to
+	// the fabric (see internal/fault).
+	Faults *fault.Plan
+	// Rel parameterizes the R-Basic reliable-delivery firmware service
+	// (zero fields take defaults).
+	Rel firmware.RelConfig
+	// DisableRel turns off the reliable-delivery service.
+	DisableRel bool
+
 	// DisableDma turns off the firmware DMA service.
 	DisableDma bool
 	// DisableScomaProtocol keeps the S-COMA window and clsSRAM hardware but
@@ -76,11 +86,15 @@ type Cluster struct {
 	// so Reg.WriteJSON dumps the whole machine's state at any time.
 	Reg *stats.Registry
 
+	// Faults is the fault injector executing Cfg.Faults (nil when fault-free).
+	Faults *fault.Injector
+
 	Scomas    []*firmware.Scoma
 	Numas     []*firmware.Numa
 	Dmas      []*firmware.Dma
 	Reflects  []*firmware.Reflect
 	MissRings []*firmware.MissRing
+	Rels      []*firmware.Rel
 }
 
 // MissRingBase is the DRAM address of the non-resident-queue overflow ring
@@ -110,6 +124,15 @@ func New(cfg Config) *Cluster {
 	c := &Cluster{Eng: eng, Fabric: fabric, Cfg: cfg, Reg: stats.NewRegistry()}
 	if rm, ok := fabric.(interface{ RegisterMetrics(*stats.Registry) }); ok {
 		rm.RegisterMetrics(c.Reg.Child("net"))
+	}
+	if cfg.Faults != nil {
+		c.Faults = fault.NewInjector(eng, *cfg.Faults)
+		if sf, ok := fabric.(interface{ SetFaults(*fault.Injector) }); ok {
+			sf.SetFaults(c.Faults)
+		} else {
+			panic("cluster: fabric does not support fault injection")
+		}
+		c.Faults.RegisterMetrics(c.Reg.Child("net").Child("fault"))
 	}
 	ncfg := cfg.Node
 	ncfg.NumNodes = cfg.Nodes
@@ -155,9 +178,26 @@ func New(cfg Config) *Cluster {
 		}
 		c.MissRings = append(c.MissRings,
 			firmware.NewMissRing(n.FW, MissRingBase, MissRingEntries))
+		if !cfg.DisableRel {
+			relCfg := cfg.Rel
+			relCfg.NumNodes = cfg.Nodes
+			rel := firmware.NewRel(n.FW, relCfg)
+			rel.RegisterMetrics(c.Reg.Child(fmt.Sprintf("node%d", n.ID)).Child("fault"))
+			c.Rels = append(c.Rels, rel)
+		}
 		n.FW.Start()
 	}
 	return c
+}
+
+// RelBound returns the worst-case sim time between submitting a reliable
+// send and its success-or-failure status landing (see RelConfig.SendBound);
+// zero when the service is disabled.
+func (c *Cluster) RelBound() sim.Time {
+	if len(c.Rels) == 0 {
+		return 0
+	}
+	return c.Rels[0].Config().SendBound()
 }
 
 // Run drives the simulation until no events remain, then checks for

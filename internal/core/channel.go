@@ -27,12 +27,13 @@ var ErrChannelShutdown = errors.New("core: channel shut down by protection")
 // ChannelEntries is each channel queue's depth.
 const ChannelEntries = 8
 
-// channel queue pools (hardware queues not used by the default layout).
+// channel queue pools (hardware queues not used by the default layout; rx 11
+// and 12 now belong to the reliable-delivery queues).
 const (
 	chanFirstTxQ = 2
 	chanLastTxQ  = 7
 	chanFirstRxQ = 3
-	chanLastRxQ  = 12
+	chanLastRxQ  = 10
 )
 
 // chanLogical returns the network-visible logical queue id of channel cid
@@ -129,14 +130,17 @@ func (ch *Channel) Send(p *sim.Proc, dest int, payload []byte) error {
 	virt := ch.virtFor(dest)
 
 	// Wait for queue space, aborting if protection trips.
-	for {
+	shutdown := false
+	a.pollWait(p, "Channel.Send", noDeadline, func() bool {
 		if a.n.Ctrl.TxShutdown(ch.txq) {
-			return ErrChannelShutdown
+			shutdown = true
+			return true
 		}
 		_, consumer := a.ptrLoad(p, ch.txq, false)
-		if ch.txProd-consumer < ChannelEntries {
-			break
-		}
+		return ch.txProd-consumer < ChannelEntries
+	})
+	if shutdown {
+		return ErrChannelShutdown
 	}
 	slot := make([]byte, ctrl.SlotHeaderBytes+len(payload))
 	binary.BigEndian.PutUint16(slot[0:], uint16(virt))
@@ -152,15 +156,18 @@ func (ch *Channel) Send(p *sim.Proc, dest int, payload []byte) error {
 	a.ptrStore(p, ch.txq, false, ch.txProd)
 	// Let the launch (and any violation) resolve before reporting success:
 	// poll until the consumer catches up or the queue is shut down.
-	for {
+	a.pollWait(p, "Channel.Send", noDeadline, func() bool {
 		if a.n.Ctrl.TxShutdown(ch.txq) {
-			return ErrChannelShutdown
+			shutdown = true
+			return true
 		}
 		_, consumer := a.ptrLoad(p, ch.txq, false)
-		if consumer == ch.txProd {
-			return nil
-		}
+		return consumer == ch.txProd
+	})
+	if shutdown {
+		return ErrChannelShutdown
 	}
+	return nil
 }
 
 // TryRecv polls this channel once.
@@ -191,11 +198,25 @@ func (ch *Channel) TryRecv(p *sim.Proc) (src int, payload []byte, ok bool) {
 
 // Recv blocks until a message arrives on this channel.
 func (ch *Channel) Recv(p *sim.Proc) (src int, payload []byte) {
-	for {
-		if s, pl, ok := ch.TryRecv(p); ok {
-			return s, pl
+	src, payload, _ = ch.recvT(p, noDeadline)
+	return src, payload
+}
+
+// RecvTimeout is Recv with a bound: after timeout of simulated time with no
+// message it returns a *TimeoutError.
+func (ch *Channel) RecvTimeout(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	return ch.recvT(p, timeout)
+}
+
+func (ch *Channel) recvT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	err = ch.api.pollWait(p, "Channel.Recv", timeout, func() bool {
+		s, pl, ok := ch.TryRecv(p)
+		if ok {
+			src, payload = s, pl
 		}
-	}
+		return ok
+	})
+	return src, payload, err
 }
 
 // Shutdown reports whether protection has disabled this channel.

@@ -75,9 +75,17 @@ type API struct {
 	nextTxQ, nextRxQ int
 	nextVirt         int
 	sramArena        uint32
+
+	// Reliable-delivery state (see reliable.go).
+	relTag   uint32      // last tag handed to SendReliable
+	relStash []relStatus // statuses drained on behalf of other senders
+	relLock  *sim.Resource
 }
 
-func newAPI(m *Machine, n *node.Node) *API { return &API{m: m, n: n} }
+func newAPI(m *Machine, n *node.Node) *API {
+	return &API{m: m, n: n,
+		relLock: sim.NewResource(m.Eng, fmt.Sprintf("rellock%d", n.ID))}
+}
 
 // Node returns the underlying node (for instrumentation).
 func (a *API) Node() *node.Node { return a.n }
@@ -170,12 +178,10 @@ func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload 
 
 // waitTxSpace polls the transmit consumer pointer until a slot is free.
 func (a *API) waitTxSpace(p *sim.Proc, q, entries int) {
-	for {
+	a.pollWait(p, "waitTxSpace", noDeadline, func() bool {
 		_, consumer := a.ptrLoad(p, q, false)
-		if a.txProd[q]-consumer < uint32(entries) {
-			return
-		}
-	}
+		return a.txProd[q]-consumer < uint32(entries)
+	})
 }
 
 // TryRecvBasic polls the Basic receive queue once; ok is false if empty.
@@ -185,21 +191,50 @@ func (a *API) TryRecvBasic(p *sim.Proc) (src int, payload []byte, ok bool) {
 
 // RecvBasic blocks until a Basic message arrives.
 func (a *API) RecvBasic(p *sim.Proc) (src int, payload []byte) {
-	for {
-		if s, pl, ok := a.TryRecvBasic(p); ok {
-			return s, pl
+	src, payload, _ = a.recvBasicT(p, noDeadline)
+	return src, payload
+}
+
+// RecvBasicTimeout is RecvBasic with a bound: after timeout of simulated
+// time with no message it returns a *TimeoutError.
+func (a *API) RecvBasicTimeout(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	return a.recvBasicT(p, timeout)
+}
+
+func (a *API) recvBasicT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	err = a.pollWait(p, "RecvBasic", timeout, func() bool {
+		s, pl, ok := a.TryRecvBasic(p)
+		if ok {
+			src, payload = s, pl
 		}
-	}
+		return ok
+	})
+	return src, payload, err
 }
 
 // RecvNotify blocks until a completion notification (DMA / block transfer)
 // arrives on the notification queue.
 func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
-	for {
-		if s, pl, ok := a.tryRecvSlot(p, "RecvNotify", node.RxNotify, node.SramRxNotifyBuf); ok {
-			return s, pl
+	src, payload, _ = a.recvNotifyT(p, noDeadline)
+	return src, payload
+}
+
+// RecvNotifyTimeout is RecvNotify with a bound: after timeout of simulated
+// time with no notification it returns a *TimeoutError (e.g. a DMA whose
+// completion message died with a partitioned peer).
+func (a *API) RecvNotifyTimeout(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	return a.recvNotifyT(p, timeout)
+}
+
+func (a *API) recvNotifyT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	err = a.pollWait(p, "RecvNotify", timeout, func() bool {
+		s, pl, ok := a.tryRecvSlot(p, "RecvNotify", node.RxNotify, node.SramRxNotifyBuf)
+		if ok {
+			src, payload = s, pl
 		}
-	}
+		return ok
+	})
+	return src, payload, err
 }
 
 // TryRecvNotify polls the notification queue once.
@@ -263,11 +298,25 @@ func (a *API) TryRecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]b
 
 // RecvExpress blocks until an Express message arrives.
 func (a *API) RecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]byte) {
-	for {
-		if s, pl, ok := a.TryRecvExpress(p); ok {
-			return s, pl
+	src, payload, _ = a.recvExpressT(p, noDeadline)
+	return src, payload
+}
+
+// RecvExpressTimeout is RecvExpress with a bound: after timeout of simulated
+// time with no message it returns a *TimeoutError.
+func (a *API) RecvExpressTimeout(p *sim.Proc, timeout sim.Time) (src int, payload [MaxExpressPayload]byte, err error) {
+	return a.recvExpressT(p, timeout)
+}
+
+func (a *API) recvExpressT(p *sim.Proc, timeout sim.Time) (src int, payload [MaxExpressPayload]byte, err error) {
+	err = a.pollWait(p, "RecvExpress", timeout, func() bool {
+		s, pl, ok := a.TryRecvExpress(p)
+		if ok {
+			src, payload = s, pl
 		}
-	}
+		return ok
+	})
+	return src, payload, err
 }
 
 // --- DMA ---

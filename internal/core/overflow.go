@@ -69,9 +69,23 @@ func (a *API) TryRecvOverflow(p *sim.Proc) (src int, logicalQ uint16, payload []
 
 // RecvOverflow blocks until a non-resident-queue message arrives.
 func (a *API) RecvOverflow(p *sim.Proc) (src int, logicalQ uint16, payload []byte) {
-	for {
-		if s, lq, pl, ok := a.TryRecvOverflow(p); ok {
-			return s, lq, pl
+	src, logicalQ, payload, _ = a.recvOverflowT(p, noDeadline)
+	return src, logicalQ, payload
+}
+
+// RecvOverflowTimeout is RecvOverflow with a bound: after timeout of
+// simulated time with no message it returns a *TimeoutError.
+func (a *API) RecvOverflowTimeout(p *sim.Proc, timeout sim.Time) (src int, logicalQ uint16, payload []byte, err error) {
+	return a.recvOverflowT(p, timeout)
+}
+
+func (a *API) recvOverflowT(p *sim.Proc, timeout sim.Time) (src int, logicalQ uint16, payload []byte, err error) {
+	err = a.pollWait(p, "RecvOverflow", timeout, func() bool {
+		s, lq, pl, ok := a.TryRecvOverflow(p)
+		if ok {
+			src, logicalQ, payload = s, lq, pl
 		}
-	}
+		return ok
+	})
+	return src, logicalQ, payload, err
 }

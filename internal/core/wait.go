@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"startvoyager/internal/sim"
+)
+
+// noDeadline marks a wait with no bound: the legacy blocking calls pass it so
+// both variants share one code path. (Negative, and written in units so the
+// simtimeunits analyzer stays happy.)
+const noDeadline = -sim.Nanosecond
+
+// TimeoutError reports that a bounded wait elapsed without the awaited event.
+// A dead or partitioned peer surfaces as this error instead of an unbounded
+// spin — the graceful-degradation contract of the *Timeout API variants.
+type TimeoutError struct {
+	Op      string   // the API operation that timed out
+	Timeout sim.Time // the bound that elapsed
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("core: %s timed out after %v of simulated time", e.Op, e.Timeout)
+}
+
+// IsTimeout reports whether err is a core timeout.
+func IsTimeout(err error) bool {
+	_, ok := err.(*TimeoutError)
+	return ok
+}
+
+// pollWait drives every blocking receive/wait in the package: it retries try
+// until it reports success or the timeout elapses (noDeadline = never). Polls
+// that consume no simulated time (e.g. fully local checks) are self-paced so
+// a spinning aP cannot monopolize the simulation instant.
+func (a *API) pollWait(p *sim.Proc, op string, timeout sim.Time, try func() bool) error {
+	deadline := p.Now() + timeout
+	for {
+		before := p.Now()
+		if try() {
+			return nil
+		}
+		if timeout >= 0 && p.Now() >= deadline {
+			return &TimeoutError{Op: op, Timeout: timeout}
+		}
+		if p.Now() == before {
+			p.Delay(100 * sim.Nanosecond)
+		}
+	}
+}

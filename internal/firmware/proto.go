@@ -13,6 +13,12 @@ const (
 	// NotifyLogicalQ is the aP completion-notification queue (the node
 	// package maps it to a hardware queue).
 	NotifyLogicalQ uint16 = 0x0003
+	// RelLogicalQ receives reliably-delivered payloads: the R-Basic service
+	// on the sP lands each in-order message here for the aP to read.
+	RelLogicalQ uint16 = 0x0004
+	// RelStatusLogicalQ receives per-send completion statuses from the local
+	// R-Basic service (delivered-or-failed, matched to the send by tag).
+	RelStatusLogicalQ uint16 = 0x0005
 )
 
 // Firmware service identifiers (first payload byte of service messages).
@@ -38,6 +44,11 @@ const (
 
 	// Reflective memory.
 	SvcReflectFlush byte = 0x30 // aP -> local sP: propagate dirty lines
+
+	// Reliable delivery (R-Basic).
+	SvcRelSend byte = 0x38 // aP -> local sP: submit a reliable send
+	SvcRelData byte = 0x39 // sP -> remote sP: sequenced reliable data
+	SvcRelAck  byte = 0x3A // receiver sP -> sender sP: cumulative ACK
 
 	// First id available to applications and experiments (the blockxfer
 	// approaches register their own services from here up).

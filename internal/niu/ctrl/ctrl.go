@@ -98,6 +98,10 @@ type Config struct {
 	// paces itself to (defaults match Arctic: 16 bytes per 100 ns).
 	PaceFlitBytes int
 	PaceFlitTime  sim.Time
+	// StrictRx restores the original panic-on-garbage Rx behavior — useful
+	// when hunting protocol bugs in a fault-free run, where a bad frame means
+	// a sender-side encoding bug rather than injected corruption.
+	StrictRx bool
 }
 
 // DefaultConfig returns NIU-cycle defaults used by the standard machine.
@@ -190,6 +194,7 @@ type Stats struct {
 	TxBytes, RxBytes       uint64
 	RxMisses               uint64 // steered to the miss queue
 	RxDrops                uint64
+	RxGarbage              uint64 // undecodable frames (checksum/format) dropped
 	RxHolds                uint64 // deliveries refused (Hold backpressure)
 	ProtViolations         uint64
 	LocalCmds, RemoteCmds  uint64
@@ -277,6 +282,7 @@ func (c *Ctrl) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("rx_misses", func() int64 { return int64(c.stats.RxMisses) })
 	r.Gauge("rx_drops", func() int64 { return int64(c.stats.RxDrops) })
 	r.Gauge("rx_holds", func() int64 { return int64(c.stats.RxHolds) })
+	r.Gauge("rx_garbage", func() int64 { return int64(c.stats.RxGarbage) })
 	r.Gauge("prot_violations", func() int64 { return int64(c.stats.ProtViolations) })
 	r.Gauge("local_cmds", func() int64 { return int64(c.stats.LocalCmds) })
 	r.Gauge("remote_cmds", func() int64 { return int64(c.stats.RemoteCmds) })

@@ -7,6 +7,7 @@ import (
 	"startvoyager/internal/bus"
 	"startvoyager/internal/niu/sram"
 	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
 )
 
 // Receive slot formats.
@@ -22,7 +23,17 @@ import (
 func (c *Ctrl) TryReceive(wire []byte) bool {
 	frame, err := txrx.Decode(wire)
 	if err != nil {
-		panic(fmt.Sprintf("ctrl: node %d received garbage: %v", c.myNode, err))
+		if c.cfg.StrictRx {
+			panic(fmt.Sprintf("ctrl: node %d received garbage: %v", c.myNode, err))
+		}
+		// A corrupted or malformed frame is network damage, not a protocol
+		// event: count it, trace it, and accept-and-discard so the fabric
+		// lane is freed (holding garbage would wedge the link forever).
+		c.stats.RxGarbage++
+		if c.eng.Observed() {
+			c.eng.Instant(c.myNode, "ctrl", "rx-garbage", sim.Str("err", err.Error()))
+		}
+		return true
 	}
 	if frame.Kind == txrx.Cmd {
 		// Remote commands always land in the (unbounded-from-the-network's-

@@ -23,6 +23,40 @@ const (
 	MaxCmdPayload   = arctic.MaxPacketBytes - CmdHeaderBytes  // 80
 )
 
+// crcTable holds CRC-8 (poly 0x07, MSB-first) remainders for every byte.
+// Each frame carries its checksum at byte 1 — previously an unused pad —
+// computed over the whole encoded frame with that byte held at zero. CRC-8
+// detects every single-bit error, which is exactly the corruption model the
+// fault plane injects; multi-bit errors are caught with probability 255/256.
+var crcTable = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		for b := 0; b < 8; b++ {
+			if c&0x80 != 0 {
+				c = c<<1 ^ 0x07
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()
+
+// Checksum computes the CRC-8 of a frame's wire bytes, treating the checksum
+// slot (byte 1) as zero so verification can run on the bytes as received.
+func Checksum(b []byte) byte {
+	var c byte
+	for i, v := range b {
+		if i == 1 {
+			v = 0
+		}
+		c = crcTable[c^v]
+	}
+	return c
+}
+
 // Kind distinguishes frame types.
 type Kind uint8
 
@@ -111,6 +145,7 @@ func Encode(f *Frame) ([]byte, error) {
 		binary.BigEndian.PutUint16(b[4:], f.LogicalQ)
 		binary.BigEndian.PutUint16(b[6:], uint16(len(f.Payload)))
 		copy(b[DataHeaderBytes:], f.Payload)
+		b[1] = Checksum(b)
 		return b, nil
 	case Cmd:
 		if len(f.Payload) > MaxCmdPayload {
@@ -125,6 +160,7 @@ func Encode(f *Frame) ([]byte, error) {
 		binary.BigEndian.PutUint16(b[12:], f.Aux)
 		binary.BigEndian.PutUint16(b[14:], f.Count)
 		copy(b[CmdHeaderBytes:], f.Payload)
+		b[1] = Checksum(b)
 		return b, nil
 	default:
 		return nil, fmt.Errorf("txrx: unknown frame kind %d", f.Kind)
@@ -135,6 +171,9 @@ func Encode(f *Frame) ([]byte, error) {
 func Decode(b []byte) (*Frame, error) {
 	if len(b) < DataHeaderBytes {
 		return nil, fmt.Errorf("txrx: frame of %d bytes too short", len(b))
+	}
+	if got := Checksum(b); got != b[1] {
+		return nil, fmt.Errorf("txrx: checksum mismatch (got %#02x, want %#02x)", got, b[1])
 	}
 	f := &Frame{Kind: Kind(b[0]), SrcNode: binary.BigEndian.Uint16(b[2:])}
 	n := int(binary.BigEndian.Uint16(b[6:]))

@@ -44,11 +44,13 @@ const (
 	TxBasic   = 0 // aP basic transmit queue
 	TxExpress = 1 // aP express transmit queue
 
-	RxBasic   = 0  // aP basic receive queue
-	RxExpress = 1  // aP express receive queue
-	RxNotify  = 2  // completion notifications (DMA, block transfer)
-	RxSvc     = 13 // sP service queue (interrupting)
-	RxMiss    = 14 // miss/overflow queue (interrupting)
+	RxBasic     = 0  // aP basic receive queue
+	RxExpress   = 1  // aP express receive queue
+	RxNotify    = 2  // completion notifications (DMA, block transfer)
+	RxRel       = 11 // reliably-delivered payloads (R-Basic service)
+	RxRelStatus = 12 // reliable-send completion statuses
+	RxSvc       = 13 // sP service queue (interrupting)
+	RxMiss      = 14 // miss/overflow queue (interrupting)
 )
 
 // Logical receive queue numbers (network-visible names).
@@ -83,9 +85,11 @@ const (
 	SramRxBasicBuf   = SramTxExpressBuf + ctrl.ExpressSlotBytes*ExpressEntries
 	SramRxExpressBuf = SramRxBasicBuf + BasicSlotBytes*BasicEntries
 	SramRxNotifyBuf  = SramRxExpressBuf + ctrl.ExpressSlotBytes*ExpressEntries
+	SramRxRelBuf     = SramRxNotifyBuf + BasicSlotBytes*BasicEntries
+	SramRxRelStatBuf = SramRxRelBuf + BasicSlotBytes*BasicEntries
 	// UserASram is the first aSRAM offset free for applications (TagOn
 	// payloads, experiment staging).
-	UserASram = SramRxNotifyBuf + BasicSlotBytes*BasicEntries
+	UserASram = SramRxRelStatBuf + BasicSlotBytes*BasicEntries
 
 	// DmaStagingOff and DmaStagingLen place the firmware DMA staging area
 	// at the top of the aSRAM.
@@ -286,6 +290,16 @@ func (n *Node) SetupDefaultQueues(numNodes int) {
 		Buf: n.ASram, Base: SramRxNotifyBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
 		ShadowBase: shadowBase + 0x100 + RxNotify*8,
 		Logical:    LqNotify, Full: ctrl.Hold, Enabled: true,
+	})
+	c.ConfigureRx(RxRel, ctrl.RxConfig{
+		Buf: n.ASram, Base: SramRxRelBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
+		ShadowBase: shadowBase + 0x100 + RxRel*8,
+		Logical:    firmware.RelLogicalQ, Full: ctrl.Hold, Enabled: true,
+	})
+	c.ConfigureRx(RxRelStatus, ctrl.RxConfig{
+		Buf: n.ASram, Base: SramRxRelStatBuf, EntryBytes: BasicSlotBytes, Entries: BasicEntries,
+		ShadowBase: shadowBase + 0x100 + RxRelStatus*8,
+		Logical:    firmware.RelStatusLogicalQ, Full: ctrl.Hold, Enabled: true,
 	})
 	// sP queues (in sSRAM, interrupting).
 	c.ConfigureRx(RxSvc, ctrl.RxConfig{

@@ -5,7 +5,16 @@ package sim
 // engine event at the current time, so wakeup order is deterministic.
 type Cond struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters []*condWaiter
+}
+
+// condWaiter tracks one blocked Proc plus the signal/timeout race state:
+// whichever of Signal and the timeout event fires first resumes the Proc and
+// marks the waiter so the loser becomes a no-op.
+type condWaiter struct {
+	p        *Proc
+	signaled bool
+	timedOut bool
 }
 
 // NewCond returns a condition variable bound to e.
@@ -14,9 +23,38 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 // Wait blocks p until a Signal or Broadcast resumes it. As with sync.Cond,
 // callers should re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, &condWaiter{p: p})
 	c.eng.blocked++
 	p.block()
+}
+
+// WaitTimeout blocks p until a Signal/Broadcast resumes it or d elapses,
+// whichever is first; it reports true for a signal and false for a timeout.
+// A negative d means no deadline (identical to Wait, always true).
+func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
+	if d < 0 {
+		c.Wait(p)
+		return true
+	}
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	c.eng.blocked++
+	c.eng.Schedule(d, func() {
+		if w.signaled || w.timedOut {
+			return // lost the race; Signal already resumed the Proc
+		}
+		w.timedOut = true
+		for i, cw := range c.waiters {
+			if cw == w {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				break
+			}
+		}
+		c.eng.blocked--
+		c.eng.Schedule(0, w.p.run)
+	})
+	p.block()
+	return !w.timedOut
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -24,10 +62,11 @@ func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
+	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
+	w.signaled = true
 	c.eng.blocked--
-	c.eng.Schedule(0, p.run)
+	c.eng.Schedule(0, w.p.run)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
@@ -79,6 +118,26 @@ func (g *Gate) Wait(p *Proc) {
 	}
 }
 
+// WaitTimeout blocks p until the gate opens or d elapses; it reports whether
+// the gate is open. A negative d means no deadline.
+func (g *Gate) WaitTimeout(p *Proc, d Time) bool {
+	if g.open {
+		return true
+	}
+	if d < 0 {
+		g.Wait(p)
+		return true
+	}
+	deadline := g.cond.eng.now + d
+	for !g.open {
+		left := deadline - g.cond.eng.now
+		if left <= 0 || !g.cond.WaitTimeout(p, left) {
+			return g.open
+		}
+	}
+	return true
+}
+
 // Queue is an unbounded FIFO of items with blocking receive, for
 // producer/consumer coupling between components and Procs.
 type Queue[T any] struct {
@@ -125,6 +184,28 @@ func (q *Queue[T]) Pop(p *Proc) T {
 	q.items = q.items[1:]
 	q.sample()
 	return v
+}
+
+// PopTimeout is Pop with a deadline: ok is false if d elapsed with the queue
+// still empty. A negative d means no deadline.
+func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
+	if d < 0 {
+		return q.Pop(p), true
+	}
+	deadline := q.cond.eng.now + d
+	for len(q.items) == 0 {
+		left := deadline - q.cond.eng.now
+		if left <= 0 || !q.cond.WaitTimeout(p, left) {
+			if len(q.items) > 0 {
+				break // an item landed in the same instant the timer fired
+			}
+			return v, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.sample()
+	return v, true
 }
 
 // TryPop removes and returns an item without blocking; ok is false when the

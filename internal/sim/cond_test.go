@@ -1,0 +1,145 @@
+package sim
+
+import "testing"
+
+// Bounded-wait variants: the degradation story depends on WaitTimeout and
+// PopTimeout firing at exactly the requested sim time and on the
+// signal-vs-timeout race resolving to "signaled" when both land in the same
+// instant.
+
+func TestCondWaitTimeoutExpires(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke Time
+	var ok bool
+	e.Spawn("waiter", func(p *Proc) {
+		ok = c.WaitTimeout(p, 5*Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("WaitTimeout reported a signal that never came")
+	}
+	if woke != 5*Microsecond {
+		t.Fatalf("woke at %v, want exactly 5us", woke)
+	}
+	if e.BlockedProcs() != 0 {
+		t.Fatalf("%d procs still blocked after timeout", e.BlockedProcs())
+	}
+}
+
+func TestCondWaitTimeoutSignaled(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke Time
+	var ok bool
+	e.Spawn("waiter", func(p *Proc) {
+		ok = c.WaitTimeout(p, 5*Microsecond)
+		woke = p.Now()
+	})
+	e.At(2*Microsecond, c.Signal)
+	e.Run()
+	if !ok {
+		t.Fatal("WaitTimeout missed the signal")
+	}
+	if woke != 2*Microsecond {
+		t.Fatalf("woke at %v, want 2us", woke)
+	}
+}
+
+func TestCondWaitTimeoutNegativeIsUnbounded(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var ok bool
+	e.Spawn("waiter", func(p *Proc) { ok = c.WaitTimeout(p, -Nanosecond) })
+	e.At(50*Microsecond, c.Signal)
+	e.Run()
+	if !ok {
+		t.Fatal("unbounded WaitTimeout gave up")
+	}
+}
+
+func TestCondSignalAndTimeoutSameInstant(t *testing.T) {
+	// A signal scheduled for the same instant as the timeout must win: the
+	// waiter observes the event, and no proc is resumed twice.
+	e := NewEngine()
+	c := NewCond(e)
+	var ok bool
+	e.Spawn("waiter", func(p *Proc) { ok = c.WaitTimeout(p, 3*Microsecond) })
+	e.At(3*Microsecond, c.Signal)
+	e.Run()
+	if !ok {
+		t.Fatal("same-instant signal lost to the timeout")
+	}
+	if e.BlockedProcs() != 0 {
+		t.Fatalf("%d procs blocked after same-instant race", e.BlockedProcs())
+	}
+}
+
+func TestCondTimeoutDoesNotStealSignal(t *testing.T) {
+	// Two waiters, one times out, then a signal arrives: the signal must wake
+	// the remaining waiter, not be absorbed by the departed one.
+	e := NewEngine()
+	c := NewCond(e)
+	var short, long bool
+	e.Spawn("short", func(p *Proc) { short = c.WaitTimeout(p, 1*Microsecond) })
+	e.Spawn("long", func(p *Proc) { long = c.WaitTimeout(p, 100*Microsecond) })
+	e.At(10*Microsecond, c.Signal)
+	e.Run()
+	if short {
+		t.Fatal("short waiter claims it was signaled")
+	}
+	if !long {
+		t.Fatal("long waiter missed the signal after the short one timed out")
+	}
+}
+
+func TestGateWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e)
+	var closedResult, openResult bool
+	e.Spawn("bounded", func(p *Proc) { closedResult = g.WaitTimeout(p, 5*Microsecond) })
+	e.Spawn("late", func(p *Proc) {
+		p.Delay(10 * Microsecond)
+		openResult = g.WaitTimeout(p, 5*Microsecond)
+	})
+	e.At(8*Microsecond, g.Open)
+	e.Run()
+	if closedResult {
+		t.Fatal("gate reported open before Open()")
+	}
+	if !openResult {
+		t.Fatal("open gate failed a bounded wait")
+	}
+}
+
+func TestQueuePopTimeoutEmpty(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var ok bool
+	var woke Time
+	e.Spawn("popper", func(p *Proc) {
+		_, ok = q.PopTimeout(p, 7*Microsecond)
+		woke = p.Now()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("PopTimeout invented an item")
+	}
+	if woke != 7*Microsecond {
+		t.Fatalf("woke at %v, want 7us", woke)
+	}
+}
+
+func TestQueuePopTimeoutDelivers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got int
+	var ok bool
+	e.Spawn("popper", func(p *Proc) { got, ok = q.PopTimeout(p, 100*Microsecond) })
+	e.At(4*Microsecond, func() { q.Push(41) })
+	e.Run()
+	if !ok || got != 41 {
+		t.Fatalf("PopTimeout = (%d, %v), want (41, true)", got, ok)
+	}
+}
