@@ -3,12 +3,13 @@
 #   make             build + unit tests (tier-1)
 #   make lint        gofmt + go vet + voyager-vet determinism suite + race tests
 #   make bench-json  canonical instrumented run -> BENCH_observability.json (+ trace)
+#   make bench-diff  headline latencies vs BENCH_baseline.json (fail on >10% regression)
 #   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet race lint bench-json faults ci
+.PHONY: all build test fmt vet voyager-vet race lint bench-json bench-diff bench-baseline faults ci
 
 all: build test
 
@@ -46,6 +47,15 @@ bench-json:
 	$(GO) run ./cmd/voyager-bench -fig none \
 		-metrics BENCH_observability.json -trace TRACE_observability.json
 
+# Headline latency regression gate: recompute the per-mechanism traced
+# end-to-end means and fail if any exceeds the committed baseline by >10%.
+bench-diff:
+	$(GO) run ./cmd/voyager-bench -fig none -diff BENCH_baseline.json
+
+# Refresh the committed baseline after an intentional performance change.
+bench-baseline:
+	$(GO) run ./cmd/voyager-bench -fig none -headline BENCH_baseline.json
+
 # The fault-injection smoke matrix: {drop, corrupt, outage, node-death} x
 # three seeds of reliable traffic, with every cell's metrics registry dumped
 # to one JSON artifact. A cell that loses or duplicates a message panics.
@@ -53,4 +63,4 @@ faults:
 	$(GO) run ./cmd/voyager-bench -fig none -fault-matrix \
 		-fault-seeds 1,2,3 -faults-json FAULTS_matrix.json
 
-ci: build test lint bench-json faults
+ci: build test lint bench-json bench-diff faults

@@ -4,12 +4,19 @@
 // Usage:
 //
 //	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all|none] [-max-size bytes]
-//	              [-trace file.json] [-metrics file.json]
+//	              [-trace file.json] [-metrics file.json] [-trace-cap n]
+//	              [-headline file.json] [-diff baseline.json]
 //	              [-fault-matrix] [-fault-seeds 1,2,3] [-faults-json file.json]
 //
 // -trace / -metrics execute the canonical instrumented run (every mechanism
 // on a four-node machine) and export its Perfetto trace / metrics registry;
 // combine with -fig none to produce only the observability artifacts.
+//
+// -headline writes the deterministic headline latencies (mean traced
+// end-to-end latency per MP mechanism) as JSON; -diff recomputes them and
+// exits nonzero if any latency regressed more than 10% against the given
+// baseline file. BENCH_baseline.json in the repo root is the committed
+// baseline that CI diffs against (regenerate with make bench-baseline).
 //
 // -fault-matrix runs the reliability smoke matrix (drop, corrupt, outage and
 // node-death scenarios at each seed in -fault-seeds); -faults-json writes
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -35,6 +43,9 @@ func main() {
 	maxSize := flag.Int("max-size", 256<<10, "largest transfer size in the sweep")
 	traceFile := flag.String("trace", "", "write a Perfetto trace of the canonical instrumented run")
 	metricsFile := flag.String("metrics", "", "write the canonical run's metrics registry as JSON")
+	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity for the instrumented run (oldest events drop beyond this)")
+	headlineFile := flag.String("headline", "", "write the headline per-mechanism latencies as JSON")
+	diffBase := flag.String("diff", "", "diff headline latencies against this baseline JSON; exit 1 on >10% regression")
 	faultMatrix := flag.Bool("fault-matrix", false, "run the fault-injection smoke matrix")
 	faultSeeds := flag.String("fault-seeds", "1,2,3", "comma-separated fault seeds for the matrix")
 	faultMsgs := flag.Int("fault-msgs", 30, "reliable messages per fault-matrix cell")
@@ -50,7 +61,7 @@ func main() {
 
 	ran := false
 	if *traceFile != "" || *metricsFile != "" {
-		obs := bench.ObservedRun()
+		obs := bench.ObservedRunCap(*traceCap)
 		if *traceFile != "" {
 			writeFile(*traceFile, func(f *os.File) error { return obs.Trace.WritePerfetto(f) })
 			fmt.Printf("trace: %s (simulated %v)\n", *traceFile, obs.SimTime)
@@ -58,6 +69,22 @@ func main() {
 		if *metricsFile != "" {
 			writeFile(*metricsFile, func(f *os.File) error { return obs.Metrics.WriteJSON(f, obs.SimTime) })
 			fmt.Printf("metrics: %s\n", *metricsFile)
+		}
+		if d := obs.Trace.Stats().Dropped; d > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace is truncated (raise -trace-cap)\n", d)
+		}
+		ran = true
+	}
+	if *headlineFile != "" || *diffBase != "" {
+		latencies := bench.HeadlineLatencies()
+		if *headlineFile != "" {
+			writeFile(*headlineFile, func(f *os.File) error { return writeHeadline(f, latencies) })
+			fmt.Printf("headline: %s\n", *headlineFile)
+		}
+		if *diffBase != "" {
+			if !diffHeadline(*diffBase, latencies) {
+				os.Exit(1)
+			}
 		}
 		ran = true
 	}
@@ -115,6 +142,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// headlineDoc is the on-disk shape of BENCH_baseline.json: the deterministic
+// headline latencies, keyed "<mechanism>_e2e_mean_ns".
+type headlineDoc struct {
+	Schema    string           `json:"schema"`
+	Latencies map[string]int64 `json:"latencies"`
+}
+
+func writeHeadline(f *os.File, latencies map[string]int64) error {
+	out, err := json.MarshalIndent(headlineDoc{
+		Schema: "voyager-headline/v1", Latencies: latencies,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(out, '\n'))
+	return err
+}
+
+// diffHeadline compares freshly computed headline latencies against the
+// committed baseline and reports every entry. Returns false — the CI failure
+// signal — when any latency exceeds its baseline by more than 10%.
+func diffHeadline(path string, latencies map[string]int64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("-diff: %v", err)
+	}
+	var base headlineDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("-diff %s: %v", path, err)
+	}
+	keys := make([]string, 0, len(base.Latencies))
+	for k := range base.Latencies {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ok := true
+	for _, k := range keys {
+		was := base.Latencies[k]
+		now, found := latencies[k]
+		if !found {
+			fmt.Printf("bench-diff: %-24s MISSING (baseline %dns)\n", k, was)
+			ok = false
+			continue
+		}
+		pct := 100 * float64(now-was) / float64(was)
+		verdict := "ok"
+		if now > was+was/10 {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Printf("bench-diff: %-24s %8dns -> %8dns (%+.1f%%) %s\n", k, was, now, pct, verdict)
+	}
+	for k := range latencies {
+		if _, found := base.Latencies[k]; !found {
+			fmt.Printf("bench-diff: %-24s %8dns (new; not in baseline — refresh with make bench-baseline)\n", k, latencies[k])
+		}
+	}
+	if !ok {
+		fmt.Println("bench-diff: FAIL — headline latency regressed >10% (refresh BENCH_baseline.json via make bench-baseline if intentional)")
+	}
+	return ok
 }
 
 // writeFaultRuns renders the fault matrix as one JSON document: a summary

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
-	mech := flag.String("mech", "basic", "mechanism: basic, express, dma, reliable")
+	mech := flag.String("mech", "basic", "mechanism: basic, express, tagon, dma, reliable")
 	count := flag.Int("count", 100, "messages (or transfers) per sender")
 	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
 	faults := flag.String("faults", "", "fault-injection plan (e.g. 'seed=7,drop=0.05,outage=1-0@20us:200us')")
@@ -82,7 +82,7 @@ func main() {
 		}
 		for received < total {
 			switch *mech {
-			case "basic":
+			case "basic", "tagon":
 				if _, _, ok := a.TryRecvBasic(p); ok {
 					received++
 				}
@@ -104,6 +104,9 @@ func main() {
 				case "basic":
 					payload := make([]byte, min(*size, core.MaxBasicPayload))
 					a.SendBasic(p, 0, payload)
+				case "tagon":
+					// Inline byte + one 16-byte aSRAM tag appended by the NIU.
+					a.SendTagOn(p, 0, []byte{byte(k)}, 0x400, 16)
 				case "express":
 					a.SendExpress(p, 0, []byte{byte(k)})
 					a.Compute(p, 2*sim.Microsecond) // pace: express drops on overflow
@@ -168,6 +171,11 @@ func main() {
 		ts := tbuf.Stats()
 		fmt.Printf("trace: %s (%d events captured, %d retained)\n",
 			*traceFile, ts.Captured, ts.Retained)
+	}
+	if tbuf != nil {
+		if d := tbuf.Stats().Dropped; d > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace is truncated (raise -trace-cap)\n", d)
+		}
 	}
 	if *metricsFile != "" {
 		writeFile(*metricsFile, func(f *os.File) error {

@@ -81,8 +81,9 @@ func (d *Direct) delivered(pkt *Packet) {
 	d.latHist.ObserveTime(lat)
 	if d.eng.Observed() {
 		d.eng.Instant(pkt.Dst, "net", "deliver",
-			sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
-			sim.Int("size", pkt.Size))
+			traceFields([]sim.Field{
+				sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
+				sim.Int("size", pkt.Size)}, pkt.Trace)...)
 	}
 }
 
@@ -99,14 +100,19 @@ func (d *Direct) Inject(pkt *Packet) {
 	d.stats.ByPri[pkt.Priority]++
 	if d.eng.Observed() {
 		d.eng.Instant(pkt.Src, "net", "inject",
-			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
-			sim.Str("pri", pkt.Priority.String()))
+			traceFields([]sim.Field{
+				sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
+				sim.Str("pri", pkt.Priority.String())}, pkt.Trace)...)
 	}
 	if d.faults != nil {
 		launch, delay := judgeFault(d.faults, pkt, func(dup *Packet) {
 			d.stats.Injected++
 			d.stats.ByPri[dup.Priority]++
 		})
+		if len(launch) == 0 && d.eng.Observed() && pkt.Trace.Traced() {
+			d.eng.Instant(pkt.Src, "net", "msg-drop",
+				traceFields([]sim.Field{sim.Str("why", "fault")}, pkt.Trace)...)
+		}
 		for _, lp := range launch {
 			d.launchAfter(lp, delay)
 		}
@@ -153,6 +159,7 @@ func (c *directChan) kick() {
 
 func (c *directChan) arrive(pkt *Packet) {
 	if c.d.faults != nil && c.d.faults.DropOnDelivery(pkt.Dst) {
+		c.d.dropDead(pkt)
 		return
 	}
 	// Preserve FIFO past a refusal: while anything is stalled, new arrivals
@@ -169,6 +176,14 @@ func (c *directChan) arrive(pkt *Packet) {
 	c.stalled = append(c.stalled, pkt)
 }
 
+// dropDead traces a packet killed at the delivery boundary (dead receiver).
+func (d *Direct) dropDead(pkt *Packet) {
+	if d.eng.Observed() && pkt.Trace.Traced() {
+		d.eng.Instant(pkt.Dst, "net", "msg-drop",
+			traceFields([]sim.Field{sim.Str("why", "dead")}, pkt.Trace)...)
+	}
+}
+
 // InjectReady always reports true: the ideal fabric buffers without bound.
 func (d *Direct) InjectReady(node int, pri Priority) bool { return true }
 
@@ -183,6 +198,7 @@ func (d *Direct) Poke(node int) {
 			pkt := ch.stalled[0]
 			if d.faults != nil && d.faults.DropOnDelivery(pkt.Dst) {
 				ch.stalled = ch.stalled[1:]
+				d.dropDead(pkt)
 				continue
 			}
 			if !d.endpoints[node].TryDeliver(pkt) {

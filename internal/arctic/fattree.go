@@ -167,8 +167,17 @@ func (f *FatTree) delivered(pkt *Packet) {
 	f.latHist.ObserveTime(lat)
 	if f.eng.Observed() {
 		f.eng.Instant(pkt.Dst, "net", "deliver",
-			sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
-			sim.Int("size", pkt.Size))
+			traceFields([]sim.Field{
+				sim.Int("src", pkt.Src), sim.I64("lat_ns", int64(lat)),
+				sim.Int("size", pkt.Size)}, pkt.Trace)...)
+	}
+}
+
+// dropDead traces a packet killed at the delivery boundary (dead receiver).
+func (f *FatTree) dropDead(pkt *Packet) {
+	if f.eng.Observed() && pkt.Trace.Traced() {
+		f.eng.Instant(pkt.Dst, "net", "msg-drop",
+			traceFields([]sim.Field{sim.Str("why", "dead")}, pkt.Trace)...)
 	}
 }
 
@@ -251,14 +260,19 @@ func (f *FatTree) Inject(pkt *Packet) {
 	f.stats.ByPri[pkt.Priority]++
 	if f.eng.Observed() {
 		f.eng.Instant(pkt.Src, "net", "inject",
-			sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
-			sim.Str("pri", pkt.Priority.String()))
+			traceFields([]sim.Field{
+				sim.Int("dst", pkt.Dst), sim.Int("size", pkt.Size),
+				sim.Str("pri", pkt.Priority.String())}, pkt.Trace)...)
 	}
 	if f.faults != nil {
 		launch, delay := judgeFault(f.faults, pkt, func(dup *Packet) {
 			f.stats.Injected++
 			f.stats.ByPri[dup.Priority]++
 		})
+		if len(launch) == 0 && f.eng.Observed() && pkt.Trace.Traced() {
+			f.eng.Instant(pkt.Src, "net", "msg-drop",
+				traceFields([]sim.Field{sim.Str("why", "fault")}, pkt.Trace)...)
+		}
 		for _, lp := range launch {
 			lp := lp
 			if delay > 0 {
@@ -470,6 +484,7 @@ func (l *link) afterSer(e *linkEntry) {
 	pr := e.pkt.Priority
 	if l.dstNode >= 0 {
 		if l.f.faults != nil && l.f.faults.DropOnDelivery(e.pkt.Dst) {
+			l.f.dropDead(e.pkt)
 			return // dead destination: the packet dies, the lane stays free
 		}
 		ep := l.f.endpoints[l.dstNode]
@@ -498,6 +513,7 @@ func (l *link) poke() {
 		}
 		if l.f.faults != nil && l.f.faults.DropOnDelivery(e.pkt.Dst) {
 			l.blocked[pr] = nil
+			l.f.dropDead(e.pkt)
 			progressed = true
 			continue
 		}

@@ -48,12 +48,30 @@ type Packet struct {
 	Size    int
 	Payload interface{}
 
+	// Trace is the payload message's causal trace context; the fabric carries
+	// it untouched (sideband, not part of Size) so path analysis can link the
+	// network hop to the surrounding NIU stages.
+	Trace sim.MsgTag
+
 	injected sim.Time
 }
 
 // InjectedAt returns the time the packet entered the fabric (set by the
 // fabric on injection).
 func (p *Packet) InjectedAt() sim.Time { return p.injected }
+
+// traceFields appends a packet's causal trace attributes ("msg", and
+// "attempt" for retransmissions) to an event's field list; untraced packets
+// add nothing, keeping fault-free untagged traffic's events unchanged.
+func traceFields(fields []sim.Field, t sim.MsgTag) []sim.Field {
+	if t.Traced() {
+		fields = append(fields, sim.I64("msg", int64(t.ID)))
+		if t.Attempt > 1 {
+			fields = append(fields, sim.I64("attempt", int64(t.Attempt)))
+		}
+	}
+	return fields
+}
 
 // Endpoint receives packets from the fabric. TryDeliver returns false to
 // refuse the packet (backpressure): the fabric then stalls that packet's

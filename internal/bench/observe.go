@@ -23,8 +23,14 @@ type Observed struct {
 // package emits at least one span, instant, counter, or metric during this
 // run; the coverage test in observe_test.go holds the layer to that.
 func ObservedRun() Observed {
+	return ObservedRunCap(1 << 18)
+}
+
+// ObservedRunCap is ObservedRun with an explicit trace ring capacity, for
+// callers that expose -trace-cap.
+func ObservedRunCap(capacity int) Observed {
 	m := core.NewMachine(4)
-	tbuf := m.Trace(1 << 18)
+	tbuf := m.Trace(capacity)
 
 	xfer := blockxfer.NewTransfer(blockxfer.A3, m, 4<<10)
 	m.Go(0, "xfer-src", func(p *sim.Proc, api *core.API) {

@@ -78,6 +78,7 @@ func (x *a45) Send(p *sim.Proc, api *core.API) {
 func (x *a45) onRequest(p *sim.Proc, src uint16, body []byte) {
 	size := int(binary.BigEndian.Uint32(body[0:]))
 	fw := x.m.Nodes[0].FW
+	parent := fw.CurMsgID() // captured now: the spawned proc outlives the handler
 	fw.Go("a45-send", func(p *sim.Proc) {
 		x.lock.AcquireP(p)
 		defer x.lock.Release()
@@ -126,7 +127,7 @@ func (x *a45) onRequest(p *sim.Proc, src uint16, body []byte) {
 			bt := &ctrl.BlockTx{
 				Buf: fw.Ctrl().ASram(), SramOff: stageOff, Len: n,
 				DestNode: 1, DestAddr: windowDst() + uint32(offset),
-				Priority: arctic.Low,
+				Priority: arctic.Low, TraceParent: parent,
 			}
 			if x.a == A5 {
 				bt.WithCls = true

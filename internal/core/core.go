@@ -116,6 +116,22 @@ func (a *API) busy(op string) func() {
 	}
 }
 
+// traceMsg emits one causal lifecycle instant for a traced message on this
+// node's "aP" track. No-op for untraced messages (tag.ID == 0).
+func (a *API) traceMsg(name string, tag sim.MsgTag, extra ...sim.Field) {
+	eng := a.m.Eng
+	if !tag.Traced() || !eng.Observed() {
+		return
+	}
+	fields := make([]sim.Field, 0, 2+len(extra))
+	fields = append(fields, sim.I64("msg", int64(tag.ID)))
+	if tag.Parent != 0 {
+		fields = append(fields, sim.I64("parent", int64(tag.Parent)))
+	}
+	fields = append(fields, extra...)
+	eng.Instant(a.n.ID, "aP", name, fields...)
+}
+
 // Compute models d of application computation on the aP.
 func (a *API) Compute(p *sim.Proc, d sim.Time) {
 	defer a.busy("Compute")()
@@ -172,6 +188,11 @@ func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload 
 	for off := uint32(0); off < uint32(len(slot)); off += bus.LineSize {
 		a.n.Cache.Flush(p, base+off)
 	}
+	// The message enters the system when the producer pointer publishes it:
+	// allocate its causal trace id and stage it beside the slot.
+	tag := sim.MsgTag{ID: a.m.Eng.NewMsgID()}
+	a.n.Ctrl.StageTxTag(q, a.txProd[q], tag)
+	a.traceMsg("msg-send", tag, sim.Int("txq", q))
 	a.txProd[q]++
 	a.ptrStore(p, q, false, a.txProd[q])
 }
@@ -262,6 +283,7 @@ func (a *API) tryRecvSlot(p *sim.Proc, op string, q int, bufOff uint32) (int, []
 		a.n.Cache.Load(p, base+8, payload)
 	}
 	src := int(binary.BigEndian.Uint16(hdr[0:]))
+	a.traceMsg("msg-consume", a.n.Ctrl.RxTag(q, a.rxCons[q]), sim.Int("rxq", q))
 	a.rxCons[q]++
 	a.ptrStore(p, q, true, a.rxCons[q])
 	return src, payload, true

@@ -95,7 +95,7 @@ func TestGarbageFrameCountedDrop(t *testing.T) {
 	// link must not crash the receiver. TryReceive returns true (the frame is
 	// consumed, freeing the network lane) and the rx_garbage counter ticks.
 	m := NewMachine(2)
-	if !m.Nodes[1].Ctrl.TryReceive([]byte{0xFF, 0xFF, 0xFF}) {
+	if !m.Nodes[1].Ctrl.TryReceive([]byte{0xFF, 0xFF, 0xFF}, sim.MsgTag{}) {
 		t.Fatal("garbage frame refused instead of counted-and-dropped")
 	}
 	if got := m.Nodes[1].Ctrl.Stats().RxGarbage; got != 1 {
@@ -122,7 +122,7 @@ func TestGarbageFrameStrictPanics(t *testing.T) {
 			t.Fatal("StrictRx accepted a garbage frame")
 		}
 	}()
-	m.Nodes[1].Ctrl.TryReceive([]byte{0xFF, 0xFF, 0xFF})
+	m.Nodes[1].Ctrl.TryReceive([]byte{0xFF, 0xFF, 0xFF}, sim.MsgTag{})
 }
 
 func TestDropPolicyLosesExcessOnly(t *testing.T) {

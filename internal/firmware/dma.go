@@ -105,30 +105,32 @@ func (d *Dma) onRequest(p *sim.Proc, src uint16, body []byte) {
 		d.e.SendSvc(p, req.PeerNode, SvcDmaRemote, EncodeDmaRequest(fwd), arctic.Low, nil)
 		return
 	}
-	d.push(req)
+	d.push(req, d.e.curMsg.ID)
 }
 
 // onRemote handles a push request arriving from another node's sP.
 func (d *Dma) onRemote(p *sim.Proc, src uint16, body []byte) {
-	d.push(DecodeDmaRequest(body))
+	d.push(DecodeDmaRequest(body), d.e.curMsg.ID)
 }
 
 // push runs a local-DRAM -> remote-DRAM transfer as its own firmware
-// activity (the msgLoop is not held for the duration).
-func (d *Dma) push(req DmaRequest) {
+// activity (the msgLoop is not held for the duration). parent is the trace
+// id of the request message, captured at handler time — the spawned proc
+// runs after curMsg has been cleared.
+func (d *Dma) push(req DmaRequest, parent uint64) {
 	if req.Len <= 0 || req.Len%bus.LineSize != 0 ||
 		req.SrcAddr%bus.LineSize != 0 || req.DstAddr%bus.LineSize != 0 {
 		panic(fmt.Sprintf("firmware: node %d: bad DMA geometry %+v", d.e.node, req))
 	}
 	d.e.Go("dma-push", func(p *sim.Proc) {
 		d.lock.AcquireP(p) // own the staging area for the whole transfer
-		d.runPush(p, req)
+		d.runPush(p, req, parent)
 	})
 }
 
 // runPush performs the chunk loop with double buffering: while one staging
 // half is being transmitted, the next chunk is read into the other half.
-func (d *Dma) runPush(p *sim.Proc, req DmaRequest) {
+func (d *Dma) runPush(p *sim.Proc, req DmaRequest, parent uint64) {
 	d.stats.Transfers++
 	half := d.cfg.StagingSize / 2
 	half -= half % bus.LineSize
@@ -168,7 +170,7 @@ func (d *Dma) runPush(p *sim.Proc, req DmaRequest) {
 		bt := &ctrl.BlockTx{
 			Buf: d.e.Ctrl().ASram(), SramOff: stageOff, Len: n,
 			DestNode: req.PeerNode, DestAddr: req.DstAddr + uint32(offset),
-			Priority: arctic.Low,
+			Priority: arctic.Low, TraceParent: parent,
 		}
 		reuse := free[buf]
 		reuse.Close()

@@ -67,6 +67,13 @@ type Engine struct {
 	protNotify *sim.Queue[int]
 	started    bool
 
+	// curMsg is the trace tag of the message whose handler is currently
+	// executing (zero outside handler context). Handlers run one at a time
+	// on the msgLoop, so services read it synchronously to link the messages
+	// they originate back to their cause; work they defer to other procs
+	// (DMA pushes, retransmit timers) must capture it at handler time.
+	curMsg sim.MsgTag
+
 	stats Stats
 }
 
@@ -192,6 +199,7 @@ func (e *Engine) msgLoop(p *sim.Proc) {
 		for c.RxProducer(q) != c.RxConsumer(q) {
 			ptr := c.RxConsumer(q)
 			src, logical, payload := c.ReadRxSlot(q, ptr)
+			tag := c.RxTag(q, ptr)
 			// The sP reads the message header; handlers moving bulk payload
 			// through their own hands charge PerByte themselves (the whole
 			// point of TagOn and command-queue data movement is that they
@@ -202,6 +210,11 @@ func (e *Engine) msgLoop(p *sim.Proc) {
 			}
 			e.Occupy(p, e.costs.Handler+sim.Time(hdr)*e.costs.PerByte)
 			c.RxConsumerUpdate(q, ptr+1)
+			// The sP dispatch is the terminal causal stage for messages it
+			// consumes; derived messages the handler originates link back
+			// through curMsg.
+			e.traceMsg("msg-consume", tag, sim.Int("rxq", q))
+			e.curMsg = tag
 			// One span per handled message on the node's "fw" track. Only
 			// this loop opens "fw" spans, so they never overlap (the other
 			// loops emit instants); sP occupancy itself is traced by the
@@ -220,6 +233,7 @@ func (e *Engine) msgLoop(p *sim.Proc) {
 				e.dispatch(p, src, payload)
 				span.End()
 			}
+			e.curMsg = sim.MsgTag{}
 		}
 	}
 }
@@ -293,15 +307,49 @@ func (e *Engine) protLoop(p *sim.Proc) {
 	}
 }
 
+// CurMsgID returns the trace id of the message whose handler is currently
+// executing (0 outside handler context). Services that defer work to spawned
+// procs capture it at handler time to parent the messages that work emits.
+func (e *Engine) CurMsgID() uint64 { return e.curMsg.ID }
+
+// traceMsg emits one causal lifecycle instant for a traced message on this
+// node's "fw" track. No-op for untraced messages (tag.ID == 0).
+func (e *Engine) traceMsg(name string, tag sim.MsgTag, extra ...sim.Field) {
+	if !tag.Traced() || !e.sim.Observed() {
+		return
+	}
+	fields := make([]sim.Field, 0, 3+len(extra))
+	fields = append(fields, sim.I64("msg", int64(tag.ID)))
+	if tag.Attempt > 1 {
+		fields = append(fields, sim.I64("attempt", int64(tag.Attempt)))
+	}
+	if tag.Parent != 0 {
+		fields = append(fields, sim.I64("parent", int64(tag.Parent)))
+	}
+	fields = append(fields, extra...)
+	e.sim.Instant(e.node, "fw", name, fields...)
+}
+
 // SendSvc issues a service message (svc id + body) to destNode's service
 // queue via a CTRL SendMsg command. Protocol replies use the high-priority
-// network lane to stay deadlock-free; requests use the low lane.
+// network lane to stay deadlock-free; requests use the low lane. The new
+// message's trace context links back to the message being handled; callers
+// outside handler context (retransmit timers) use SendSvcTagged.
 func (e *Engine) SendSvc(p *sim.Proc, destNode int, svc byte, body []byte,
 	pri arctic.Priority, done func()) {
+	e.SendSvcTagged(p, destNode, svc, body, pri, sim.MsgTag{Parent: e.curMsg.ID}, done)
+}
+
+// SendSvcTagged is SendSvc with an explicit trace context: a zero-ID tag is
+// allocated a fresh message id at launch, while a tagged one (reliable
+// retransmissions) keeps its identity across attempts.
+func (e *Engine) SendSvcTagged(p *sim.Proc, destNode int, svc byte, body []byte,
+	pri arctic.Priority, tag sim.MsgTag, done func()) {
 	payload := append([]byte{svc}, body...)
 	e.IssueCommand(p, 0, &ctrl.SendMsg{
-		Base:     ctrl.Base{Done: done},
-		Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: SvcLogicalQ, Payload: payload},
+		Base: ctrl.Base{Done: done},
+		Frame: &txrx.Frame{Kind: txrx.Data, LogicalQ: SvcLogicalQ, Payload: payload,
+			Trace: tag},
 		Dest:     uint16(destNode),
 		Priority: pri,
 	})

@@ -51,9 +51,9 @@ type fwRig struct {
 
 type nullNet struct{}
 
-func (nullNet) Inject(int, arctic.Priority, []byte) {}
-func (nullNet) Poke()                               {}
-func (nullNet) Ready(arctic.Priority) bool          { return true }
+func (nullNet) Inject(int, arctic.Priority, []byte, sim.MsgTag) {}
+func (nullNet) Poke()                                           {}
+func (nullNet) Ready(arctic.Priority) bool                      { return true }
 
 func newFwRig(t *testing.T) *fwRig {
 	t.Helper()
@@ -83,7 +83,7 @@ func (r *fwRig) deliver(t *testing.T, f *txrx.Frame) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !r.c.TryReceive(w) {
+	if !r.c.TryReceive(w, sim.MsgTag{}) {
 		t.Fatal("delivery refused")
 	}
 }

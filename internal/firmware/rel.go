@@ -106,6 +106,13 @@ type relEntry struct {
 	seq     uint32
 	tag     uint32
 	payload []byte
+
+	// Causal trace identity: one message id for the logical send, reused
+	// across every retransmission with a bumped attempt counter, parented to
+	// the aP's SvcRelSend submission.
+	msg     uint64
+	parent  uint64
+	attempt uint32
 }
 
 // relPeer is the per-(this node, remote node) protocol state.
@@ -188,17 +195,21 @@ func (r *Rel) onSend(p *sim.Proc, src uint16, body []byte) {
 	if dst == r.e.node {
 		// Node-local reliable send: the loopback path cannot lose data.
 		r.stats.Delivered++
-		r.deliverLocal(p, uint16(r.e.node), payload)
-		r.status(p, tag, RelOK)
+		r.deliverLocal(p, uint16(r.e.node), payload, r.e.curMsg.ID)
+		r.status(p, tag, RelOK, r.e.curMsg.ID)
 		return
 	}
 	peer := r.peers[dst]
 	if peer.failed {
 		r.stats.Failures++
-		r.status(p, tag, RelUnreachable)
+		r.status(p, tag, RelUnreachable, r.e.curMsg.ID)
 		return
 	}
-	peer.pending = append(peer.pending, &relEntry{seq: peer.nextSeq, tag: tag, payload: payload})
+	ent := &relEntry{seq: peer.nextSeq, tag: tag, payload: payload,
+		msg: r.e.sim.NewMsgID(), parent: r.e.curMsg.ID}
+	r.e.traceMsg("msg-send", sim.MsgTag{ID: ent.msg, Parent: ent.parent},
+		sim.Int("dst", dst))
+	peer.pending = append(peer.pending, ent)
 	peer.nextSeq++
 	r.fillWindow(p, peer)
 }
@@ -216,7 +227,7 @@ func (r *Rel) onData(p *sim.Proc, src uint16, body []byte) {
 		r.stats.Delivered++
 		// Handing the payload to the aP costs sP data movement.
 		r.e.Occupy(p, sim.Time(len(body)-4)*r.e.costs.PerByte)
-		r.deliverLocal(p, src, body[4:])
+		r.deliverLocal(p, src, body[4:], r.e.curMsg.ID)
 	case d < 0:
 		// Already delivered: a retransmit crossed our ACK. Re-ACK so the
 		// sender can retire it.
@@ -250,7 +261,7 @@ func (r *Rel) onAck(p *sim.Proc, src uint16, body []byte) {
 		ent := peer.inflight[0]
 		peer.inflight = peer.inflight[1:]
 		progressed = true
-		r.status(p, ent.tag, RelOK)
+		r.status(p, ent.tag, RelOK, ent.msg)
 	}
 	if !progressed {
 		return
@@ -282,13 +293,17 @@ func (r *Rel) fillWindow(p *sim.Proc, peer *relPeer) {
 	}
 }
 
-// transmit sends one data frame on the Low lane.
+// transmit sends one data frame on the Low lane. Every attempt reuses the
+// entry's message id with a bumped attempt counter, so the path analyzer sees
+// one causal chain per logical send and can charge the retransmit penalty.
 func (r *Rel) transmit(p *sim.Proc, peer *relPeer, ent *relEntry) {
 	body := make([]byte, 4+len(ent.payload))
 	binary.BigEndian.PutUint32(body[0:], ent.seq)
 	copy(body[4:], ent.payload)
 	r.e.Occupy(p, sim.Time(len(ent.payload))*r.e.costs.PerByte)
-	r.e.SendSvc(p, peer.node, SvcRelData, body, arctic.Low, nil)
+	ent.attempt++
+	r.e.SendSvcTagged(p, peer.node, SvcRelData, body, arctic.Low,
+		sim.MsgTag{ID: ent.msg, Attempt: ent.attempt, Parent: ent.parent}, nil)
 }
 
 // armTimer schedules the ACK timeout, invalidating any earlier timer.
@@ -341,24 +356,27 @@ func (r *Rel) failPeer(p *sim.Proc, peer *relPeer) {
 	}
 	for _, ent := range peer.inflight {
 		r.stats.Failures++
-		r.status(p, ent.tag, RelUnreachable)
+		r.status(p, ent.tag, RelUnreachable, ent.msg)
 	}
 	for _, ent := range peer.pending {
 		r.stats.Failures++
-		r.status(p, ent.tag, RelUnreachable)
+		r.status(p, ent.tag, RelUnreachable, ent.msg)
 	}
 	peer.inflight, peer.pending = nil, nil
 }
 
 // deliverLocal lands an in-order payload on the node's RelLogicalQ, prefixed
 // with the true origin node (the frame's SrcNode is this node: the final hop
-// is a node-local SendMsg).
-func (r *Rel) deliverLocal(p *sim.Proc, origin uint16, payload []byte) {
+// is a node-local SendMsg). parent links the new local message to its cause
+// (explicit because failPeer runs outside handler context, where curMsg is
+// not valid).
+func (r *Rel) deliverLocal(p *sim.Proc, origin uint16, payload []byte, parent uint64) {
 	buf := make([]byte, 2+len(payload))
 	binary.BigEndian.PutUint16(buf[0:], origin)
 	copy(buf[2:], payload)
 	r.e.IssueCommand(p, 0, &ctrl.SendMsg{
-		Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: RelLogicalQ, Payload: buf},
+		Frame: &txrx.Frame{Kind: txrx.Data, LogicalQ: RelLogicalQ, Payload: buf,
+			Trace: sim.MsgTag{Parent: parent}},
 		Dest:     uint16(r.e.node),
 		Priority: arctic.High,
 	})
@@ -366,12 +384,13 @@ func (r *Rel) deliverLocal(p *sim.Proc, origin uint16, payload []byte) {
 
 // status reports a send's outcome on the node's RelStatusLogicalQ:
 // tag(4) code(1).
-func (r *Rel) status(p *sim.Proc, tag uint32, code byte) {
+func (r *Rel) status(p *sim.Proc, tag uint32, code byte, parent uint64) {
 	var buf [5]byte
 	binary.BigEndian.PutUint32(buf[0:], tag)
 	buf[4] = code
 	r.e.IssueCommand(p, 0, &ctrl.SendMsg{
-		Frame:    &txrx.Frame{Kind: txrx.Data, LogicalQ: RelStatusLogicalQ, Payload: buf[:]},
+		Frame: &txrx.Frame{Kind: txrx.Data, LogicalQ: RelStatusLogicalQ, Payload: buf[:],
+			Trace: sim.MsgTag{Parent: parent}},
 		Dest:     uint16(r.e.node),
 		Priority: arctic.High,
 	})

@@ -149,6 +149,7 @@ func Suite() []*Analyzer {
 		NoMapOrder,
 		NoGoroutine,
 		SimTimeUnits,
+		SpanLeak,
 	}
 }
 

@@ -7,6 +7,7 @@ func TestNoGlobalRand(t *testing.T) { runAnalyzerTest(t, NoGlobalRand, "testdata
 func TestNoMapOrder(t *testing.T)   { runAnalyzerTest(t, NoMapOrder, "testdata/nomaporder") }
 func TestNoGoroutine(t *testing.T)  { runAnalyzerTest(t, NoGoroutine, "testdata/nogoroutine") }
 func TestSimTimeUnits(t *testing.T) { runAnalyzerTest(t, SimTimeUnits, "testdata/simtimeunits") }
+func TestSpanLeak(t *testing.T)     { runAnalyzerTest(t, SpanLeak, "testdata/spanleak") }
 
 // TestSuitePolicy pins which packages each analyzer covers: wall-clock and
 // goroutine rules protect model code under internal/ (sim itself may use
@@ -26,6 +27,8 @@ func TestSuitePolicy(t *testing.T) {
 		{NoGlobalRand, "startvoyager/cmd/voyager-net", true},
 		{NoMapOrder, "startvoyager/internal/memcheck", true},
 		{SimTimeUnits, "startvoyager/examples/samplesort", true},
+		{SpanLeak, "startvoyager/internal/bus", true},
+		{SpanLeak, "startvoyager/cmd/voyager-bench", true},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.path); got != c.want {
@@ -37,7 +40,7 @@ func TestSuitePolicy(t *testing.T) {
 // TestSuiteComplete pins the suite contents so a new analyzer cannot be
 // added without being wired into the drivers' shared entry point.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "nomaporder", "nogoroutine", "simtimeunits"}
+	want := []string{"nowalltime", "noglobalrand", "nomaporder", "nogoroutine", "simtimeunits", "spanleak"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SpanLeak flags sim.Span values that are opened but can never be closed: a
+// span-producing call (sim.Engine.BeginSpan or any wrapper returning
+// sim.Span) whose result is discarded, assigned to the blank identifier, or
+// bound to a variable that no reachable code ever calls End() on. An open
+// span corrupts the trace export — the Perfetto writer has no end timestamp
+// for it, so the track renders a begin with no duration and every nested
+// span after it mis-parents.
+//
+// The check is a conservative function-free dataflow over identifiers: a
+// tracked variable is cleared by any x.End(...) call anywhere in the file
+// (including closures, where the real emitters end their spans), and
+// ownership transfers when the value escapes — returned, passed as an
+// argument, copied to another variable, or stored in a field or element.
+// Only spans that are provably never ended and never escape are reported, so
+// a finding is always real.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc: "flag sim.Span results that are discarded or never End()ed; " +
+		"every opened span must be closed or handed off",
+	Applies: func(path string) bool { return true },
+	Run:     runSpanLeak,
+}
+
+func runSpanLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkSpanLeakFile(pass, f)
+	}
+	return nil
+}
+
+func checkSpanLeakFile(pass *Pass, f *ast.File) {
+	// Pass 1: every call expression whose static type is sim.Span.
+	spanCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isSpanCall(pass.Info, call) {
+			spanCalls[call] = true
+		}
+		return true
+	})
+	if len(spanCalls) == 0 {
+		return
+	}
+
+	// Pass 2: classify the immediate context of each producing call. Calls
+	// left in spanCalls afterwards sit inside a larger expression (return
+	// statement, argument list, composite literal) — the value escapes and
+	// the receiver owns the End.
+	type spanVar struct {
+		pos            token.Pos
+		name           string
+		ended, escaped bool
+	}
+	vars := make(map[types.Object]*spanVar)
+	benign := make(map[*ast.Ident]bool) // uses that neither end nor escape
+	bind := func(lhs ast.Expr, call *ast.CallExpr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return // field or element store: ownership transferred
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span assigned to _ is never End()ed; bind it and close it, or drop the call")
+			return
+		}
+		benign[id] = true
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id] // plain `=` to a pre-declared variable
+		}
+		if obj == nil {
+			return
+		}
+		if _, seen := vars[obj]; !seen {
+			vars[obj] = &spanVar{pos: call.Pos(), name: id.Name}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && spanCalls[call] {
+					delete(spanCalls, call)
+					bind(n.Lhs[i], call)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, rhs := range n.Values {
+				if call, ok := rhs.(*ast.CallExpr); ok && spanCalls[call] {
+					delete(spanCalls, call)
+					bind(n.Names[i], call)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && spanCalls[call] {
+				delete(spanCalls, call)
+				pass.Reportf(call.Pos(), "span result discarded; the span is never End()ed")
+			}
+		}
+		return true
+	})
+
+	// Pass 3: resolve each use of a tracked variable. Method calls on the
+	// span are benign queries unless the method is End; reassignment targets
+	// are overwrites, not escapes.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, tracked := vars[pass.Info.Uses[id]]; tracked {
+				benign[id] = true
+				if sel.Sel.Name == "End" {
+					v.ended = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if _, tracked := vars[pass.Info.Uses[id]]; tracked {
+						benign[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || benign[id] {
+			return true
+		}
+		if v, tracked := vars[pass.Info.Uses[id]]; tracked {
+			v.escaped = true // returned, passed, copied: receiver owns the End
+		}
+		return true
+	})
+
+	leaks := make([]*spanVar, 0, len(vars))
+	for _, v := range vars {
+		if !v.ended && !v.escaped {
+			leaks = append(leaks, v)
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, v := range leaks {
+		pass.Reportf(v.pos, "span %s is never End()ed on any path; close it (defer works) or hand it off", v.name)
+	}
+}
+
+// isSpanCall reports whether call's static result type is sim.Span.
+func isSpanCall(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}

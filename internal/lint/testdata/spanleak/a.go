@@ -1,0 +1,67 @@
+// Package a exercises the spanleak analyzer: every opened sim.Span must be
+// End()ed or handed off to a receiver that will end it.
+package a
+
+import "startvoyager/internal/sim"
+
+type holder struct {
+	span sim.Span
+}
+
+func discarded(eng *sim.Engine) {
+	eng.BeginSpan(0, "bus", "read") // want "span result discarded"
+}
+
+func blanked(eng *sim.Engine) {
+	_ = eng.BeginSpan(0, "bus", "read") // want "span assigned to _ is never End"
+}
+
+func leaked(eng *sim.Engine) {
+	s := eng.BeginSpan(0, "bus", "read") // want "span s is never End"
+	_ = s.Active()                       // a query is not a close
+}
+
+func leakedViaWrapper(eng *sim.Engine) {
+	// Wrappers returning sim.Span are producers too.
+	s := open(eng) // want "span s is never End"
+	_ = s.Active()
+}
+
+func ended(eng *sim.Engine) {
+	s := eng.BeginSpan(0, "bus", "read")
+	s.End()
+}
+
+func deferred(eng *sim.Engine) {
+	s := eng.BeginSpan(0, "bus", "read")
+	defer s.End()
+}
+
+func endedInClosure(eng *sim.Engine) {
+	// The emitter pattern: assignment under an observer guard, End inside a
+	// scheduled closure.
+	var s sim.Span
+	if eng.Observed() {
+		s = eng.BeginSpan(0, "bus", "read")
+	}
+	eng.Schedule(0, func() { s.End() })
+}
+
+func open(eng *sim.Engine) sim.Span {
+	// Escape via return: the caller owns the End.
+	return eng.BeginSpan(0, "fw", "dispatch")
+}
+
+func stored(eng *sim.Engine, h *holder) {
+	// Escape via field store: the holder owns the End.
+	h.span = eng.BeginSpan(0, "fw", "dispatch")
+}
+
+func handedOff(eng *sim.Engine) {
+	// Escape via copy and argument: ownership transfers.
+	s := eng.BeginSpan(0, "fw", "dispatch")
+	t := s
+	finish(t)
+}
+
+func finish(s sim.Span) { s.End() }

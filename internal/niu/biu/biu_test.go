@@ -30,7 +30,7 @@ type netSink struct {
 	dsts     []int
 }
 
-func (n *netSink) Inject(dst int, pri arctic.Priority, wire []byte) {
+func (n *netSink) Inject(dst int, pri arctic.Priority, wire []byte, tag sim.MsgTag) {
 	n.injected = append(n.injected, wire)
 	n.dsts = append(n.dsts, dst)
 }
@@ -168,7 +168,7 @@ func TestExpressRxRegion(t *testing.T) {
 		Entries: 16, ShadowBase: 0xA0, Logical: 77, Express: true, Enabled: true})
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Data, SrcNode: 2, LogicalQ: 77,
 		Payload: []byte{1, 2, 3, 4, 5}})
-	r.c.TryReceive(w)
+	r.c.TryReceive(w, sim.MsgTag{})
 	var got [8]byte
 	r.eng.Spawn("ap", func(p *sim.Proc) {
 		p.Delay(1000) // let the message land

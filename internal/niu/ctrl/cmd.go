@@ -58,6 +58,14 @@ type SendMsg struct {
 
 func (m *SendMsg) exec(c *Ctrl, done func()) {
 	m.Frame.SrcNode = uint16(c.myNode)
+	if !m.Frame.Trace.Traced() {
+		// First entry into the system: allocate the trace id here (keeping
+		// any Parent link the issuer pre-set). Frames that arrive already
+		// tagged — reliable-delivery retransmissions — keep their identity
+		// so every attempt links to one logical message.
+		m.Frame.Trace.ID = c.eng.NewMsgID()
+		c.traceMsg("ctrl", "msg-send", m.Frame.Trace)
+	}
 	send := func(phys uint16, pri arctic.Priority) {
 		// Move the payload across the IBus into the Tx FIFO, then format.
 		c.ibusMove(len(m.Frame.Payload)+SlotHeaderBytes, func() {
@@ -242,6 +250,11 @@ type BlockTx struct {
 
 	NotifyQ       uint16 // logical queue for the completion notification
 	NotifyPayload []byte // nil = no notification
+
+	// TraceParent links every packet this transfer launches (data chunks and
+	// the notification) to the message that caused the transfer (e.g. the
+	// DMA request the firmware handled); 0 when untraced.
+	TraceParent uint64
 }
 
 func (b *BlockTx) background() bool { return true }
@@ -258,7 +271,9 @@ func (b *BlockTx) exec(c *Ctrl, done func()) {
 				// data packet has been written.
 				f := &txrx.Frame{Kind: txrx.Cmd, SrcNode: uint16(c.myNode),
 					Op: txrx.CmdNotify, Aux: b.NotifyQ,
-					Payload: append([]byte(nil), b.NotifyPayload...)}
+					Payload: append([]byte(nil), b.NotifyPayload...),
+					Trace:   sim.MsgTag{ID: c.eng.NewMsgID(), Parent: b.TraceParent}}
+				c.traceMsg("ctrl", "msg-send", f.Trace)
 				c.emit(f, b.DestNode, b.Priority, done)
 				return
 			}
@@ -277,7 +292,9 @@ func (b *BlockTx) exec(c *Ctrl, done func()) {
 			}
 			f := &txrx.Frame{Kind: txrx.Cmd, SrcNode: uint16(c.myNode), Op: op,
 				Addr: b.DestAddr + uint32(off), Aux: uint16(b.ClsState),
-				Payload: append([]byte(nil), b.Buf.Slice(b.SramOff+uint32(off), n)...)}
+				Payload: append([]byte(nil), b.Buf.Slice(b.SramOff+uint32(off), n)...),
+				Trace:   sim.MsgTag{ID: c.eng.NewMsgID(), Parent: b.TraceParent}}
+			c.traceMsg("ctrl", "msg-send", f.Trace)
 			c.emit(f, b.DestNode, b.Priority, func() {
 				// Pace to the link rate so the unit does not flood the
 				// injection queue beyond what the wire can carry. The IBus

@@ -46,7 +46,9 @@ type BusPort interface {
 
 // NetPort is CTRL's path into the network (provided by the TxU/RxU wiring).
 type NetPort interface {
-	Inject(dst int, pri arctic.Priority, wire []byte)
+	// Inject sends an encoded frame; tag is the message's causal trace
+	// context, carried as sideband next to the wire bytes.
+	Inject(dst int, pri arctic.Priority, wire []byte, tag sim.MsgTag)
 	// Poke retries deliveries this NIU previously refused (Hold policy).
 	Poke()
 	// Ready reports whether the fabric can take another packet from this
@@ -174,6 +176,9 @@ type txQueue struct {
 	// until the fabric signals room.
 	parked    bool
 	parkedPri arctic.Priority
+	// tags is the per-slot causal trace sideband (indexed ptr mod Entries),
+	// written when a slot is composed and read when CTRL launches it.
+	tags []sim.MsgTag
 }
 
 type rxQueue struct {
@@ -182,6 +187,9 @@ type rxQueue struct {
 	consumer uint32
 	reserved uint32 // accepted but not yet written (in-flight through IBus)
 	holding  bool   // refused a delivery; poke the fabric on space
+	// tags is the per-slot causal trace sideband (indexed ptr mod Entries),
+	// written when the RxU lands a message and read by its consumer.
+	tags []sim.MsgTag
 }
 
 func (q *txQueue) pending() uint32 { return q.producer - q.consumer }
@@ -307,6 +315,56 @@ func (c *Ctrl) sampleRx(q int) {
 	}
 }
 
+// StageTxTag records the causal trace tag for the transmit slot being
+// composed at ptr on queue q. The tag is sideband state next to the slot
+// bytes — the publisher (aP library or aBIU) writes it together with the
+// slot, before the producer pointer makes the slot visible to CTRL.
+func (c *Ctrl) StageTxTag(q int, ptr uint32, tag sim.MsgTag) {
+	c.checkQ(q)
+	tq := &c.tx[q]
+	if len(tq.tags) > 0 {
+		tq.tags[int(ptr)%len(tq.tags)] = tag
+	}
+}
+
+// txTag reads the trace tag staged for transmit slot ptr of queue q.
+func (c *Ctrl) txTag(q int, ptr uint32) sim.MsgTag {
+	tq := &c.tx[q]
+	if len(tq.tags) == 0 {
+		return sim.MsgTag{}
+	}
+	return tq.tags[int(ptr)%len(tq.tags)]
+}
+
+// RxTag returns the trace tag of the message in receive slot ptr of queue q
+// (sideband next to the slot bytes; consumers read it alongside the slot).
+func (c *Ctrl) RxTag(q int, ptr uint32) sim.MsgTag {
+	c.checkQ(q)
+	rq := &c.rx[q]
+	if len(rq.tags) == 0 {
+		return sim.MsgTag{}
+	}
+	return rq.tags[int(ptr)%len(rq.tags)]
+}
+
+// traceMsg emits one causal lifecycle instant for a traced message on the
+// node's component track. No-op for untraced messages (tag.ID == 0).
+func (c *Ctrl) traceMsg(component, name string, tag sim.MsgTag, extra ...sim.Field) {
+	if !tag.Traced() || !c.eng.Observed() {
+		return
+	}
+	fields := make([]sim.Field, 0, 3+len(extra))
+	fields = append(fields, sim.I64("msg", int64(tag.ID)))
+	if tag.Attempt > 1 {
+		fields = append(fields, sim.I64("attempt", int64(tag.Attempt)))
+	}
+	if tag.Parent != 0 {
+		fields = append(fields, sim.I64("parent", int64(tag.Parent)))
+	}
+	fields = append(fields, extra...)
+	c.eng.Instant(c.myNode, component, name, fields...)
+}
+
 // Cls exposes the clsSRAM (written by remote commands and firmware).
 func (c *Ctrl) Cls() *sram.Cls { return c.cls }
 
@@ -337,7 +395,7 @@ func (c *Ctrl) ConfigureTx(q int, cfg TxConfig) {
 	if cfg.EntryBytes <= 0 || cfg.Entries <= 0 || cfg.Buf == nil {
 		panic(fmt.Sprintf("ctrl: bad tx config for queue %d", q))
 	}
-	c.tx[q] = txQueue{cfg: cfg}
+	c.tx[q] = txQueue{cfg: cfg, tags: make([]sim.MsgTag, cfg.Entries)}
 	c.shadowTx(q)
 }
 
@@ -347,7 +405,7 @@ func (c *Ctrl) ConfigureRx(q int, cfg RxConfig) {
 	if cfg.EntryBytes <= 0 || cfg.Entries <= 0 || cfg.Buf == nil {
 		panic(fmt.Sprintf("ctrl: bad rx config for queue %d", q))
 	}
-	c.rx[q] = rxQueue{cfg: cfg}
+	c.rx[q] = rxQueue{cfg: cfg, tags: make([]sim.MsgTag, cfg.Entries)}
 	c.shadowRx(q)
 }
 

@@ -20,7 +20,7 @@ type fakeNet struct {
 	delay    sim.Time
 	pokes    int
 	// stalled holds refused loopback deliveries until the peer pokes.
-	stalled [][]byte
+	stalled []stalledRec
 }
 
 type injRec struct {
@@ -29,21 +29,26 @@ type injRec struct {
 	wire []byte
 }
 
-func (n *fakeNet) Inject(dst int, pri arctic.Priority, wire []byte) {
+type stalledRec struct {
+	wire []byte
+	tag  sim.MsgTag
+}
+
+func (n *fakeNet) Inject(dst int, pri arctic.Priority, wire []byte, tag sim.MsgTag) {
 	n.injected = append(n.injected, injRec{dst, pri, wire})
 	if n.peer != nil {
 		w := append([]byte(nil), wire...)
-		n.eng.Schedule(n.delay, func() { n.deliver(w) })
+		n.eng.Schedule(n.delay, func() { n.deliver(w, tag) })
 	}
 }
 
-func (n *fakeNet) deliver(w []byte) {
+func (n *fakeNet) deliver(w []byte, tag sim.MsgTag) {
 	if len(n.stalled) > 0 {
-		n.stalled = append(n.stalled, w)
+		n.stalled = append(n.stalled, stalledRec{w, tag})
 		return
 	}
-	if !n.peer.TryReceive(w) {
-		n.stalled = append(n.stalled, w)
+	if !n.peer.TryReceive(w, tag) {
+		n.stalled = append(n.stalled, stalledRec{w, tag})
 	}
 }
 
@@ -52,7 +57,7 @@ func (n *fakeNet) Ready(arctic.Priority) bool { return true }
 func (n *fakeNet) Poke() {
 	n.pokes++
 	for len(n.stalled) > 0 {
-		if !n.peer.TryReceive(n.stalled[0]) {
+		if !n.peer.TryReceive(n.stalled[0].wire, n.stalled[0].tag) {
 			return
 		}
 		n.stalled = n.stalled[1:]
@@ -330,7 +335,7 @@ func TestRxDelivery(t *testing.T) {
 	r.stdRx(0, 7, Hold)
 	f := &txrx.Frame{Kind: txrx.Data, SrcNode: 4, LogicalQ: 7, Payload: []byte("hello")}
 	w, _ := txrx.Encode(f)
-	if !r.c.TryReceive(w) {
+	if !r.c.TryReceive(w, sim.MsgTag{}) {
 		t.Fatal("refused")
 	}
 	r.eng.Run()
@@ -354,7 +359,7 @@ func TestRxInterrupt(t *testing.T) {
 	r.c.ConfigureRx(2, RxConfig{Buf: r.aS, Base: 0x4000, EntryBytes: 96, Entries: 4,
 		ShadowBase: 0x200, Logical: 9, Interrupt: true, Enabled: true})
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Data, LogicalQ: 9, Payload: []byte("i")})
-	r.c.TryReceive(w)
+	r.c.TryReceive(w, sim.MsgTag{})
 	r.eng.Run()
 	if len(r.ints.rx) != 1 || r.ints.rx[0] != 2 {
 		t.Fatalf("rx interrupts %v", r.ints.rx)
@@ -366,7 +371,7 @@ func TestRxMissQueue(t *testing.T) {
 	r.stdRx(0, 7, Hold)
 	r.stdRx(NumQueues-1, 0xFFFF, Hold) // miss queue
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Data, LogicalQ: 1234, Payload: []byte("m")})
-	if !r.c.TryReceive(w) {
+	if !r.c.TryReceive(w, sim.MsgTag{}) {
 		t.Fatal("refused")
 	}
 	r.eng.Run()
@@ -384,11 +389,11 @@ func TestRxFullPolicies(t *testing.T) {
 	r.stdRx(0, 7, Hold)
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Data, LogicalQ: 7, Payload: []byte("m")})
 	for i := 0; i < 4; i++ {
-		if !r.c.TryReceive(w) {
+		if !r.c.TryReceive(w, sim.MsgTag{}) {
 			t.Fatalf("refused at %d", i)
 		}
 	}
-	if r.c.TryReceive(w) {
+	if r.c.TryReceive(w, sim.MsgTag{}) {
 		t.Fatal("accepted into full Hold queue")
 	}
 	r.eng.Run()
@@ -406,7 +411,7 @@ func TestRxFullPolicies(t *testing.T) {
 	r2 := newRig(t, 1)
 	r2.stdRx(0, 7, Drop)
 	for i := 0; i < 5; i++ {
-		if !r2.c.TryReceive(w) {
+		if !r2.c.TryReceive(w, sim.MsgTag{}) {
 			t.Fatal("drop policy refused")
 		}
 	}
@@ -420,7 +425,7 @@ func TestRxFullPolicies(t *testing.T) {
 	r3.stdRx(0, 7, Divert)
 	r3.stdRx(NumQueues-1, 0xFFFF, Hold)
 	for i := 0; i < 5; i++ {
-		if !r3.c.TryReceive(w) {
+		if !r3.c.TryReceive(w, sim.MsgTag{}) {
 			t.Fatal("divert policy refused")
 		}
 	}
@@ -636,7 +641,7 @@ func TestRemoteSetClsAndWriteDramCls(t *testing.T) {
 	// SetCls for 4 lines starting at line 2.
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdSetCls,
 		Addr: scomaBase + 2*bus.LineSize, Aux: uint16(sram.CLPending), Count: 4})
-	r.c.TryReceive(w)
+	r.c.TryReceive(w, sim.MsgTag{})
 	r.eng.Run()
 	for i := 2; i < 6; i++ {
 		if r.c.Cls().Get(i) != sram.CLPending {
@@ -647,7 +652,7 @@ func TestRemoteSetClsAndWriteDramCls(t *testing.T) {
 	data := bytes.Repeat([]byte{5}, 64)
 	w2, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdWriteDramCls,
 		Addr: scomaBase + 2*bus.LineSize, Aux: uint16(sram.CLReadOnly), Payload: data})
-	r.c.TryReceive(w2)
+	r.c.TryReceive(w2, sim.MsgTag{})
 	r.eng.Run()
 	if r.c.Cls().Get(2) != sram.CLReadOnly || r.c.Cls().Get(3) != sram.CLReadOnly {
 		t.Fatal("cls not updated by WriteDramCls")
@@ -664,7 +669,7 @@ func TestRemoteWriteSram(t *testing.T) {
 	r := newRig(t, 0)
 	w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Cmd, Op: txrx.CmdWriteSram,
 		Addr: 0x1234, Payload: []byte("remote!!")})
-	r.c.TryReceive(w)
+	r.c.TryReceive(w, sim.MsgTag{})
 	r.eng.Run()
 	got := make([]byte, 8)
 	r.aS.Read(0x1234, got)

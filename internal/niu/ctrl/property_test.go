@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
 )
 
 // Property: for random interleavings of message composition, producer
@@ -119,7 +120,7 @@ func TestRxPointerProperty(t *testing.T) {
 			msg := make([]byte, 1+rng.Intn(16))
 			rng.Read(msg)
 			w, _ := txrx.Encode(&txrx.Frame{Kind: txrx.Data, LogicalQ: 7, Payload: msg})
-			if r.c.TryReceive(w) {
+			if r.c.TryReceive(w, sim.MsgTag{}) {
 				want = append(want, msg)
 			}
 			if !r.eng.RunLimit(100000) {

@@ -17,10 +17,11 @@ import (
 //
 // Express queues (EntryBytes == 8): valid(1)=0x80 src(2) payload(5).
 
-// TryReceive is the RxU entry point: the fabric offers a wire-encoded frame.
-// It reports acceptance; refusal (Hold policy on a full queue) stalls the
-// packet's network lane until CTRL pokes the fabric.
-func (c *Ctrl) TryReceive(wire []byte) bool {
+// TryReceive is the RxU entry point: the fabric offers a wire-encoded frame
+// with its sideband trace tag. It reports acceptance; refusal (Hold policy
+// on a full queue) stalls the packet's network lane until CTRL pokes the
+// fabric.
+func (c *Ctrl) TryReceive(wire []byte, tag sim.MsgTag) bool {
 	frame, err := txrx.Decode(wire)
 	if err != nil {
 		if c.cfg.StrictRx {
@@ -29,12 +30,16 @@ func (c *Ctrl) TryReceive(wire []byte) bool {
 		// A corrupted or malformed frame is network damage, not a protocol
 		// event: count it, trace it, and accept-and-discard so the fabric
 		// lane is freed (holding garbage would wedge the link forever).
+		// The sideband trace tag survives the payload corruption, so the
+		// drop stays attributed to its message.
 		c.stats.RxGarbage++
 		if c.eng.Observed() {
 			c.eng.Instant(c.myNode, "ctrl", "rx-garbage", sim.Str("err", err.Error()))
+			c.traceMsg("ctrl", "msg-drop", tag, sim.Str("why", "garbage"))
 		}
 		return true
 	}
+	frame.Trace = tag
 	if frame.Kind == txrx.Cmd {
 		// Remote commands always land in the (unbounded-from-the-network's-
 		// view, firmware-bounded in practice) remote command queue.
@@ -48,6 +53,7 @@ func (c *Ctrl) TryReceive(wire []byte) bool {
 		q = c.cfg.MissQueue
 		if q < 0 {
 			c.stats.RxDrops++
+			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "no-queue"))
 			return true
 		}
 	}
@@ -71,12 +77,14 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 	rq := &c.rx[q]
 	if rq.cfg.Buf == nil || !rq.cfg.Enabled {
 		c.stats.RxDrops++
+		c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-disabled"))
 		return true
 	}
 	if rq.full() {
 		switch rq.cfg.Full {
 		case Drop:
 			c.stats.RxDrops++
+			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-full"))
 			return true
 		case Divert:
 			if q != c.cfg.MissQueue && c.cfg.MissQueue >= 0 {
@@ -84,6 +92,7 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 				return c.acceptInto(c.cfg.MissQueue, frame)
 			}
 			c.stats.RxDrops++
+			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-full"))
 			return true
 		default: // Hold
 			c.stats.RxHolds++
@@ -119,6 +128,10 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 				copy(slot[SlotHeaderBytes:], frame.Payload)
 				rq.cfg.Buf.Write(off, slot)
 			}
+			if len(rq.tags) > 0 {
+				rq.tags[int(ptr)%len(rq.tags)] = frame.Trace
+			}
+			c.traceMsg("ctrl", "msg-enq", frame.Trace, sim.Int("rxq", q))
 			rq.reserved--
 			rq.producer++
 			c.shadowRx(q)
@@ -181,6 +194,7 @@ func (r *remoteQueue) kick() {
 
 // execRemote performs one remote command.
 func (c *Ctrl) execRemote(f *txrx.Frame, done func()) {
+	c.traceMsg("ctrl", "msg-exec", f.Trace, sim.Str("op", f.Op.String()))
 	switch f.Op {
 	case txrx.CmdWriteDram, txrx.CmdWriteDramCls:
 		c.writeDramLines(f.Addr, f.Payload, func() {
@@ -194,7 +208,7 @@ func (c *Ctrl) execRemote(f *txrx.Frame, done func()) {
 		c.eng.Schedule(c.cycles(1), done)
 	case txrx.CmdNotify:
 		g := &txrx.Frame{Kind: txrx.Data, SrcNode: f.SrcNode, LogicalQ: f.Aux,
-			Payload: f.Payload}
+			Payload: f.Payload, Trace: f.Trace}
 		q := c.lookupRx(g.LogicalQ)
 		if q < 0 {
 			c.stats.RxMisses++
@@ -206,7 +220,10 @@ func (c *Ctrl) execRemote(f *txrx.Frame, done func()) {
 			if !c.acceptInto(q, g) {
 				c.rx[q].holding = false
 				c.stats.RxDrops++
+				c.traceMsg("ctrl", "msg-drop", g.Trace, sim.Str("why", "notify-hold"))
 			}
+		} else {
+			c.traceMsg("ctrl", "msg-drop", g.Trace, sim.Str("why", "no-queue"))
 		}
 		done()
 	case txrx.CmdWriteSram:

@@ -6,6 +6,7 @@ import (
 
 	"startvoyager/internal/arctic"
 	"startvoyager/internal/niu/txrx"
+	"startvoyager/internal/sim"
 )
 
 // Transmit slot format (software composes this into the queue's SRAM slot):
@@ -70,30 +71,31 @@ func (c *Ctrl) pickTx() int {
 func (c *Ctrl) launchFrom(q int) {
 	tq := &c.tx[q]
 	off := SlotOffset(tq.cfg.Base, tq.cfg.EntryBytes, tq.cfg.Entries, tq.consumer)
+	tag := c.txTag(q, tq.consumer)
 	slot := make([]byte, tq.cfg.EntryBytes)
 	// Pull the slot across the IBus.
 	c.ibusMove(tq.cfg.EntryBytes, func() {
 		tq.cfg.Buf.Read(off, slot)
 		if tq.cfg.Express {
-			c.launchExpress(q, slot)
+			c.launchExpress(q, slot, tag)
 			return
 		}
-		c.launchBasic(q, slot)
+		c.launchBasic(q, slot, tag)
 	})
 }
 
-func (c *Ctrl) launchExpress(q int, slot []byte) {
+func (c *Ctrl) launchExpress(q int, slot []byte, tag sim.MsgTag) {
 	dest := binary.BigEndian.Uint16(slot[0:])
 	n := int(slot[2])
 	if n > ExpressPayload {
 		n = ExpressPayload
 	}
 	frame := &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
-		Payload: append([]byte(nil), slot[3:3+n]...)}
+		Payload: append([]byte(nil), slot[3:3+n]...), Trace: tag}
 	c.translateAndSend(q, dest, true, arctic.Low, frame)
 }
 
-func (c *Ctrl) launchBasic(q int, slot []byte) {
+func (c *Ctrl) launchBasic(q int, slot []byte, tag sim.MsgTag) {
 	tq := &c.tx[q]
 	dest := binary.BigEndian.Uint16(slot[0:])
 	flags := slot[2]
@@ -118,10 +120,11 @@ func (c *Ctrl) launchBasic(q int, slot []byte) {
 			Aux:     binary.BigEndian.Uint16(slot[12:]),
 			Count:   binary.BigEndian.Uint16(slot[14:]),
 			Payload: append([]byte(nil), slot[16:16+n]...),
+			Trace:   tag,
 		}
 	} else {
 		frame = &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
-			Payload: append([]byte(nil), slot[8:8+n]...)}
+			Payload: append([]byte(nil), slot[8:8+n]...), Trace: tag}
 	}
 
 	finish := func() {
@@ -216,6 +219,7 @@ type pendingEmit struct {
 	wire []byte
 	phys int
 	pri  arctic.Priority
+	tag  sim.MsgTag
 	done func()
 }
 
@@ -228,12 +232,15 @@ func (c *Ctrl) emit(frame *txrx.Frame, phys int, pri arctic.Priority, done func(
 	if err != nil {
 		panic(fmt.Sprintf("ctrl: node %d: %v", c.myNode, err))
 	}
+	// The message has left its queue and owns the TxU: one launch per
+	// attempt, even if injection is then deferred by backpressure.
+	c.traceMsg("ctrl", "msg-launch", frame.Trace, sim.Int("dst", phys))
 	if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
-		c.emitPending[pri] = append(c.emitPending[pri], pendingEmit{wire, phys, pri, done})
+		c.emitPending[pri] = append(c.emitPending[pri], pendingEmit{wire, phys, pri, frame.Trace, done})
 		return
 	}
 	c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
-		c.net.Inject(phys, pri, wire)
+		c.net.Inject(phys, pri, wire, frame.Trace)
 		done()
 	})
 }
@@ -246,7 +253,7 @@ func (c *Ctrl) NetReady() {
 			pe := c.emitPending[pri][0]
 			c.emitPending[pri] = c.emitPending[pri][1:]
 			c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
-				c.net.Inject(pe.phys, pe.pri, pe.wire)
+				c.net.Inject(pe.phys, pe.pri, pe.wire, pe.tag)
 				pe.done()
 			})
 		}
@@ -299,6 +306,11 @@ func (c *Ctrl) ExpressCompose(q int, dest uint16, payload []byte) {
 		c.stats.RxDrops++
 		return
 	}
+	// The uncached store is the moment the message enters the system: the
+	// aBIU composes the slot, so the trace id is allocated here.
+	tag := sim.MsgTag{ID: c.eng.NewMsgID()}
+	c.StageTxTag(q, tq.producer, tag)
+	c.traceMsg("ctrl", "msg-send", tag, sim.Int("txq", q))
 	slot := make([]byte, ExpressSlotBytes)
 	binary.BigEndian.PutUint16(slot[0:], dest)
 	slot[2] = byte(len(payload))
@@ -325,6 +337,7 @@ func (c *Ctrl) ExpressReceive(q int) [8]byte {
 	var slot [ExpressSlotBytes]byte
 	rq.cfg.Buf.Read(off, slot[:])
 	copy(out[:], slot[:])
+	c.traceMsg("aP", "msg-consume", c.RxTag(q, rq.consumer), sim.Int("rxq", q))
 	c.RxConsumerUpdate(q, rq.consumer+1)
 	return out
 }

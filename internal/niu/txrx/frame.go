@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"startvoyager/internal/arctic"
+	"startvoyager/internal/sim"
 )
 
 // Frame sizes. A data frame is an 8-byte header plus up to 88 payload bytes,
@@ -122,6 +123,12 @@ type Frame struct {
 	Addr  uint32
 	Aux   uint16
 	Count uint16
+
+	// Trace is the message's causal trace context. It is sideband state —
+	// never encoded on the wire (Decode leaves it zero; the CTRL copies it
+	// from the Arctic packet) — modeling a hardware trace tag that rides next
+	// to the data and so survives payload corruption.
+	Trace sim.MsgTag
 }
 
 // WireSize returns the encoded size in bytes (== the Arctic packet size).

@@ -226,9 +226,10 @@ func New(eng *sim.Engine, id int, fabric arctic.Fabric, cfg Config) *Node {
 // Endpoint back into CTRL (the TxU/RxU wiring).
 type netAdapter struct{ n *Node }
 
-func (a *netAdapter) Inject(dst int, pri arctic.Priority, wire []byte) {
+func (a *netAdapter) Inject(dst int, pri arctic.Priority, wire []byte, tag sim.MsgTag) {
 	a.n.fabric.Inject(&arctic.Packet{
 		Src: a.n.ID, Dst: dst, Priority: pri, Size: len(wire), Payload: wire,
+		Trace: tag,
 	})
 }
 
@@ -237,7 +238,7 @@ func (a *netAdapter) Poke() { a.n.fabric.Poke(a.n.ID) }
 func (a *netAdapter) Ready(pri arctic.Priority) bool { return a.n.fabric.InjectReady(a.n.ID, pri) }
 
 func (a *netAdapter) TryDeliver(pkt *arctic.Packet) bool {
-	return a.n.Ctrl.TryReceive(pkt.Payload.([]byte))
+	return a.n.Ctrl.TryReceive(pkt.Payload.([]byte), pkt.Trace)
 }
 
 // RegisterMetrics registers every component's counters under r (one child

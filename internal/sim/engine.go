@@ -79,6 +79,7 @@ type Engine struct {
 
 	obs     Observer // instrumentation sink (nil: all hooks are no-ops)
 	spanSeq uint64   // deterministic span id allocator
+	msgSeq  uint64   // deterministic message trace id allocator
 }
 
 // NewEngine returns an empty engine at time zero.

@@ -43,6 +43,16 @@ func Int(key string, v int) Field { return I64(key, int64(v)) }
 // Hex returns an integer field rendered in hexadecimal (addresses).
 func Hex(key string, v uint64) Field { return Field{Key: key, kind: fieldHex, i: int64(v)} }
 
+// Int64 returns the field's integer value when it holds one (I64/Int/Hex
+// fields). Analyzers use it to read numeric attributes without re-parsing
+// the rendered string.
+func (f Field) Int64() (int64, bool) {
+	if f.kind == fieldInt || f.kind == fieldHex {
+		return f.i, true
+	}
+	return 0, false
+}
+
 // Value renders the field's value deterministically.
 func (f Field) Value() string {
 	switch f.kind {
@@ -124,4 +134,35 @@ func (e *Engine) Sample(node int, component, name string, value int64) {
 		return
 	}
 	e.obs.CounterSample(e.now, node, component, name, value)
+}
+
+// MsgTag is the causal trace context carried alongside one message through
+// every layer it crosses (aP slot, TX queue, frame, fabric packet, RX queue,
+// sP dispatch). It models the sideband trace tag of a hardware trace unit:
+// it rides next to the data, is never encoded on the wire, and therefore
+// survives payload corruption.
+//
+// ID is the per-engine message id (0 = untraced: no observer was installed
+// when the message entered the system, and every emission keyed on it is
+// skipped). Attempt distinguishes retransmissions of the same logical
+// message (0 or 1 = first send). Parent links a derived message — an ACK, a
+// DMA chunk, a notification — to the message whose handling caused it.
+type MsgTag struct {
+	ID      uint64
+	Attempt uint32
+	Parent  uint64
+}
+
+// Traced reports whether the tag identifies a traced message.
+func (t MsgTag) Traced() bool { return t.ID != 0 }
+
+// NewMsgID allocates the next deterministic message id, or 0 when no
+// observer is installed (untraced runs pay nothing and the counter stays
+// untouched, keeping traced and untraced runs causally identical).
+func (e *Engine) NewMsgID() uint64 {
+	if e.obs == nil {
+		return 0
+	}
+	e.msgSeq++
+	return e.msgSeq
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -100,5 +101,64 @@ func TestPerfettoDeterministicTracks(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("repeated exports differ")
+	}
+}
+
+// flowEvents is a two-message stream: message 7 crosses from node 0 to node
+// 1 (three lifecycle instants -> start/step/finish flow records), message 9
+// appears exactly once (no flow records at all).
+func flowEvents() []Event {
+	return []Event{
+		{At: 100, Node: 0, Component: "aP", Kind: Instant, Name: "msg-send",
+			Fields: []sim.Field{sim.I64("msg", 7)}},
+		{At: 200, Node: 0, Component: "net", Kind: Instant, Name: "inject",
+			Fields: []sim.Field{sim.I64("msg", 7), sim.Int("dst", 1)}},
+		{At: 250, Node: 1, Component: "aP", Kind: Instant, Name: "msg-send",
+			Fields: []sim.Field{sim.I64("msg", 9)}},
+		{At: 300, Node: 1, Component: "aP", Kind: Instant, Name: "msg-consume",
+			Fields: []sim.Field{sim.I64("msg", 7)}},
+	}
+}
+
+// TestPerfettoFlowEvents checks the causal flow arrows: every instant of a
+// multi-event message chain is followed by one flow record sharing its id
+// and coordinates — "s" at the chain head, "f" (binding enclosing slice) at
+// the tail, "t" between — while single-event chains emit none.
+func TestPerfettoFlowEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, flowEvents(), Stats{Captured: 4, Retained: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] != "msg" {
+			continue
+		}
+		ph := ev["ph"].(string)
+		phases = append(phases, ph)
+		if ev["id"] != 7.0 {
+			t.Fatalf("flow record for message %v, want 7 only: %v", ev["id"], ev)
+		}
+		if ph == "f" && ev["bp"] != "e" {
+			t.Fatalf("terminating flow must bind enclosing (bp=e): %v", ev)
+		}
+	}
+	if got, want := fmt.Sprint(phases), fmt.Sprint([]string{"s", "t", "f"}); got != want {
+		t.Fatalf("flow phases %v, want %v", got, want)
+	}
+
+	// Determinism: the export is a pure function of the event stream.
+	var again bytes.Buffer
+	if err := WritePerfetto(&again, flowEvents(), Stats{Captured: 4, Retained: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("flow-event export is not byte-stable")
 	}
 }

@@ -98,6 +98,43 @@ func TestObservedOutputsDeterministic(t *testing.T) {
 	}
 }
 
+// TestPathReportDeterministic extends the same-seed contract to the causal
+// path analyzer: two instrumented runs must render byte-identical waterfall
+// reports, a different seed must change the report, and the workload's
+// message traffic must reconstruct into chains with no orphans.
+func TestPathReportDeterministic(t *testing.T) {
+	render := func(seed int64) []byte {
+		var tbuf *trace.Buffer
+		RunInstrumented(detConfig(seed), func(m *core.Machine) {
+			tbuf = m.Trace(1 << 18)
+		})
+		if d := tbuf.Stats().Dropped; d != 0 {
+			t.Fatalf("trace ring dropped %d events", d)
+		}
+		a := trace.AnalyzePaths(tbuf.Events())
+		if len(a.Msgs) == 0 {
+			t.Fatal("no traced messages in instrumented workload")
+		}
+		if a.Orphans != 0 {
+			t.Fatalf("%d orphan chains", a.Orphans)
+		}
+		var b bytes.Buffer
+		if err := a.WriteWaterfall(&b); err != nil {
+			t.Fatalf("WriteWaterfall: %v", err)
+		}
+		return b.Bytes()
+	}
+	r1 := render(42)
+	r2 := render(42)
+	if !bytes.Equal(r1, r2) {
+		t.Error("path reports differ between same-seed runs")
+	}
+	r3 := render(43)
+	if bytes.Equal(r1, r3) {
+		t.Error("path report identical across different seeds; analysis is not capturing the schedule")
+	}
+}
+
 // TestObserverZeroTimingImpact: attaching the observability layer must not
 // perturb the simulation — an instrumented run and a bare run with the same
 // seed report identical duration, event count, and delivery-trace hash.
