@@ -5,11 +5,13 @@
 #   make bench-json  canonical instrumented run -> BENCH_observability.json (+ trace)
 #   make bench-diff  headline latencies vs BENCH_baseline.json (fail on >10% regression)
 #   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
+#   make faults-check  parallel (-parallel 4) fault matrix byte-compared to sequential
+#   make bench-micro   simulation-core microbenchmarks -> BENCH_micro.json
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet race lint bench-json bench-diff bench-baseline faults ci
+.PHONY: all build test fmt vet voyager-vet race lint bench-json bench-diff bench-baseline faults faults-check bench-micro ci
 
 all: build test
 
@@ -61,6 +63,27 @@ bench-baseline:
 # to one JSON artifact. A cell that loses or duplicates a message panics.
 faults:
 	$(GO) run ./cmd/voyager-bench -fig none -fault-matrix \
-		-fault-seeds 1,2,3 -faults-json FAULTS_matrix.json
+		-fault-seeds 1,2,3 -faults-json FAULTS_matrix.json -parallel 4
 
-ci: build test lint bench-json bench-diff faults
+# Determinism gate for the parallel run harness: the fault matrix fanned
+# across 4 workers must be byte-for-byte the sequential run, artifact
+# included.
+faults-check:
+	$(GO) run ./cmd/voyager-bench -fig none -fault-matrix \
+		-fault-seeds 1,2,3 -faults-json /tmp/FAULTS_seq.json \
+		| grep -v '^fault metrics:' > /tmp/FAULTS_seq.txt
+	$(GO) run ./cmd/voyager-bench -fig none -fault-matrix \
+		-fault-seeds 1,2,3 -faults-json /tmp/FAULTS_par.json -parallel 4 \
+		| grep -v '^fault metrics:' > /tmp/FAULTS_par.txt
+	cmp /tmp/FAULTS_seq.json /tmp/FAULTS_par.json
+	cmp /tmp/FAULTS_seq.txt /tmp/FAULTS_par.txt
+	@echo "faults-check: parallel output is byte-identical to sequential"
+
+# Simulation-core microbenchmarks (event heap vs the boxed baseline, Proc
+# handoff, queue traffic, whole-node run) -> BENCH_micro.json. Wall-clock
+# numbers are host-dependent; the committed artifact records the trajectory
+# and the allocs/op invariants, which the unit tests also enforce.
+bench-micro:
+	$(GO) run ./cmd/voyager-bench -fig none -micro BENCH_micro.json
+
+ci: build test lint bench-json bench-diff faults faults-check

@@ -7,6 +7,8 @@
 //	              [-trace file.json] [-metrics file.json] [-trace-cap n]
 //	              [-headline file.json] [-diff baseline.json]
 //	              [-fault-matrix] [-fault-seeds 1,2,3] [-faults-json file.json]
+//	              [-parallel n] [-micro file.json]
+//	              [-cpuprofile file] [-memprofile file]
 //
 // -trace / -metrics execute the canonical instrumented run (every mechanism
 // on a four-node machine) and export its Perfetto trace / metrics registry;
@@ -21,6 +23,17 @@
 // -fault-matrix runs the reliability smoke matrix (drop, corrupt, outage and
 // node-death scenarios at each seed in -fault-seeds); -faults-json writes
 // every cell's metrics registry to one JSON artifact.
+//
+// -parallel n fans the independent cells of the headline probe and the fault
+// matrix across n worker goroutines. Each cell owns a private engine, so the
+// printed tables and JSON artifacts are byte-identical at any -parallel
+// value; only wall-clock changes (CI enforces this with a byte-for-byte
+// diff, see `make faults-check`).
+//
+// -micro runs the scheduler/handoff microbenchmark suite and records
+// events/sec and allocs/op as JSON (`make bench-micro` keeps
+// BENCH_micro.json current). -cpuprofile / -memprofile capture pprof
+// profiles of whatever the invocation runs.
 package main
 
 import (
@@ -30,6 +43,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,7 +65,13 @@ func main() {
 	faultSeeds := flag.String("fault-seeds", "1,2,3", "comma-separated fault seeds for the matrix")
 	faultMsgs := flag.Int("fault-msgs", 30, "reliable messages per fault-matrix cell")
 	faultsJSON := flag.String("faults-json", "", "write the fault matrix's per-cell metrics as one JSON file")
+	parallelN := flag.Int("parallel", 1, "worker goroutines for independent sweep cells (output is byte-identical at any value)")
+	microFile := flag.String("micro", "", "run the microbenchmark suite and write events/sec + allocs/op as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	sizes := []int{}
 	for _, s := range bench.Fig3Sizes {
@@ -76,16 +97,27 @@ func main() {
 		ran = true
 	}
 	if *headlineFile != "" || *diffBase != "" {
-		latencies := bench.HeadlineLatencies()
+		latencies := bench.HeadlineLatencies(*parallelN)
 		if *headlineFile != "" {
 			writeFile(*headlineFile, func(f *os.File) error { return writeHeadline(f, latencies) })
 			fmt.Printf("headline: %s\n", *headlineFile)
 		}
 		if *diffBase != "" {
 			if !diffHeadline(*diffBase, latencies) {
+				stopProfiles()
 				os.Exit(1)
 			}
 		}
+		ran = true
+	}
+	if *microFile != "" {
+		results := bench.MicroBench()
+		writeFile(*microFile, func(f *os.File) error { return bench.WriteMicro(f, results) })
+		for _, r := range results {
+			fmt.Printf("micro: %-28s %12.1f ns/op %14.0f ops/s %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+		}
+		fmt.Printf("micro: %s\n", *microFile)
 		ran = true
 	}
 	show := func(name string, fn func()) {
@@ -129,7 +161,7 @@ func main() {
 			}
 			seeds = append(seeds, v)
 		}
-		table, runs := bench.FaultMatrix(*faultMsgs, seeds)
+		table, runs := bench.FaultMatrix(*faultMsgs, seeds, *parallelN)
 		fmt.Print(table)
 		fmt.Println()
 		if *faultsJSON != "" {
@@ -140,6 +172,7 @@ func main() {
 	}
 	if !ran && *fig != "none" {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		stopProfiles()
 		os.Exit(2)
 	}
 }
@@ -250,5 +283,44 @@ func writeFile(path string, write func(*os.File) error) {
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// startProfiles starts the requested pprof captures and returns the stop
+// function that finalizes them; it must run before every exit path (os.Exit
+// skips deferred calls).
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		cpuF = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC() // flush recent frees so the profile shows live heap accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
 	}
 }

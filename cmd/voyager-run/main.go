@@ -6,6 +6,7 @@
 //
 //	voyager-run [-nodes n] [-mech basic|express|dma|reliable] [-count c] [-size s]
 //	            [-faults plan] [-trace file.json] [-metrics file.json] [-dump n]
+//	            [-seeds 1,2,3] [-parallel n] [-cpuprofile f] [-memprofile f]
 //
 // -trace writes a Chrome trace-event (Perfetto) file of the run; open it at
 // ui.perfetto.dev. -metrics dumps the hierarchical metrics registry as JSON.
@@ -18,6 +19,16 @@
 //
 // See internal/fault.ParsePlan for the full plan grammar (drop/corrupt/dup/
 // delay per lane, link outage windows, node deaths).
+//
+// -seeds runs the workload once per listed seed (each run re-seeds the fault
+// plan) and prints a per-seed summary table — the quick schedule-robustness
+// sweep. Each seed's machine is independent, so -parallel n fans the runs
+// across up to n OS workers; the table is identical at any worker count.
+// -seeds cannot be combined with the per-run artifacts (-trace/-metrics/-dump).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the simulator
+// itself (inspect with `go tool pprof`); they profile the host process and
+// never perturb simulated time.
 package main
 
 import (
@@ -25,7 +36,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
+	"startvoyager/internal/bench"
 	"startvoyager/internal/cluster"
 	"startvoyager/internal/core"
 	"startvoyager/internal/fault"
@@ -34,39 +50,43 @@ import (
 	"startvoyager/internal/trace"
 )
 
-func main() {
-	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
-	mech := flag.String("mech", "basic", "mechanism: basic, express, tagon, dma, reliable")
-	count := flag.Int("count", 100, "messages (or transfers) per sender")
-	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
-	faults := flag.String("faults", "", "fault-injection plan (e.g. 'seed=7,drop=0.05,outage=1-0@20us:200us')")
-	traceFile := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
-	metricsFile := flag.String("metrics", "", "write the metrics registry as JSON")
-	dumpN := flag.Int("dump", 0, "print the last N structured trace events")
-	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity (oldest events drop beyond this)")
-	flag.Parse()
+// runOpts is one machine run's configuration.
+type runOpts struct {
+	nodes, count, size int
+	mech               string
+	plan               *fault.Plan
+	traceCap           int
+	trace              bool
+}
 
-	cfg := cluster.DefaultConfig(*nodes)
-	if *faults != "" {
-		plan, err := fault.ParsePlan(*faults)
-		if err != nil {
-			log.Fatalf("-faults: %v", err)
-		}
-		cfg.Faults = plan
-	}
+// runResult carries the counters the report paths need, plus the machine for
+// the single-run artifact writers.
+type runResult struct {
+	m                      *core.Machine
+	tbuf                   *trace.Buffer
+	received, failed       int
+	retrans, dups, garbage uint64
+}
+
+// runOnce builds a machine, drives the all-to-one traffic pattern, and
+// collects delivery/recovery counters. It is a pure function of its options,
+// so independent runs may execute on parallel workers.
+func runOnce(o runOpts) runResult {
+	cfg := cluster.DefaultConfig(o.nodes)
+	cfg.Faults = o.plan
 	m := core.NewMachineConfig(cfg)
 	var tbuf *trace.Buffer
-	if *traceFile != "" || *dumpN > 0 {
-		tbuf = m.Trace(*traceCap)
+	if o.trace {
+		tbuf = m.Trace(o.traceCap)
 	}
-	senders := *nodes - 1
-	total := senders * *count
+	senders := o.nodes - 1
+	total := senders * o.count
 
 	received := 0
 	failed := 0
 	sendersDone := 0
 	m.Go(0, "sink", func(p *sim.Proc, a *core.API) {
-		if *mech == "reliable" {
+		if o.mech == "reliable" {
 			// Senders may legitimately fail under a fault plan (dead peers),
 			// so the sink drains with a bounded wait and leaves once every
 			// sender has finished and the pipeline has gone quiet.
@@ -81,7 +101,7 @@ func main() {
 			}
 		}
 		for received < total {
-			switch *mech {
+			switch o.mech {
 			case "basic", "tagon":
 				if _, _, ok := a.TryRecvBasic(p); ok {
 					received++
@@ -96,13 +116,13 @@ func main() {
 			}
 		}
 	})
-	for i := 1; i < *nodes; i++ {
+	for i := 1; i < o.nodes; i++ {
 		i := i
 		m.Go(i, "src", func(p *sim.Proc, a *core.API) {
-			for k := 0; k < *count; k++ {
-				switch *mech {
+			for k := 0; k < o.count; k++ {
+				switch o.mech {
 				case "basic":
-					payload := make([]byte, min(*size, core.MaxBasicPayload))
+					payload := make([]byte, min(o.size, core.MaxBasicPayload))
 					a.SendBasic(p, 0, payload)
 				case "tagon":
 					// Inline byte + one 16-byte aSRAM tag appended by the NIU.
@@ -111,18 +131,18 @@ func main() {
 					a.SendExpress(p, 0, []byte{byte(k)})
 					a.Compute(p, 2*sim.Microsecond) // pace: express drops on overflow
 				case "reliable":
-					payload := make([]byte, min(*size, core.MaxReliablePayload))
+					payload := make([]byte, min(o.size, core.MaxReliablePayload))
 					if err := a.SendReliable(p, 0, payload); err != nil {
 						failed++
 					}
 				case "dma":
-					n := *size &^ 31
+					n := o.size &^ 31
 					if n == 0 {
 						n = 32
 					}
 					a.DmaPush(p, 0, 0x10_0000, uint32(0x20_0000+i*0x1_0000), n, uint32(k))
 				default:
-					log.Fatalf("unknown mechanism %q", *mech)
+					log.Fatalf("unknown mechanism %q", o.mech)
 				}
 			}
 			sendersDone++
@@ -130,25 +150,121 @@ func main() {
 	}
 	m.Run()
 
+	r := runResult{m: m, tbuf: tbuf, received: received, failed: failed}
+	for _, rel := range m.Rels {
+		st := rel.Stats()
+		r.retrans += st.Retransmits
+		r.dups += st.DupSuppressed
+	}
+	for _, n := range m.Nodes {
+		r.garbage += n.Ctrl.Stats().RxGarbage
+	}
+	return r
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
+	mech := flag.String("mech", "basic", "mechanism: basic, express, tagon, dma, reliable")
+	count := flag.Int("count", 100, "messages (or transfers) per sender")
+	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
+	faults := flag.String("faults", "", "fault-injection plan (e.g. 'seed=7,drop=0.05,outage=1-0@20us:200us')")
+	traceFile := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
+	metricsFile := flag.String("metrics", "", "write the metrics registry as JSON")
+	dumpN := flag.Int("dump", 0, "print the last N structured trace events")
+	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity (oldest events drop beyond this)")
+	seeds := flag.String("seeds", "", "comma-separated fault-plan seeds: run once per seed and print a summary table")
+	parallelN := flag.Int("parallel", 1, "max OS worker goroutines for the -seeds sweep (output is identical at any value)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator process")
+	memProfile := flag.String("memprofile", "", "write an allocation profile of the simulator process")
+	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		plan, err = fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+	}
+	opts := runOpts{
+		nodes: *nodes, count: *count, size: *size, mech: *mech,
+		plan: plan, traceCap: *traceCap,
+		trace: *traceFile != "" || *dumpN > 0,
+	}
+
+	if *seeds != "" {
+		if opts.trace || *metricsFile != "" {
+			log.Fatalf("-seeds cannot be combined with -trace, -metrics, or -dump")
+		}
+		runSweep(opts, parseSeeds(*seeds), *parallelN)
+		return
+	}
+
+	r := runOnce(opts)
+	report(opts, r, *traceFile, *metricsFile, *dumpN)
+}
+
+// parseSeeds parses the -seeds list.
+func parseSeeds(s string) []uint64 {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		seed, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			log.Fatalf("-seeds: %v", err)
+		}
+		out = append(out, seed)
+	}
+	return out
+}
+
+// runSweep executes one run per seed (re-seeding the fault plan) across up
+// to workers goroutines and prints the per-seed summary in seed order.
+func runSweep(opts runOpts, seedList []uint64, workers int) {
+	results := bench.Cells(len(seedList), workers, func(i int) runResult {
+		o := opts
+		if opts.plan != nil {
+			p := *opts.plan
+			p.Seed = seedList[i]
+			o.plan = &p
+		}
+		return runOnce(o)
+	})
+	t := &stats.Table{
+		Title: fmt.Sprintf("multi-seed sweep — mechanism=%s nodes=%d messages=%d per seed",
+			opts.mech, opts.nodes, (opts.nodes-1)*opts.count),
+		Columns: []string{"seed", "delivered", "failed", "retransmits",
+			"dup-suppressed", "rx-garbage", "sim-time"},
+	}
+	for i, r := range results {
+		t.AddRow(fmt.Sprint(seedList[i]),
+			fmt.Sprint(r.received), fmt.Sprint(r.failed),
+			fmt.Sprint(r.retrans), fmt.Sprint(r.dups), fmt.Sprint(r.garbage),
+			r.m.Eng.Now().String())
+	}
+	fmt.Print(t)
+	if opts.plan == nil {
+		fmt.Println("note: no -faults plan attached; seeds have nothing to re-seed, runs are identical")
+	}
+}
+
+// report prints the single-run statistics and writes the requested artifacts.
+func report(opts runOpts, r runResult, traceFile, metricsFile string, dumpN int) {
+	m, tbuf := r.m, r.tbuf
+	total := (opts.nodes - 1) * opts.count
 	fmt.Printf("mechanism=%s nodes=%d messages=%d simulated=%v\n",
-		*mech, *nodes, total, m.Eng.Now())
-	if *mech == "reliable" {
-		fmt.Printf("reliable: delivered=%d failed=%d bound=%v\n", received, failed, m.RelBound())
+		opts.mech, opts.nodes, total, m.Eng.Now())
+	if opts.mech == "reliable" {
+		fmt.Printf("reliable: delivered=%d failed=%d bound=%v\n", r.received, r.failed, m.RelBound())
 	}
 	if m.Faults != nil {
 		fs := m.Faults.Stats()
-		var retrans, dups uint64
-		var garbage uint64
-		for _, r := range m.Rels {
-			retrans += r.Stats().Retransmits
-			dups += r.Stats().DupSuppressed
-		}
-		for _, n := range m.Nodes {
-			garbage += n.Ctrl.Stats().RxGarbage
-		}
 		fmt.Printf("faults: drops=%d corrupted=%d duplicated=%d delayed=%d outage-drops=%d death-drops=%d\n",
 			fs.InjectedDrops, fs.Corrupted, fs.Duplicated, fs.Delayed, fs.OutageDrops, fs.DeathDrops)
-		fmt.Printf("recovery: retransmits=%d dup-suppressed=%d rx-garbage=%d\n", retrans, dups, garbage)
+		fmt.Printf("recovery: retransmits=%d dup-suppressed=%d rx-garbage=%d\n",
+			r.retrans, r.dups, r.garbage)
 	}
 	t := &stats.Table{
 		Title:   "per-node statistics",
@@ -166,31 +282,74 @@ func main() {
 	}
 	fmt.Print(t)
 
-	if *traceFile != "" {
-		writeFile(*traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
+	if traceFile != "" {
+		writeFile(traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
 		ts := tbuf.Stats()
 		fmt.Printf("trace: %s (%d events captured, %d retained)\n",
-			*traceFile, ts.Captured, ts.Retained)
+			traceFile, ts.Captured, ts.Retained)
 	}
 	if tbuf != nil {
 		if d := tbuf.Stats().Dropped; d > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace is truncated (raise -trace-cap)\n", d)
 		}
 	}
-	if *metricsFile != "" {
-		writeFile(*metricsFile, func(f *os.File) error {
+	if metricsFile != "" {
+		writeFile(metricsFile, func(f *os.File) error {
 			return m.Metrics().WriteJSON(f, m.Eng.Now())
 		})
-		fmt.Printf("metrics: %s\n", *metricsFile)
+		fmt.Printf("metrics: %s\n", metricsFile)
 	}
-	if *dumpN > 0 {
+	if dumpN > 0 {
 		evs := tbuf.Events()
-		if len(evs) > *dumpN {
-			evs = evs[len(evs)-*dumpN:]
+		if len(evs) > dumpN {
+			evs = evs[len(evs)-dumpN:]
 		}
 		fmt.Printf("\nlast %d structured trace events:\n", len(evs))
 		for _, e := range evs {
 			fmt.Println(e.String())
+		}
+	}
+}
+
+// startProfiles begins the requested pprof captures and returns an
+// idempotent stop function that flushes them; it must run before exit for
+// the profiles to be valid.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		cpuF = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				log.Fatalf("-cpuprofile: %v", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
 		}
 	}
 }

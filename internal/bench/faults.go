@@ -184,31 +184,44 @@ func runFaultScenario(name string, plan *fault.Plan, seed uint64, msgs int) Faul
 // FaultMatrix runs every fault scenario at every seed — the CI smoke that
 // the reliability layer holds up across schedules, not just at one lucky
 // seed. Returned runs carry the metrics registries for the JSON artifact.
-func FaultMatrix(msgs int, seeds []uint64) (*stats.Table, []FaultRun) {
+//
+// Each (seed, scenario) cell owns a private machine, so cells fan across
+// up to workers goroutines (see Cells); rows merge in fixed cell order and
+// the table is byte-identical to a sequential run.
+func FaultMatrix(msgs int, seeds []uint64, workers int) (*stats.Table, []FaultRun) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Fault matrix — %d reliable messages per cell", msgs),
 		Columns: []string{"scenario", "seed", "delivered", "failed",
 			"retransmits", "dup-suppressed", "rx-garbage", "sim-time (us)"},
 	}
-	var runs []FaultRun
+	type cell struct {
+		name string
+		plan *fault.Plan
+		seed uint64
+	}
+	var cells []cell
 	for _, seed := range seeds {
 		for _, sc := range faultScenarios(seed) {
-			run := runFaultScenario(sc.name, sc.plan, seed, msgs)
-			ok := run.Failed == 0
-			if sc.name == "node-death" {
-				// The dead peer must surface as errors, not hang or succeed.
-				ok = run.Failed > 0
-			}
-			if !ok {
-				panic(fmt.Sprintf("bench: fault matrix %s/seed=%d: delivered=%d failed=%d",
-					sc.name, seed, run.Delivered, run.Failed))
-			}
-			runs = append(runs, run)
-			t.AddRow(run.Scenario, fmt.Sprint(seed),
-				fmt.Sprint(run.Delivered), fmt.Sprint(run.Failed),
-				fmt.Sprint(run.Retrans), fmt.Sprint(run.Dups), fmt.Sprint(run.RxGarbage),
-				fmtUs(run.Now))
+			cells = append(cells, cell{sc.name, sc.plan, seed})
 		}
+	}
+	runs := Cells(len(cells), workers, func(i int) FaultRun {
+		return runFaultScenario(cells[i].name, cells[i].plan, cells[i].seed, msgs)
+	})
+	for i, run := range runs {
+		ok := run.Failed == 0
+		if cells[i].name == "node-death" {
+			// The dead peer must surface as errors, not hang or succeed.
+			ok = run.Failed > 0
+		}
+		if !ok {
+			panic(fmt.Sprintf("bench: fault matrix %s/seed=%d: delivered=%d failed=%d",
+				cells[i].name, cells[i].seed, run.Delivered, run.Failed))
+		}
+		t.AddRow(run.Scenario, fmt.Sprint(run.Seed),
+			fmt.Sprint(run.Delivered), fmt.Sprint(run.Failed),
+			fmt.Sprint(run.Retrans), fmt.Sprint(run.Dups), fmt.Sprint(run.RxGarbage),
+			fmtUs(run.Now))
 	}
 	return t, runs
 }

@@ -77,10 +77,12 @@ func RunMechTraced(mech string) *trace.Buffer {
 
 // HeadlineLatencies runs the probe for every mechanism and returns the
 // headline numbers: mean delivered end-to-end latency and total
-// retransmit-penalty per mechanism, in nanoseconds.
-func HeadlineLatencies() map[string]int64 {
-	out := make(map[string]int64, len(PathMechs))
-	for _, mech := range PathMechs {
+// retransmit-penalty per mechanism, in nanoseconds. Per-mechanism cells
+// are independent machines, so they fan across up to workers goroutines;
+// the returned map is identical at any worker count.
+func HeadlineLatencies(workers int) map[string]int64 {
+	means := Cells(len(PathMechs), workers, func(i int) int64 {
+		mech := PathMechs[i]
 		a := trace.AnalyzePaths(RunMechTraced(mech).Events())
 		var sum sim.Time
 		n := 0
@@ -93,7 +95,11 @@ func HeadlineLatencies() map[string]int64 {
 		if n == 0 {
 			panic(fmt.Sprintf("bench: headline %s delivered nothing", mech))
 		}
-		out[mech+"_e2e_mean_ns"] = int64(sum) / int64(n)
+		return int64(sum) / int64(n)
+	})
+	out := make(map[string]int64, len(PathMechs))
+	for i, mech := range PathMechs {
+		out[mech+"_e2e_mean_ns"] = means[i]
 	}
 	return out
 }

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"container/heap"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"startvoyager/internal/core"
+	"startvoyager/internal/sim"
+)
+
+// Microbenchmark suite for the simulation core's hot paths: event
+// scheduling, Proc handoff, queue traffic, and a whole-node message
+// exchange. `voyager-bench -micro` (make bench-micro) runs it with
+// testing.Benchmark and records events/sec and allocs/op in
+// BENCH_micro.json, so the perf trajectory is versioned alongside the
+// sim-time baseline in BENCH_baseline.json. Wall-clock numbers are
+// host-dependent and are NOT diffed in CI — the allocation counts are the
+// stable part (and are regression-tested in micro_test.go and
+// internal/sim/bench_test.go).
+
+// MicroResult is one microbenchmark outcome.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"` // for the engine benches: events/sec
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// microSuite lists the benchmarks in reporting order. boxheap/schedule-step
+// is the seed implementation of the event queue (container/heap over
+// *event), kept here as the baseline the value-based 4-ary heap is measured
+// against.
+var microSuite = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"engine/schedule-step", benchEngineScheduleStep},
+	{"boxheap/schedule-step", benchBoxHeapScheduleStep},
+	{"proc/delay", benchProcDelay},
+	{"proc/call-immediate", benchProcCallImmediate},
+	{"queue/push-pop", benchQueuePushPop},
+	{"node/basic-msg", benchNodeBasicMsg},
+}
+
+// MicroBench runs the suite and returns the results in suite order.
+func MicroBench() []MicroResult {
+	out := make([]MicroResult, 0, len(microSuite))
+	for _, s := range microSuite {
+		r := testing.Benchmark(s.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		out = append(out, MicroResult{
+			Name:        s.name,
+			N:           r.N,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteMicro renders results as the BENCH_micro.json document.
+func WriteMicro(w io.Writer, results []MicroResult) error {
+	doc := struct {
+		Schema  string        `json:"schema"`
+		Results []MicroResult `json:"results"`
+	}{Schema: "voyager-micro/v1", Results: results}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// scheduleFan keeps fanout self-rescheduling event chains alive on schedule,
+// so the heap under test holds a realistic pending population rather than a
+// single event. Deltas walk a fixed multiplicative pattern — deterministic,
+// but not sorted, so pushes land throughout the heap.
+func scheduleFan(schedule func(sim.Time, func()), fanout int) {
+	for j := 0; j < fanout; j++ {
+		k := uint64(j)
+		var fn func()
+		fn = func() {
+			k += 2654435761
+			schedule(sim.Time(k%4096)*sim.Nanosecond, fn)
+		}
+		schedule(sim.Time(j)*sim.Nanosecond, fn)
+	}
+}
+
+// benchEngineScheduleStep measures the engine's schedule+step cycle with
+// 256 pending chains: one op = pop the earliest event, run it, push its
+// replacement. Steady state must be allocation-free.
+func benchEngineScheduleStep(b *testing.B) {
+	e := sim.NewEngine()
+	scheduleFan(e.Schedule, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// boxEvent/boxHeap/boxEngine replicate the seed event queue: every push
+// heap-allocates an event and boxes it through container/heap's interface{}.
+type boxEvent struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+type boxHeap []*boxEvent
+
+func (h boxHeap) Len() int { return len(h) }
+func (h boxHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxHeap) Push(x interface{}) { *h = append(*h, x.(*boxEvent)) }
+func (h *boxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type boxEngine struct {
+	now      sim.Time
+	seq      uint64
+	events   boxHeap
+	nEvents  uint64
+	panicVal interface{}
+}
+
+func (e *boxEngine) schedule(d sim.Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &boxEvent{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+func (e *boxEngine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*boxEvent)
+	e.now = ev.at
+	e.nEvents++
+	ev.fn()
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+	return true
+}
+
+// benchBoxHeapScheduleStep is benchEngineScheduleStep against the seed
+// implementation — the baseline for the events/sec comparison.
+func benchBoxHeapScheduleStep(b *testing.B) {
+	e := &boxEngine{}
+	scheduleFan(e.schedule, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+// benchProcDelay measures the full Proc context switch: Delay schedules a
+// wakeup and yields to the engine, which resumes the goroutine — two baton
+// passes per op.
+func benchProcDelay(b *testing.B) {
+	e := sim.NewEngine()
+	n := b.N
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Delay(10 * sim.Nanosecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchProcCallImmediate measures the synchronous-completion Call path (the
+// common bus-issue shape): start invokes done inline, the Proc never yields.
+func benchProcCallImmediate(b *testing.B) {
+	e := sim.NewEngine()
+	n := b.N
+	immediate := func(done func()) { done() }
+	e.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Call(immediate)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchQueuePushPop measures producer/consumer coupling through sim.Queue:
+// each item costs one Push+Signal and one blocking Pop (Cond wait + resume).
+func benchQueuePushPop(b *testing.B) {
+	e := sim.NewEngine()
+	q := sim.NewQueue[int](e)
+	n := b.N
+	e.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			q.Pop(p)
+		}
+	})
+	e.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			q.Push(i)
+			p.Delay(10 * sim.Nanosecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchNodeBasicMsg is the whole-node benchmark: a two-node machine pushing
+// Basic messages through the full aP → CTRL → fabric → CTRL → aP pipeline
+// (the Ext E resident-queue path), one delivered message per op.
+func benchNodeBasicMsg(b *testing.B) {
+	m := core.NewMachine(2)
+	n := b.N
+	buf := []byte{1, 2, 3, 4}
+	m.Go(1, "src", func(p *sim.Proc, a *core.API) {
+		for i := 0; i < n; i++ {
+			a.SendBasic(p, 0, buf)
+		}
+	})
+	got := 0
+	m.Go(0, "dst", func(p *sim.Proc, a *core.API) {
+		for got < n {
+			if _, _, ok := a.TryRecvBasic(p); ok {
+				got++
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteMicro pins the BENCH_micro.json document shape.
+func TestWriteMicro(t *testing.T) {
+	in := []MicroResult{{
+		Name: "engine/schedule-step", N: 1000,
+		NsPerOp: 125.0, OpsPerSec: 8e6, AllocsPerOp: 0, BytesPerOp: 0,
+	}}
+	var buf bytes.Buffer
+	if err := WriteMicro(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string        `json:"schema"`
+		Results []MicroResult `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteMicro emitted invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.Schema != "voyager-micro/v1" {
+		t.Fatalf("schema = %q, want voyager-micro/v1", doc.Schema)
+	}
+	if len(doc.Results) != 1 || doc.Results[0] != in[0] {
+		t.Fatalf("results round-trip mismatch: %+v", doc.Results)
+	}
+}
+
+// TestMicroSuiteContents pins the benchmark set: the engine/boxheap pair must
+// both be present (the events/sec comparison in BENCH_micro.json depends on
+// it), alongside the handoff, queue, and whole-node probes.
+func TestMicroSuiteContents(t *testing.T) {
+	want := []string{
+		"engine/schedule-step", "boxheap/schedule-step",
+		"proc/delay", "proc/call-immediate", "queue/push-pop", "node/basic-msg",
+	}
+	if len(microSuite) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(microSuite), len(want))
+	}
+	for i, s := range microSuite {
+		if s.name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, s.name, want[i])
+		}
+		if s.fn == nil {
+			t.Errorf("suite[%d] %q has nil fn", i, s.name)
+		}
+	}
+}
+
+// TestScheduleStepVsBoxHeapAllocs runs the two heap benchmarks briefly and
+// checks the property BENCH_micro.json is meant to showcase: the value-based
+// heap schedules without allocating; the seed boxed heap pays at least one
+// allocation per event.
+func TestScheduleStepVsBoxHeapAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	eng := testing.Benchmark(benchEngineScheduleStep)
+	box := testing.Benchmark(benchBoxHeapScheduleStep)
+	if got := eng.AllocsPerOp(); got != 0 {
+		t.Errorf("engine schedule/step allocates %d per event, want 0", got)
+	}
+	if got := box.AllocsPerOp(); got < 1 {
+		t.Errorf("boxheap baseline allocates %d per event, want >= 1", got)
+	}
+	t.Logf("engine %.1f ns/op vs boxheap %.1f ns/op",
+		float64(eng.T.Nanoseconds())/float64(eng.N),
+		float64(box.T.Nanoseconds())/float64(box.N))
+}

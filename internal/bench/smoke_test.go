@@ -93,7 +93,7 @@ func TestExtLSmoke(t *testing.T) {
 }
 
 func TestFaultMatrixSmoke(t *testing.T) {
-	tab, runs := FaultMatrix(10, []uint64{1})
+	tab, runs := FaultMatrix(10, []uint64{1}, 1)
 	t.Logf("\n%s", tab)
 	if len(runs) != 4 {
 		t.Fatalf("runs %d", len(runs))

@@ -6,6 +6,13 @@ func TestNoWallTime(t *testing.T)   { runAnalyzerTest(t, NoWallTime, "testdata/n
 func TestNoGlobalRand(t *testing.T) { runAnalyzerTest(t, NoGlobalRand, "testdata/noglobalrand") }
 func TestNoMapOrder(t *testing.T)   { runAnalyzerTest(t, NoMapOrder, "testdata/nomaporder") }
 func TestNoGoroutine(t *testing.T)  { runAnalyzerTest(t, NoGoroutine, "testdata/nogoroutine") }
+
+// The scoped allowance for the bench parallel harness: the testdata pins its
+// import path to startvoyager/internal/bench, where the directive-marked
+// function is exempt and undirected concurrency is still flagged.
+func TestNoGoroutineBenchHarness(t *testing.T) {
+	runAnalyzerTest(t, NoGoroutine, "testdata/nogoroutine_bench")
+}
 func TestSimTimeUnits(t *testing.T) { runAnalyzerTest(t, SimTimeUnits, "testdata/simtimeunits") }
 func TestSpanLeak(t *testing.T)     { runAnalyzerTest(t, SpanLeak, "testdata/spanleak") }
 

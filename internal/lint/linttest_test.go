@@ -16,6 +16,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -82,7 +83,14 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
 }
 
 // loadTestPackage type-checks the testdata files, resolving their imports
-// (stdlib and in-module alike) through `go list -export`.
+// (stdlib and in-module alike) through `go list -export`. The package's
+// import path defaults to startvoyager/internal/lint/<dir>; a testdata file
+// can pin a different one with a line of the form
+//
+//	//linttest:importpath startvoyager/internal/bench
+//
+// so package-path-scoped analyzer behavior (like nogoroutine's
+// parallel-harness allowance) is testable from here.
 func loadTestPackage(fset *token.FileSet, dir string, files []string) (*Package, error) {
 	imports, err := importsOf(fset, files)
 	if err != nil {
@@ -96,7 +104,31 @@ func loadTestPackage(fset *token.FileSet, dir string, files []string) (*Package,
 		}
 		lookup = exportLookup(deps)
 	}
-	return checkFiles(fset, "startvoyager/internal/lint/"+filepath.Base(dir), files, lookup)
+	importPath := "startvoyager/internal/lint/" + filepath.Base(dir)
+	if pinned, err := pinnedImportPath(files); err != nil {
+		return nil, err
+	} else if pinned != "" {
+		importPath = pinned
+	}
+	return checkFiles(fset, importPath, files, lookup)
+}
+
+// pinnedImportPath scans the testdata files for a //linttest:importpath
+// directive and returns its argument, or "".
+func pinnedImportPath(files []string) (string, error) {
+	const directive = "//linttest:importpath "
+	for _, name := range files {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, directive) {
+				return strings.TrimSpace(line[len(directive):]), nil
+			}
+		}
+	}
+	return "", nil
 }
 
 func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[string][]*expectation {

@@ -25,6 +25,14 @@ func badRange(ch chan int) {
 	}
 }
 
+// The parallel-harness directive is scoped to startvoyager/internal/bench;
+// here (any other package) it is itself a finding and grants nothing.
+//
+//voyager:parallel-harness not sanctioned in this package
+func badDirective() { // want "parallel-harness directive outside startvoyager/internal/bench"
+	go func() {}() // want "go statement in model code"
+}
+
 func good(xs []int) int {
 	// Slices, maps, and plain control flow are untouched.
 	total := 0

@@ -1,0 +1,37 @@
+//linttest:importpath startvoyager/internal/bench
+
+// Package bench exercises the scoped parallel-harness allowance: inside
+// startvoyager/internal/bench (the import path is pinned above), a function
+// whose doc comment carries //voyager:parallel-harness may use real
+// concurrency; everything else in the package is still flagged.
+package bench
+
+import "sync"
+
+// sanctioned fans independent cells across workers, like the real harness.
+//
+//voyager:parallel-harness cells are independent; results merge in fixed order
+func sanctioned(n int, fn func(int)) {
+	results := make(chan int, n) // allowed inside the sanctioned harness
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+			results <- i
+		}(i)
+	}
+	wg.Wait()
+	for range [2]int{} {
+		<-results
+	}
+}
+
+// stillFlagged has no directive: the allowance is per-function, not
+// package-wide.
+func stillFlagged() {
+	go func() {}()          // want "go statement in model code"
+	ch := make(chan int, 1) // want "channel creation in model code"
+	ch <- 1                 // want "channel send in model code"
+}

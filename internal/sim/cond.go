@@ -10,11 +10,36 @@ type Cond struct {
 
 // condWaiter tracks one blocked Proc plus the signal/timeout race state:
 // whichever of Signal and the timeout event fires first resumes the Proc and
-// marks the waiter so the loser becomes a no-op.
+// marks the waiter so the loser becomes a no-op. Waiter records are recycled
+// through the engine's free list (steady-state blocking allocates nothing);
+// gen stamps each reuse so a stale timeout event holding an old pointer
+// recognizes itself and bows out.
 type condWaiter struct {
 	p        *Proc
 	signaled bool
 	timedOut bool
+	timed    bool   // a timeout event may still reference this record
+	gen      uint64 // recycle generation, bumped on every free
+}
+
+// getWaiter takes a waiter record from the free list (or allocates one).
+func (e *Engine) getWaiter(p *Proc) *condWaiter {
+	if n := len(e.waiterFree); n > 0 {
+		w := e.waiterFree[n-1]
+		e.waiterFree = e.waiterFree[:n-1]
+		w.p = p
+		w.signaled, w.timedOut, w.timed = false, false, false
+		return w
+	}
+	return &condWaiter{p: p}
+}
+
+// putWaiter returns a waiter record to the free list, invalidating any
+// timeout event still holding it.
+func (e *Engine) putWaiter(w *condWaiter) {
+	w.gen++
+	w.p = nil
+	e.waiterFree = append(e.waiterFree, w)
 }
 
 // NewCond returns a condition variable bound to e.
@@ -23,7 +48,7 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 // Wait blocks p until a Signal or Broadcast resumes it. As with sync.Cond,
 // callers should re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, &condWaiter{p: p})
+	c.waiters = append(c.waiters, c.eng.getWaiter(p))
 	c.eng.blocked++
 	p.block()
 }
@@ -36,12 +61,14 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 		c.Wait(p)
 		return true
 	}
-	w := &condWaiter{p: p}
+	w := c.eng.getWaiter(p)
+	w.timed = true
+	gen := w.gen
 	c.waiters = append(c.waiters, w)
 	c.eng.blocked++
 	c.eng.Schedule(d, func() {
-		if w.signaled || w.timedOut {
-			return // lost the race; Signal already resumed the Proc
+		if w.gen != gen || w.signaled || w.timedOut {
+			return // recycled or lost the race; Signal already resumed the Proc
 		}
 		w.timedOut = true
 		for i, cw := range c.waiters {
@@ -51,10 +78,12 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 			}
 		}
 		c.eng.blocked--
-		c.eng.Schedule(0, w.p.run)
+		c.eng.Schedule(0, w.p.runFn)
 	})
 	p.block()
-	return !w.timedOut
+	timedOut := w.timedOut
+	c.eng.putWaiter(w)
+	return !timedOut
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -63,10 +92,21 @@ func (c *Cond) Signal() {
 		return
 	}
 	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	// Pop by copy-down, not reslice: sliding the head would walk the backing
+	// array forward and force a reallocation on a later append. Waiter lists
+	// are short (usually one entry), so the copy is cheaper than the alloc.
+	n := len(c.waiters)
+	copy(c.waiters, c.waiters[1:])
+	c.waiters[n-1] = nil
+	c.waiters = c.waiters[:n-1]
 	w.signaled = true
 	c.eng.blocked--
-	c.eng.Schedule(0, w.p.run)
+	c.eng.Schedule(0, w.p.runFn)
+	if !w.timed {
+		// Timed waiters are freed by WaitTimeout itself, after it has read
+		// the race outcome; untimed ones have no other referent.
+		c.eng.putWaiter(w)
+	}
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
@@ -139,10 +179,14 @@ func (g *Gate) WaitTimeout(p *Proc, d Time) bool {
 }
 
 // Queue is an unbounded FIFO of items with blocking receive, for
-// producer/consumer coupling between components and Procs.
+// producer/consumer coupling between components and Procs. Items live in a
+// ring buffer: steady-state push/pop traffic reuses the backing array
+// instead of sliding a slice window along a perpetually reallocated one.
 type Queue[T any] struct {
-	cond  *Cond
-	items []T
+	cond *Cond
+	buf  []T // ring storage; len(buf) is the capacity
+	head int // index of the oldest item
+	n    int // number of queued items
 
 	observed bool
 	obsNode  int
@@ -164,26 +208,52 @@ func (q *Queue[T]) Observe(node int, component, name string) {
 
 func (q *Queue[T]) sample() {
 	if q.observed {
-		q.cond.eng.Sample(q.obsNode, q.obsComp, q.obsName, int64(len(q.items)))
+		q.cond.eng.Sample(q.obsNode, q.obsComp, q.obsName, int64(q.n))
 	}
+}
+
+// grow doubles the ring (linearizing it from head) when it is full.
+func (q *Queue[T]) grow() {
+	size := 2 * len(q.buf)
+	if size < 8 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// take removes and returns the oldest item; the caller guarantees q.n > 0.
+func (q *Queue[T]) take() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the slot's referents for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.sample()
+	return v
 }
 
 // Push appends an item and wakes one waiter.
 func (q *Queue[T]) Push(v T) {
-	q.items = append(q.items, v)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
 	q.sample()
 	q.cond.Signal()
 }
 
 // Pop blocks p until an item is available, then removes and returns it.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	q.sample()
-	return v
+	return q.take()
 }
 
 // PopTimeout is Pop with a deadline: ok is false if d elapsed with the queue
@@ -193,32 +263,26 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 		return q.Pop(p), true
 	}
 	deadline := q.cond.eng.now + d
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		left := deadline - q.cond.eng.now
 		if left <= 0 || !q.cond.WaitTimeout(p, left) {
-			if len(q.items) > 0 {
+			if q.n > 0 {
 				break // an item landed in the same instant the timer fired
 			}
 			return v, false
 		}
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	q.sample()
-	return v, true
+	return q.take(), true
 }
 
 // TryPop removes and returns an item without blocking; ok is false when the
 // queue is empty.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	q.sample()
-	return v, true
+	return q.take(), true
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }

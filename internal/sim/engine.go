@@ -9,10 +9,7 @@
 // mixed freely.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in nanoseconds since the start of the run.
 type Time int64
@@ -44,24 +41,76 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// before reports whether a orders ahead of b. (at, seq) is a strict total
+// order — seq is unique and monotonic — so the pop sequence of any correct
+// min-heap over it is identical, which is what keeps this rewrite
+// bit-compatible with the old container/heap implementation.
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventHeap is a value-based 4-ary min-heap ordered by (at, seq). Events are
+// stored inline (no per-push pointer allocation, no interface{} boxing), the
+// backing array is retained across pops, and the 4-ary layout halves tree
+// height versus a binary heap — sift-downs touch fewer cache lines on the
+// deep queues the full-machine models build.
+type eventHeap []event
+
+// push appends ev and sifts it up to its heap position. The new event is
+// held aside while ancestors shift down, so each level costs one event copy
+// rather than a swap's three.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = ev
+	*h = s
+}
+
+// pop removes and returns the minimum event. The displaced last element is
+// held aside while the smallest children shift up, then placed once.
+func (h *eventHeap) pop() event {
+	s := *h
+	root := s[0]
+	n := len(s) - 1
+	moved := s[n]
+	s[n] = event{} // release the closure so the GC can collect it
+	s = s[:n]
+	*h = s
+	if n == 0 {
+		return root
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min := first
+		for c := first + 1; c < last; c++ {
+			if s[c].before(&s[min]) {
+				min = c
+			}
+		}
+		if !s[min].before(&moved) {
+			break
+		}
+		s[i] = s[min]
+		i = min
+	}
+	s[i] = moved
+	return root
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -80,6 +129,10 @@ type Engine struct {
 	obs     Observer // instrumentation sink (nil: all hooks are no-ops)
 	spanSeq uint64   // deterministic span id allocator
 	msgSeq  uint64   // deterministic message trace id allocator
+
+	// waiterFree recycles condWaiter records (see cond.go) so steady-state
+	// blocking — every Queue.Pop, every Cond.Wait — is allocation-free.
+	waiterFree []*condWaiter
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -107,7 +160,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the next event. It reports false when no events remain.
@@ -115,7 +168,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.nEvents++
 	ev.fn()

@@ -7,36 +7,55 @@ import "fmt"
 // handoff with the engine: the engine resumes it, then blocks until the Proc
 // either blocks again (Delay, Cond.Wait, Call) or returns. Exactly one
 // goroutine is ever runnable, preserving determinism.
+//
+// The handoff is a single unbuffered rendezvous channel used as a baton:
+// ownership of execution strictly alternates, so every transfer is exactly
+// one send/receive pair. Both resume-closures (run as an engine event) and
+// the Call completion callback are bound once at Spawn, so the steady-state
+// block/resume cycle performs no allocation.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	dead   bool
+	eng  *Engine
+	name string
+	ch   chan struct{} // rendezvous baton between engine and proc goroutine
+	dead bool
+
+	// runFn is the prebound p.run method value: scheduling a wakeup is
+	// `eng.Schedule(d, p.runFn)` with no per-wakeup closure allocation.
+	runFn func()
+
+	// Completion state of the innermost active Call, plus the prebound
+	// done callback handed to start. Only the outermost Call on a Proc uses
+	// this fast path; nested Calls (a start function that itself Calls) fall
+	// back to a private closure, so the shared state is never aliased.
+	callActive    bool
+	callCompleted bool
+	callBlocked   bool
+	doneFn        func()
 }
 
 // Spawn starts body as a new process at the current simulated time.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:  e,
+		name: name,
+		ch:   make(chan struct{}),
 	}
+	p.runFn = p.run
+	p.doneFn = p.callDone
 	e.procs++
 	go func() {
-		<-p.resume
+		<-p.ch
 		defer func() {
 			if r := recover(); r != nil {
 				e.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
 			}
 			p.dead = true
 			e.procs--
-			p.yield <- struct{}{}
+			p.ch <- struct{}{}
 		}()
 		body(p)
 	}()
-	e.Schedule(0, func() { p.run() })
+	e.Schedule(0, p.runFn)
 	return p
 }
 
@@ -55,15 +74,15 @@ func (p *Proc) run() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name))
 	}
-	p.resume <- struct{}{}
-	<-p.yield
+	p.ch <- struct{}{}
+	<-p.ch
 }
 
 // block yields control back to the engine. The caller must have arranged a
 // wakeup (a scheduled event or Cond registration) that calls p.run().
 func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.resume
+	p.ch <- struct{}{}
+	<-p.ch
 }
 
 // Delay advances the process by d of simulated time (modeling computation or
@@ -72,7 +91,7 @@ func (p *Proc) Delay(d Time) {
 	if d == 0 {
 		return
 	}
-	p.eng.Schedule(d, p.run)
+	p.eng.Schedule(d, p.runFn)
 	p.block()
 }
 
@@ -82,7 +101,42 @@ func (p *Proc) Delay(d Time) {
 // style:
 //
 //	p.Call(func(done func()) { busPort.Issue(tx, done) })
+//
+// The common path — start completes synchronously (a bus issue that is
+// granted immediately) — allocates nothing: the done callback is the
+// Proc's prebound doneFn and the completion state lives in the Proc.
 func (p *Proc) Call(start func(done func())) {
+	if p.callActive {
+		// Nested Call (start itself blocked on another Call): give the inner
+		// call private state so an outer completion arriving while the inner
+		// call is blocked cannot be misattributed.
+		p.callSlow(start)
+		return
+	}
+	p.callActive = true
+	p.callCompleted = false
+	p.callBlocked = false
+	start(p.doneFn)
+	if !p.callCompleted {
+		p.callBlocked = true
+		p.block()
+	}
+	p.callActive = false
+}
+
+// callDone is the prebound completion callback for the Call fast path.
+func (p *Proc) callDone() {
+	if !p.callActive || p.callCompleted {
+		panic(fmt.Sprintf("sim: double completion in proc %q", p.name))
+	}
+	p.callCompleted = true
+	if p.callBlocked {
+		p.run()
+	}
+}
+
+// callSlow is the closure-per-call implementation used for nested Calls.
+func (p *Proc) callSlow(start func(done func())) {
 	completed := false
 	blocked := false
 	start(func() {
