@@ -1,7 +1,8 @@
 # Verify loop for the StarT-Voyager reproduction.
 #
 #   make             build + unit tests (tier-1)
-#   make lint        gofmt + go vet + voyager-vet determinism suite + race tests
+#   make lint        gofmt + go vet + voyager-vet analyzer suite + race tests
+#   make vet-json    voyager-vet findings as JSON -> VET_findings.json
 #   make bench-json  canonical instrumented run -> BENCH_observability.json (+ trace)
 #   make bench-diff  headline latencies vs BENCH_baseline.json (fail on >10% regression)
 #   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
@@ -11,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet race lint bench-json bench-diff bench-baseline faults faults-check bench-micro ci
+.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro ci
 
 all: build test
 
@@ -31,10 +32,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The determinism analyzer suite (nowalltime, noglobalrand, nomaporder,
-# nogoroutine, simtimeunits). -novet because `make lint` runs go vet itself.
+# The full analyzer suite (nowalltime, noglobalrand, nomaporder,
+# nogoroutine, simtimeunits, spanleak, noalloc). Any finding — including a
+# new allocation in a //voyager:noalloc function — fails the build. -novet
+# because `make lint` runs go vet itself.
 voyager-vet:
 	$(GO) run ./cmd/voyager-vet -novet ./...
+
+# Machine-readable analyzer findings -> VET_findings.json (an empty array
+# when the tree is clean). Exits nonzero on findings, like voyager-vet, but
+# always leaves the artifact behind for CI upload.
+vet-json:
+	@$(GO) run ./cmd/voyager-vet -novet -json ./... > VET_findings.json; \
+	st=$$?; cat VET_findings.json; exit $$st
 
 # The engine and core protocol layers are the only packages whose tests spin
 # real goroutines (sim.Proc handoff); run them under the race detector.

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"startvoyager/internal/lint"
+)
+
+// runCapture invokes run with stdout redirected to a pipe and returns what it
+// printed.
+func runCapture(t *testing.T, args []string) (string, int) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	code := run(args)
+	os.Stdout = saved
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), code
+}
+
+// TestJSONOutputDeterministic runs the suite twice over the same packages
+// and requires byte-identical, well-formed JSON both times.
+func TestJSONOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages via go list")
+	}
+	args := []string{"-novet", "-json", "startvoyager/internal/sim", "startvoyager/internal/bus"}
+	first, code1 := runCapture(t, args)
+	second, code2 := runCapture(t, args)
+	if code1 != code2 {
+		t.Fatalf("exit codes differ between runs: %d vs %d", code1, code2)
+	}
+	if first != second {
+		t.Fatalf("-json output is not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(first), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, first)
+	}
+	sorted := append([]lint.Finding(nil), findings...)
+	lint.SortFindings(sorted)
+	for i := range findings {
+		if findings[i] != sorted[i] {
+			t.Fatalf("-json output is not sorted at index %d", i)
+		}
+	}
+	if !bytes.HasSuffix([]byte(first), []byte("]\n")) {
+		t.Fatalf("-json output does not end with ]\\n: %q", first)
+	}
+}

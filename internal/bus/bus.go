@@ -106,6 +106,7 @@ func (t *Transaction) validate() error {
 	return nil
 }
 
+//voyager:noalloc
 func (t *Transaction) beats() int {
 	switch t.Kind {
 	case ReadLine, ReadLineX, WriteLine:
@@ -203,13 +204,26 @@ type Bus struct {
 	retHist *stats.Histogram
 	// snoopHook, if set, observes every completed transaction (tracing).
 	snoopHook func(tx *Transaction)
+
+	// opFree recycles busOp records so steady-state issues allocate nothing.
+	// The pool is per-bus (per-node), never global: parallel sweeps run whole
+	// machines on separate goroutines.
+	opFree []*busOp
+
+	// pcallTx/pcallFn adapt IssueP to Proc.Call without a per-call closure:
+	// Call invokes its start function synchronously, so the staged
+	// transaction is consumed before IssueP returns.
+	pcallTx *Transaction
+	pcallFn func(done func())
 }
 
 // New creates an empty bus.
 func New(eng *sim.Engine, name string, cfg Config) *Bus {
 	cfg.fillDefaults()
-	return &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, name),
+	b := &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, name),
 		retHist: stats.NewHistogram(0, 1, 2, 4, 8, 16, 64, 256)}
+	b.pcallFn = b.pcallStart
+	return b
 }
 
 // Attach adds a device to the snoop set.
@@ -242,87 +256,172 @@ func (b *Bus) SetTraceHook(fn func(tx *Transaction)) { b.snoopHook = fn }
 
 // Issue runs tx to completion, retrying as needed, then calls done. The
 // master must not mutate tx until done runs.
+//
+//voyager:noalloc steady-state issues ride a recycled busOp record
 func (b *Bus) Issue(tx *Transaction, done func()) {
-	if err := tx.validate(); err != nil {
+	if err := tx.validate(); err != nil { //voyager:alloc-ok(validate allocates only when rejecting a malformed transaction)
 		panic(err)
 	}
-	b.attempt(tx, done)
+	op := b.newOp(tx, done)
+	b.res.Acquire(op.grantedFn)
 }
 
-// IssueP is the blocking form of Issue for Procs.
+// IssueP is the blocking form of Issue for Procs. The transaction is staged
+// on the bus and picked up synchronously by pcallStart, so no adapter
+// closure is built per call.
+//
+//voyager:noalloc
 func (b *Bus) IssueP(p *sim.Proc, tx *Transaction) {
-	p.Call(func(cb func()) { b.Issue(tx, cb) })
+	b.pcallTx = tx
+	p.Call(b.pcallFn)
 }
 
-func (b *Bus) attempt(tx *Transaction, done func()) {
-	b.res.Acquire(func() {
-		// One span per bus tenure, named by transaction kind.
-		var span sim.Span
-		if b.eng.Observed() {
-			span = b.eng.BeginSpan(b.node, "bus", tx.Kind.String(),
-				sim.Hex("addr", uint64(tx.Addr)))
+//voyager:noalloc
+func (b *Bus) pcallStart(done func()) {
+	tx := b.pcallTx
+	b.pcallTx = nil
+	b.Issue(tx, done)
+}
+
+// busOp carries one transaction through the address tenure, snoop window,
+// data phase, and completion as prebound method values on a recycled record.
+// The phase structure — which events are scheduled, with which delays — is
+// identical to the closure chain it replaced, so event (time, seq) order and
+// therefore all simulated outcomes are unchanged.
+type busOp struct {
+	b    *Bus
+	tx   *Transaction
+	done func()
+	span sim.Span
+
+	winner    Snoop // winning claim, valid when hasWinner
+	hasWinner bool
+
+	grantedFn func()
+	snoopFn   func()
+	serveFn   func()
+	finishFn  func()
+	retryFn   func()
+}
+
+//voyager:noalloc record and method values are recycled via opFree
+func (b *Bus) newOp(tx *Transaction, done func()) *busOp {
+	var op *busOp
+	if n := len(b.opFree); n > 0 {
+		op = b.opFree[n-1]
+		b.opFree = b.opFree[:n-1]
+	} else {
+		op = &busOp{b: b}         //voyager:alloc-ok(pool warm-up; recycled thereafter)
+		op.grantedFn = op.granted //voyager:alloc-ok(one-time method binding for the pooled record)
+		op.snoopFn = op.snoop     //voyager:alloc-ok(one-time method binding for the pooled record)
+		op.serveFn = op.serve     //voyager:alloc-ok(one-time method binding for the pooled record)
+		op.finishFn = op.finish   //voyager:alloc-ok(one-time method binding for the pooled record)
+		op.retryFn = op.retry     //voyager:alloc-ok(one-time method binding for the pooled record)
+	}
+	op.tx = tx
+	op.done = done
+	op.hasWinner = false
+	return op
+}
+
+// granted runs with the bus held: open the tenure span, then burn the
+// address cycles before snooping.
+//
+//voyager:noalloc
+func (op *busOp) granted() {
+	b := op.b
+	op.span = sim.Span{}
+	if b.eng.Observed() {
+		op.span = b.eng.BeginSpan(b.node, "bus", op.tx.Kind.String(), //voyager:alloc-ok(observed runs trade allocation for visibility)
+			sim.Hex("addr", uint64(op.tx.Addr)))
+	}
+	b.eng.Schedule(sim.Time(b.cfg.AddrCycles)*b.cfg.CycleTime, op.snoopFn)
+}
+
+// snoop presents the transaction to every other device and resolves the
+// winning claim, retrying the whole tenure if any device asserted Retry.
+//
+//voyager:noalloc
+func (op *busOp) snoop() {
+	b, tx := op.b, op.tx
+	retried := false
+	op.hasWinner = false
+	for _, d := range b.devices {
+		if d == tx.Master {
+			continue
 		}
-		// Address tenure, then snoop window.
-		b.eng.Schedule(sim.Time(b.cfg.AddrCycles)*b.cfg.CycleTime, func() {
-			retried := false
-			var winner *Snoop
-			for _, d := range b.devices {
-				if d == tx.Master {
-					continue
-				}
-				s := d.SnoopBus(tx)
-				if s.Shared {
-					tx.SharedSeen = true
-				}
-				switch s.Action {
-				case Retry:
-					retried = true
-				case Claim:
-					s := s
-					if winner == nil || (s.Intervene && !winner.Intervene) {
-						winner = &s
-					} else if s.Intervene && winner.Intervene {
-						panic(fmt.Sprintf("bus: double intervention on %v @%#x", tx.Kind, tx.Addr))
-					}
-				}
+		s := d.SnoopBus(tx)
+		if s.Shared {
+			tx.SharedSeen = true
+		}
+		switch s.Action {
+		case Retry:
+			retried = true
+		case Claim:
+			if !op.hasWinner || (s.Intervene && !op.winner.Intervene) {
+				op.winner = s
+				op.hasWinner = true
+			} else if s.Intervene && op.winner.Intervene {
+				panic(fmt.Sprintf("bus: double intervention on %v @%#x", tx.Kind, tx.Addr)) //voyager:alloc-ok(panic path)
 			}
-			if retried {
-				span.End(sim.Str("result", "retry"))
-				b.res.Release()
-				b.stats.Retries++
-				tx.Retries++
-				if tx.Retries > b.cfg.MaxRetries {
-					panic(fmt.Sprintf("bus: %v @%#x retried %d times (livelock)",
-						tx.Kind, tx.Addr, tx.Retries))
-				}
-				b.eng.Schedule(b.cfg.RetryBackoff, func() { b.attempt(tx, done) })
-				return
-			}
-			if winner == nil && tx.Kind != Kill {
-				panic(fmt.Sprintf("bus: unclaimed %v @%#x", tx.Kind, tx.Addr))
-			}
-			var lat sim.Time
-			if winner != nil {
-				lat = winner.Latency
-			}
-			b.eng.Schedule(lat, func() {
-				if winner != nil && winner.Serve != nil {
-					winner.Serve(tx)
-				}
-				b.eng.Schedule(sim.Time(tx.beats())*b.cfg.CycleTime, func() {
-					b.stats.Transactions++
-					b.stats.DataBytes += uint64(tx.beats() * BeatBytes)
-					b.retHist.Observe(int64(tx.Retries))
-					span.End()
-					b.res.Release()
-					if b.snoopHook != nil {
-						b.snoopHook(tx)
-					}
-					done()
-				})
-			})
-		})
-	})
+		}
+	}
+	if retried {
+		op.span.End(sim.Str("result", "retry"))
+		b.res.Release()
+		b.stats.Retries++
+		tx.Retries++
+		if tx.Retries > b.cfg.MaxRetries {
+			panic(fmt.Sprintf("bus: %v @%#x retried %d times (livelock)", //voyager:alloc-ok(panic path)
+				tx.Kind, tx.Addr, tx.Retries))
+		}
+		b.eng.Schedule(b.cfg.RetryBackoff, op.retryFn)
+		return
+	}
+	if !op.hasWinner && tx.Kind != Kill {
+		panic(fmt.Sprintf("bus: unclaimed %v @%#x", tx.Kind, tx.Addr)) //voyager:alloc-ok(panic path)
+	}
+	var lat sim.Time
+	if op.hasWinner {
+		lat = op.winner.Latency
+	}
+	b.eng.Schedule(lat, op.serveFn)
+}
+
+// retry re-arbitrates for the bus after the backoff.
+//
+//voyager:noalloc
+func (op *busOp) retry() {
+	op.b.res.Acquire(op.grantedFn)
+}
+
+// serve runs the winning claim's data phase, then the data tenure.
+//
+//voyager:noalloc
+func (op *busOp) serve() {
+	if op.hasWinner && op.winner.Serve != nil {
+		op.winner.Serve(op.tx)
+	}
+	op.b.eng.Schedule(sim.Time(op.tx.beats())*op.b.cfg.CycleTime, op.finishFn)
+}
+
+// finish accounts the transaction, releases the bus, recycles the record,
+// and completes the master's callback.
+//
+//voyager:noalloc
+func (op *busOp) finish() {
+	b, tx, done := op.b, op.tx, op.done
+	b.stats.Transactions++
+	b.stats.DataBytes += uint64(tx.beats() * BeatBytes)
+	b.retHist.Observe(int64(tx.Retries))
+	op.span.End()
+	op.tx, op.done, op.winner = nil, nil, Snoop{}
+	b.opFree = append(b.opFree, op) //voyager:alloc-ok(amortized: pool backing array is retained)
+	b.res.Release()
+	if b.snoopHook != nil {
+		b.snoopHook(tx)
+	}
+	done()
 }
 
 // Range is a half-open physical address range [Base, Base+Size).

@@ -17,6 +17,7 @@ import (
 	"startvoyager/internal/stats"
 )
 
+//voyager:noalloc
 func rwName(forWrite bool) string {
 	if forWrite {
 		return "w"
@@ -88,9 +89,9 @@ type Stats struct {
 	SnoopInvalidations, Interventions  uint64
 }
 
-// Cache is one node's processor-side cache. It serves exactly one processor
-// (StarT-Voyager nodes have a single aP; the NIU occupies the second slot),
-// so processor operations must not be issued concurrently.
+// Cache is one node's processor-side cache. Overlapping operations from
+// multiple processes time-sharing the aP (multitasking workloads) are safe:
+// each in-flight operation carries its own pooled transaction record.
 type Cache struct {
 	name string
 	b    *bus.Bus
@@ -104,6 +105,22 @@ type Cache struct {
 	// bus transaction (the controller captures intervention data on real
 	// hardware). Set by node assembly to the DRAM backdoor.
 	writebackSink func(addr uint32, data []byte)
+
+	// txFree recycles per-operation transaction records (a Transaction plus
+	// a line buffer). Each in-flight processor operation takes its own
+	// record, so overlapping operations from multitasking processes never
+	// share staging state; IssueP blocks until the bus completes the
+	// transaction and the bus drops its reference in the same event, so the
+	// record can be recycled as soon as IssueP returns.
+	txFree []*cacheTx
+
+	// Intervention scratch: the snooped line is snapshotted here at snoop
+	// time and served by the prebound ivServeFn during the same bus tenure
+	// (the bus serializes transactions, so the snapshot cannot be
+	// overwritten before it is served).
+	ivData    [bus.LineSize]byte
+	ivOff     uint32
+	ivServeFn func(*bus.Transaction)
 
 	stats Stats
 }
@@ -119,7 +136,39 @@ func New(name string, b *bus.Bus, cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = make([]line, cfg.Assoc)
 	}
-	return &Cache{name: name, b: b, cfg: cfg, sets: sets, nset: uint32(nset)}
+	c := &Cache{name: name, b: b, cfg: cfg, sets: sets, nset: uint32(nset)}
+	c.ivServeFn = c.ivServe
+	return c
+}
+
+// ivServe supplies intervention data snapshotted by SnoopBus.
+//
+//voyager:noalloc
+func (c *Cache) ivServe(tx *bus.Transaction) {
+	copy(tx.Data, c.ivData[c.ivOff:])
+}
+
+// cacheTx is one in-flight processor-side bus operation: a transaction and
+// the line buffer it may carry, recycled through Cache.txFree.
+type cacheTx struct {
+	tx   bus.Transaction
+	data [bus.LineSize]byte
+}
+
+//voyager:noalloc
+func (c *Cache) getTx() *cacheTx {
+	if n := len(c.txFree); n > 0 {
+		t := c.txFree[n-1]
+		c.txFree = c.txFree[:n-1]
+		return t
+	}
+	return &cacheTx{} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+}
+
+//voyager:noalloc
+func (c *Cache) putTx(t *cacheTx) {
+	t.tx = bus.Transaction{}
+	c.txFree = append(c.txFree, t) //voyager:alloc-ok(amortized: pool backing array is retained)
 }
 
 // SetWritebackSink installs the memory reflection function.
@@ -144,9 +193,13 @@ func (c *Cache) DeviceName() string { return c.name }
 // Stats returns a snapshot of counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+//voyager:noalloc
 func (c *Cache) set(addr uint32) []line { return c.sets[(addr/bus.LineSize)&(c.nset-1)] }
+
+//voyager:noalloc
 func (c *Cache) tag(addr uint32) uint32 { return addr / bus.LineSize / c.nset }
 
+//voyager:noalloc
 func (c *Cache) lookup(addr uint32) *line {
 	set, tag := c.set(addr), c.tag(addr)
 	for i := range set {
@@ -159,6 +212,8 @@ func (c *Cache) lookup(addr uint32) *line {
 
 // victim picks the replacement candidate in addr's set (invalid first, then
 // least recently used).
+//
+//voyager:noalloc
 func (c *Cache) victim(addr uint32) *line {
 	set := c.set(addr)
 	var v *line
@@ -173,15 +228,20 @@ func (c *Cache) victim(addr uint32) *line {
 	return v
 }
 
+//voyager:noalloc
 func (c *Cache) lineAddr(addr uint32) uint32 { return addr &^ (bus.LineSize - 1) }
 
 // addrOf reconstructs the base address of a resident line.
+//
+//voyager:noalloc
 func (c *Cache) addrOf(l *line, anyAddrInSet uint32) uint32 {
 	setIdx := (anyAddrInSet / bus.LineSize) & (c.nset - 1)
 	return (l.tag*c.nset + setIdx) * bus.LineSize
 }
 
 // Load performs a cached read of len(buf) bytes at addr (may span lines).
+//
+//voyager:noalloc
 func (c *Cache) Load(p *sim.Proc, addr uint32, buf []byte) {
 	for len(buf) > 0 {
 		la := c.lineAddr(addr)
@@ -199,6 +259,8 @@ func (c *Cache) Load(p *sim.Proc, addr uint32, buf []byte) {
 }
 
 // Store performs a cached write of data at addr (may span lines).
+//
+//voyager:noalloc
 func (c *Cache) Store(p *sim.Proc, addr uint32, data []byte) {
 	for len(data) > 0 {
 		la := c.lineAddr(addr)
@@ -218,6 +280,8 @@ func (c *Cache) Store(p *sim.Proc, addr uint32, data []byte) {
 
 // ensure makes the line at la resident with (exclusive ownership if
 // forWrite) and returns it, performing any bus traffic required.
+//
+//voyager:noalloc pooled transaction records; IssueP blocks to completion
 func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
 	for {
 		l := c.lookup(la)
@@ -230,7 +294,10 @@ func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
 			// Upgrade: broadcast a Kill; the line may be stolen while the
 			// Kill waits for the bus, in which case retry from scratch.
 			c.stats.Upgrades++
-			c.b.IssueP(p, &bus.Transaction{Kind: bus.Kill, Addr: la, Master: c})
+			t := c.getTx()
+			t.tx = bus.Transaction{Kind: bus.Kill, Addr: la, Master: c}
+			c.b.IssueP(p, &t.tx)
+			c.putTx(t)
 			if l.state == Shared {
 				l.state = Exclusive
 				c.touch(l)
@@ -246,10 +313,13 @@ func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
 			v := c.victim(la)
 			if v.state == Modified {
 				c.stats.Writebacks++
-				wb := &bus.Transaction{Kind: bus.WriteLine, Addr: c.addrOf(v, la),
-					Data: append([]byte(nil), v.data[:]...), Master: c}
+				wb := c.getTx()
+				copy(wb.data[:], v.data[:])
+				wb.tx = bus.Transaction{Kind: bus.WriteLine, Addr: c.addrOf(v, la),
+					Data: wb.data[:], Master: c}
 				v.state = Invalid
-				c.b.IssueP(p, wb)
+				c.b.IssueP(p, &wb.tx)
+				c.putTx(wb)
 			} else {
 				v.state = Invalid
 			}
@@ -257,37 +327,42 @@ func (c *Cache) ensure(p *sim.Proc, la uint32, forWrite bool) *line {
 			if forWrite {
 				kind = bus.ReadLineX
 			}
-			tx := &bus.Transaction{Kind: kind, Addr: la, Data: make([]byte, bus.LineSize), Master: c}
-			c.b.IssueP(p, tx)
+			fill := c.getTx()
+			fill.tx = bus.Transaction{Kind: kind, Addr: la, Data: fill.data[:], Master: c}
+			c.b.IssueP(p, &fill.tx)
 			// Another fill may have raced in via a different path; reuse the
 			// victim slot chosen above (re-pick if it got filled meanwhile).
 			if v.state != Invalid {
 				v = c.victim(la)
 			}
 			v.tag = c.tag(la)
-			copy(v.data[:], tx.Data)
+			copy(v.data[:], fill.tx.Data)
 			switch {
 			case forWrite:
 				v.state = Modified
-			case tx.SharedSeen:
+			case fill.tx.SharedSeen:
 				// Another agent asserted the shared line (a peer cache or
 				// the aBIU for read-only S-COMA lines): no silent upgrade.
 				v.state = Shared
 			default:
 				v.state = Exclusive
 			}
+			c.putTx(fill)
 			c.touch(v)
 			return v
 		}
 	}
 }
 
+//voyager:noalloc
 func (c *Cache) touch(l *line) {
 	c.tick++
 	l.lru = c.tick
 }
 
 // Flush writes back (if dirty) and invalidates the line containing addr.
+//
+//voyager:noalloc
 func (c *Cache) Flush(p *sim.Proc, addr uint32) {
 	la := c.lineAddr(addr)
 	l := c.lookup(la)
@@ -295,28 +370,41 @@ func (c *Cache) Flush(p *sim.Proc, addr uint32) {
 		return
 	}
 	if l.state == Modified {
-		wb := &bus.Transaction{Kind: bus.WriteLine, Addr: la,
-			Data: append([]byte(nil), l.data[:]...), Master: c}
+		wb := c.getTx()
+		copy(wb.data[:], l.data[:])
+		wb.tx = bus.Transaction{Kind: bus.WriteLine, Addr: la,
+			Data: wb.data[:], Master: c}
 		l.state = Invalid
-		c.b.IssueP(p, wb)
+		c.b.IssueP(p, &wb.tx)
+		c.putTx(wb)
 		return
 	}
 	l.state = Invalid
 }
 
 // LoadUncached performs a cache-inhibited read (1..8 bytes).
+//
+//voyager:noalloc
 func (c *Cache) LoadUncached(p *sim.Proc, addr uint32, buf []byte) {
-	tx := &bus.Transaction{Kind: bus.ReadWord, Addr: addr, Data: buf, Master: c}
-	c.b.IssueP(p, tx)
+	t := c.getTx()
+	t.tx = bus.Transaction{Kind: bus.ReadWord, Addr: addr, Data: buf, Master: c}
+	c.b.IssueP(p, &t.tx)
+	c.putTx(t)
 }
 
 // StoreUncached performs a cache-inhibited write (1..8 bytes).
+//
+//voyager:noalloc
 func (c *Cache) StoreUncached(p *sim.Proc, addr uint32, data []byte) {
-	tx := &bus.Transaction{Kind: bus.WriteWord, Addr: addr, Data: data, Master: c}
-	c.b.IssueP(p, tx)
+	t := c.getTx()
+	t.tx = bus.Transaction{Kind: bus.WriteWord, Addr: addr, Data: data, Master: c}
+	c.b.IssueP(p, &t.tx)
+	c.putTx(t)
 }
 
 // SnoopBus implements coherence actions for other masters' transactions.
+//
+//voyager:noalloc
 func (c *Cache) SnoopBus(tx *bus.Transaction) bus.Snoop {
 	l := c.lookup(c.lineAddr(tx.Addr))
 	if l == nil {
@@ -326,16 +414,16 @@ func (c *Cache) SnoopBus(tx *bus.Transaction) bus.Snoop {
 	case bus.ReadLine:
 		if l.state == Modified {
 			// Intervene: supply the dirty line, downgrade, reflect to memory.
-			data := append([]byte(nil), l.data[:]...)
+			copy(c.ivData[:], l.data[:])
+			c.ivOff = 0
 			addr := c.lineAddr(tx.Addr)
 			l.state = Shared
 			c.stats.Interventions++
 			if c.writebackSink != nil {
-				c.writebackSink(addr, data)
+				c.writebackSink(addr, c.ivData[:])
 			}
 			return bus.Snoop{Action: bus.Claim, Intervene: true, Shared: true,
-				Latency: c.cfg.HitTime,
-				Serve:   func(tx *bus.Transaction) { copy(tx.Data, data) }}
+				Latency: c.cfg.HitTime, Serve: c.ivServeFn}
 		}
 		if l.state == Exclusive {
 			l.state = Shared
@@ -343,23 +431,24 @@ func (c *Cache) SnoopBus(tx *bus.Transaction) bus.Snoop {
 		return bus.Snoop{Shared: true}
 	case bus.ReadLineX:
 		if l.state == Modified {
-			data := append([]byte(nil), l.data[:]...)
+			copy(c.ivData[:], l.data[:])
+			c.ivOff = 0
 			l.state = Invalid
 			c.stats.Interventions++
 			c.stats.SnoopInvalidations++
 			return bus.Snoop{Action: bus.Claim, Intervene: true, Latency: c.cfg.HitTime,
-				Serve: func(tx *bus.Transaction) { copy(tx.Data, data) }}
+				Serve: c.ivServeFn}
 		}
 		l.state = Invalid
 		c.stats.SnoopInvalidations++
 	case bus.ReadWord:
 		if l.state == Modified {
 			// Serve an uncached peek from the dirty line; ownership kept.
-			data := append([]byte(nil), l.data[:]...)
-			off := tx.Addr - c.lineAddr(tx.Addr)
+			copy(c.ivData[:], l.data[:])
+			c.ivOff = tx.Addr - c.lineAddr(tx.Addr)
 			c.stats.Interventions++
 			return bus.Snoop{Action: bus.Claim, Intervene: true, Latency: c.cfg.HitTime,
-				Serve: func(tx *bus.Transaction) { copy(tx.Data, data[off:]) }}
+				Serve: c.ivServeFn}
 		}
 	case bus.WriteLine, bus.WriteWord, bus.Kill:
 		// DMA or another writer: our copy is stale.

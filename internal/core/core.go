@@ -80,6 +80,16 @@ type API struct {
 	relTag   uint32      // last tag handed to SendReliable
 	relStash []relStatus // statuses drained on behalf of other senders
 	relLock  *sim.Resource
+
+	// Free lists of pooled per-operation records that keep the message path
+	// allocation-free. Each in-flight call takes its own record, so API
+	// calls blocked in the simulator never share scratch state even when
+	// several procs time-share this aP (multitasking workloads).
+	busyFree []*busyTok
+	wordFree []*wordBuf
+	slotFree []*slotBuf
+	txwFree  []*txWait
+	rxwFree  []*rxWait
 }
 
 func newAPI(m *Machine, n *node.Node) *API {
@@ -98,22 +108,52 @@ func (a *API) NumNodes() int { return len(a.m.Nodes) }
 
 // busy brackets aP occupancy; nested calls meter once. The outermost call
 // also opens a span named after the API operation on the node's "aP" track.
+// The returned func is a pooled token's prebound method value — deferring it
+// closes the bracket and recycles the token without allocating.
+//
+//voyager:noalloc
 func (a *API) busy(op string) func() {
-	var span sim.Span
+	t := a.busyGet()
 	if a.busyDepth == 0 {
 		a.n.APMeter.Start()
 		if eng := a.m.Eng; eng.Observed() {
-			span = eng.BeginSpan(a.n.ID, "aP", op)
+			t.span = eng.BeginSpan(a.n.ID, "aP", op)
 		}
 	}
 	a.busyDepth++
-	return func() {
-		a.busyDepth--
-		if a.busyDepth == 0 {
-			span.End()
-			a.n.APMeter.Stop()
-		}
+	return t.endFn
+}
+
+// busyTok is one pooled occupancy bracket. Only the outermost bracket holds
+// an open span; inner tokens carry a zero Span whose End is a no-op.
+type busyTok struct {
+	a     *API
+	span  sim.Span
+	endFn func()
+}
+
+//voyager:noalloc
+func (t *busyTok) end() {
+	a := t.a
+	a.busyDepth--
+	if a.busyDepth == 0 {
+		t.span.End()
+		a.n.APMeter.Stop()
 	}
+	t.span = sim.Span{}
+	a.busyFree = append(a.busyFree, t) //voyager:alloc-ok(amortized: pool backing array is retained)
+}
+
+//voyager:noalloc
+func (a *API) busyGet() *busyTok {
+	if n := len(a.busyFree); n > 0 {
+		t := a.busyFree[n-1]
+		a.busyFree = a.busyFree[:n-1]
+		return t
+	}
+	t := &busyTok{a: a} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	t.endFn = t.end     //voyager:alloc-ok(one-time method binding for the pooled record)
+	return t
 }
 
 // traceMsg emits one causal lifecycle instant for a traced message on this
@@ -133,6 +173,8 @@ func (a *API) traceMsg(name string, tag sim.MsgTag, extra ...sim.Field) {
 }
 
 // Compute models d of application computation on the aP.
+//
+//voyager:noalloc
 func (a *API) Compute(p *sim.Proc, d sim.Time) {
 	defer a.busy("Compute")()
 	p.Delay(d)
@@ -142,6 +184,8 @@ func (a *API) Compute(p *sim.Proc, d sim.Time) {
 
 // SendBasic sends payload (<= 88 bytes) to the Basic queue of node dest,
 // blocking while the transmit queue is full.
+//
+//voyager:noalloc
 func (a *API) SendBasic(p *sim.Proc, dest int, payload []byte) {
 	a.sendSlot(p, "SendBasic", dest+node.TransBasic, 0, payload, 0, 0)
 }
@@ -155,26 +199,51 @@ func (a *API) SendSvc(p *sim.Proc, dest int, svc byte, body []byte) {
 // SendTagOn sends a Basic message whose payload is extended with tagLen
 // bytes of aSRAM data at sramOff (tagLen must be a multiple of 16, at most
 // 80 — up to 2.5 cache lines). inline+tag must fit a Basic payload.
+//
+//voyager:noalloc
 func (a *API) SendTagOn(p *sim.Proc, dest int, inline []byte, sramOff uint32, tagLen int) {
 	if tagLen%16 != 0 || tagLen > 80 {
-		panic(fmt.Sprintf("core: bad TagOn length %d", tagLen))
+		panic(fmt.Sprintf("core: bad TagOn length %d", tagLen)) //voyager:alloc-ok(panic path)
 	}
 	a.sendSlot(p, "SendTagOn", dest+node.TransBasic, ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
 		inline, sramOff, tagLen)
 }
 
+// slotBuf is a pooled compose buffer sized for the largest Basic slot.
+type slotBuf struct {
+	b [ctrl.SlotHeaderBytes + MaxBasicPayload]byte
+}
+
+//voyager:noalloc
+func (a *API) slotGet() *slotBuf {
+	if n := len(a.slotFree); n > 0 {
+		s := a.slotFree[n-1]
+		a.slotFree = a.slotFree[:n-1]
+		return s
+	}
+	return &slotBuf{} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+}
+
+//voyager:noalloc
+func (a *API) slotPut(s *slotBuf) {
+	a.slotFree = append(a.slotFree, s) //voyager:alloc-ok(amortized: pool backing array is retained)
+}
+
 // sendSlot composes and launches one Basic-queue message; op names the
 // public API call for the occupancy span.
+//
+//voyager:noalloc composes into a pooled slot buffer
 func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload []byte,
 	tagOff uint32, tagLen int) {
 	if len(payload) > MaxBasicPayload {
-		panic(fmt.Sprintf("core: payload %d exceeds Basic limit", len(payload)))
+		panic(fmt.Sprintf("core: payload %d exceeds Basic limit", len(payload))) //voyager:alloc-ok(panic path)
 	}
 	defer a.busy(op)()
 	q := node.TxBasic
 	a.waitTxSpace(p, q, node.BasicEntries)
 
-	slot := make([]byte, ctrl.SlotHeaderBytes+len(payload))
+	sb := a.slotGet()
+	slot := sb.b[:ctrl.SlotHeaderBytes+len(payload)]
 	binary.BigEndian.PutUint16(slot[0:], uint16(destIdx))
 	slot[2] = flags
 	slot[3] = byte(len(payload))
@@ -188,6 +257,7 @@ func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload 
 	for off := uint32(0); off < uint32(len(slot)); off += bus.LineSize {
 		a.n.Cache.Flush(p, base+off)
 	}
+	a.slotPut(sb)
 	// The message enters the system when the producer pointer publishes it:
 	// allocate its causal trace id and stage it beside the slot.
 	tag := sim.MsgTag{ID: a.m.Eng.NewMsgID()}
@@ -197,20 +267,55 @@ func (a *API) sendSlot(p *sim.Proc, op string, destIdx int, flags byte, payload 
 	a.ptrStore(p, q, false, a.txProd[q])
 }
 
+// txWait is a pooled predicate record for waitTxSpace: its prebound try
+// method replaces a per-call closure.
+type txWait struct {
+	a       *API
+	p       *sim.Proc
+	q       int
+	entries uint32
+	tryFn   func() bool
+}
+
+//voyager:noalloc
+func (w *txWait) try() bool {
+	_, consumer := w.a.ptrLoad(w.p, w.q, false)
+	return w.a.txProd[w.q]-consumer < w.entries
+}
+
+//voyager:noalloc
+func (a *API) txWaitGet() *txWait {
+	if n := len(a.txwFree); n > 0 {
+		w := a.txwFree[n-1]
+		a.txwFree = a.txwFree[:n-1]
+		return w
+	}
+	w := &txWait{a: a} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	w.tryFn = w.try    //voyager:alloc-ok(one-time method binding for the pooled record)
+	return w
+}
+
 // waitTxSpace polls the transmit consumer pointer until a slot is free.
+//
+//voyager:noalloc
 func (a *API) waitTxSpace(p *sim.Proc, q, entries int) {
-	a.pollWait(p, "waitTxSpace", noDeadline, func() bool {
-		_, consumer := a.ptrLoad(p, q, false)
-		return a.txProd[q]-consumer < uint32(entries)
-	})
+	w := a.txWaitGet()
+	w.p, w.q, w.entries = p, q, uint32(entries)
+	a.pollWait(p, "waitTxSpace", noDeadline, w.tryFn)
+	w.p = nil
+	a.txwFree = append(a.txwFree, w) //voyager:alloc-ok(amortized: pool backing array is retained)
 }
 
 // TryRecvBasic polls the Basic receive queue once; ok is false if empty.
+//
+//voyager:noalloc
 func (a *API) TryRecvBasic(p *sim.Proc) (src int, payload []byte, ok bool) {
 	return a.tryRecvSlot(p, "TryRecvBasic", node.RxBasic, node.SramRxBasicBuf)
 }
 
 // RecvBasic blocks until a Basic message arrives.
+//
+//voyager:noalloc
 func (a *API) RecvBasic(p *sim.Proc) (src int, payload []byte) {
 	src, payload, _ = a.recvBasicT(p, noDeadline)
 	return src, payload
@@ -218,23 +323,71 @@ func (a *API) RecvBasic(p *sim.Proc) (src int, payload []byte) {
 
 // RecvBasicTimeout is RecvBasic with a bound: after timeout of simulated
 // time with no message it returns a *TimeoutError.
+//
+//voyager:noalloc
 func (a *API) RecvBasicTimeout(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
 	return a.recvBasicT(p, timeout)
 }
 
-func (a *API) recvBasicT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
-	err = a.pollWait(p, "RecvBasic", timeout, func() bool {
-		s, pl, ok := a.TryRecvBasic(p)
-		if ok {
-			src, payload = s, pl
-		}
-		return ok
-	})
+// rxWait is a pooled predicate record for the blocking receives: its
+// prebound try method polls one slot queue and stashes the result, replacing
+// a per-call closure over the outparams.
+type rxWait struct {
+	a       *API
+	p       *sim.Proc
+	op      string
+	q       int
+	bufOff  uint32
+	src     int
+	payload []byte
+	tryFn   func() bool
+}
+
+//voyager:noalloc
+func (w *rxWait) try() bool {
+	s, pl, ok := w.a.tryRecvSlot(w.p, w.op, w.q, w.bufOff)
+	if ok {
+		w.src, w.payload = s, pl
+	}
+	return ok
+}
+
+//voyager:noalloc
+func (a *API) rxWaitGet() *rxWait {
+	if n := len(a.rxwFree); n > 0 {
+		w := a.rxwFree[n-1]
+		a.rxwFree = a.rxwFree[:n-1]
+		return w
+	}
+	w := &rxWait{a: a} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	w.tryFn = w.try    //voyager:alloc-ok(one-time method binding for the pooled record)
+	return w
+}
+
+// recvSlotT blocks (with an optional deadline) on the given slot queue; op
+// names the inner poll's occupancy span.
+//
+//voyager:noalloc
+func (a *API) recvSlotT(p *sim.Proc, span, op string, q int, bufOff uint32,
+	timeout sim.Time) (src int, payload []byte, err error) {
+	w := a.rxWaitGet()
+	w.p, w.op, w.q, w.bufOff = p, op, q, bufOff
+	err = a.pollWait(p, span, timeout, w.tryFn)
+	src, payload = w.src, w.payload
+	w.p, w.payload = nil, nil
+	a.rxwFree = append(a.rxwFree, w) //voyager:alloc-ok(amortized: pool backing array is retained)
 	return src, payload, err
+}
+
+//voyager:noalloc
+func (a *API) recvBasicT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
+	return a.recvSlotT(p, "RecvBasic", "TryRecvBasic", node.RxBasic, node.SramRxBasicBuf, timeout)
 }
 
 // RecvNotify blocks until a completion notification (DMA / block transfer)
 // arrives on the notification queue.
+//
+//voyager:noalloc
 func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
 	src, payload, _ = a.recvNotifyT(p, noDeadline)
 	return src, payload
@@ -243,26 +396,27 @@ func (a *API) RecvNotify(p *sim.Proc) (src int, payload []byte) {
 // RecvNotifyTimeout is RecvNotify with a bound: after timeout of simulated
 // time with no notification it returns a *TimeoutError (e.g. a DMA whose
 // completion message died with a partitioned peer).
+//
+//voyager:noalloc
 func (a *API) RecvNotifyTimeout(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
 	return a.recvNotifyT(p, timeout)
 }
 
+//voyager:noalloc
 func (a *API) recvNotifyT(p *sim.Proc, timeout sim.Time) (src int, payload []byte, err error) {
-	err = a.pollWait(p, "RecvNotify", timeout, func() bool {
-		s, pl, ok := a.tryRecvSlot(p, "RecvNotify", node.RxNotify, node.SramRxNotifyBuf)
-		if ok {
-			src, payload = s, pl
-		}
-		return ok
-	})
-	return src, payload, err
+	return a.recvSlotT(p, "RecvNotify", "RecvNotify", node.RxNotify, node.SramRxNotifyBuf, timeout)
 }
 
 // TryRecvNotify polls the notification queue once.
+//
+//voyager:noalloc
 func (a *API) TryRecvNotify(p *sim.Proc) (src int, payload []byte, ok bool) {
 	return a.tryRecvSlot(p, "TryRecvNotify", node.RxNotify, node.SramRxNotifyBuf)
 }
 
+// to the caller, which owns it outright
+//
+//voyager:noalloc the returned payload is the only allocation: it is handed
 func (a *API) tryRecvSlot(p *sim.Proc, op string, q int, bufOff uint32) (int, []byte, bool) {
 	defer a.busy(op)()
 	producer, _ := a.ptrLoad(p, q, true)
@@ -275,7 +429,7 @@ func (a *API) tryRecvSlot(p *sim.Proc, op string, q int, bufOff uint32) (int, []
 	a.n.Cache.Flush(p, base)
 	a.n.Cache.Load(p, base, hdr[:])
 	n := int(binary.BigEndian.Uint16(hdr[4:]))
-	payload := make([]byte, n)
+	payload := make([]byte, n) //voyager:alloc-ok(caller-owned result; ownership leaves the pool here)
 	if n > 0 {
 		for off := uint32(bus.LineSize); off < uint32(8+n); off += bus.LineSize {
 			a.n.Cache.Flush(p, base+off)
@@ -292,25 +446,33 @@ func (a *API) tryRecvSlot(p *sim.Proc, op string, q int, bufOff uint32) (int, []
 // --- Express messages ---
 
 // SendExpress sends up to 5 bytes to node dest with a single uncached store.
+//
+//voyager:noalloc
 func (a *API) SendExpress(p *sim.Proc, dest int, payload []byte) {
 	if len(payload) > MaxExpressPayload {
-		panic(fmt.Sprintf("core: payload %d exceeds Express limit", len(payload)))
+		panic(fmt.Sprintf("core: payload %d exceeds Express limit", len(payload))) //voyager:alloc-ok(panic path)
 	}
 	defer a.busy("SendExpress")()
 	destIdx := uint32(node.TransExpress + dest)
 	addr := node.ExTxBase + (uint32(node.TxExpress)<<12|destIdx)<<3
-	var word [8]byte
-	copy(word[:], payload)
-	a.n.Cache.StoreUncached(p, addr, word[:])
+	w := a.wordGet()
+	w.b = [8]byte{}
+	copy(w.b[:], payload)
+	a.n.Cache.StoreUncached(p, addr, w.b[:])
+	a.wordPut(w)
 }
 
 // TryRecvExpress polls the Express receive queue with a single uncached
 // load; ok is false when empty.
+//
+//voyager:noalloc
 func (a *API) TryRecvExpress(p *sim.Proc) (src int, payload [MaxExpressPayload]byte, ok bool) {
 	defer a.busy("TryRecvExpress")()
-	var word [8]byte
+	w := a.wordGet()
 	addr := node.ExRxBase + uint32(node.RxExpress)*8
-	a.n.Cache.LoadUncached(p, addr, word[:])
+	a.n.Cache.LoadUncached(p, addr, w.b[:])
+	word := w.b
+	a.wordPut(w)
 	if word[0]&0x80 == 0 {
 		return 0, payload, false
 	}
@@ -363,16 +525,22 @@ func (a *API) DmaPush(p *sim.Proc, dest int, srcAddr, dstAddr uint32, n int, tag
 
 // ScomaAddr converts an offset in the global S-COMA space to its window
 // address.
+//
+//voyager:noalloc
 func (a *API) ScomaAddr(off uint32) uint32 { return node.ScomaBase + off }
 
 // ScomaLoad reads from the S-COMA window through the cache (stalling, via
 // bus retry, until the protocol delivers the lines).
+//
+//voyager:noalloc
 func (a *API) ScomaLoad(p *sim.Proc, off uint32, buf []byte) {
 	defer a.busy("ScomaLoad")()
 	a.n.Cache.Load(p, a.ScomaAddr(off), buf)
 }
 
 // ScomaStore writes to the S-COMA window through the cache.
+//
+//voyager:noalloc
 func (a *API) ScomaStore(p *sim.Proc, off uint32, data []byte) {
 	defer a.busy("ScomaStore")()
 	a.n.Cache.Store(p, a.ScomaAddr(off), data)
@@ -380,12 +548,16 @@ func (a *API) ScomaStore(p *sim.Proc, off uint32, data []byte) {
 
 // NumaLoad reads up to 8 bytes from the NUMA window (uncached remote
 // access).
+//
+//voyager:noalloc
 func (a *API) NumaLoad(p *sim.Proc, off uint32, buf []byte) {
 	defer a.busy("NumaLoad")()
 	a.n.Cache.LoadUncached(p, node.NumaBase+off, buf)
 }
 
 // NumaStore writes up to 8 bytes into the NUMA window.
+//
+//voyager:noalloc
 func (a *API) NumaStore(p *sim.Proc, off uint32, data []byte) {
 	defer a.busy("NumaStore")()
 	a.n.Cache.StoreUncached(p, node.NumaBase+off, data)
@@ -394,12 +566,16 @@ func (a *API) NumaStore(p *sim.Proc, off uint32, data []byte) {
 // --- local memory ---
 
 // MemLoad reads local DRAM through the cache.
+//
+//voyager:noalloc
 func (a *API) MemLoad(p *sim.Proc, addr uint32, buf []byte) {
 	defer a.busy("MemLoad")()
 	a.n.Cache.Load(p, addr, buf)
 }
 
 // MemStore writes local DRAM through the cache.
+//
+//voyager:noalloc
 func (a *API) MemStore(p *sim.Proc, addr uint32, data []byte) {
 	defer a.busy("MemStore")()
 	a.n.Cache.Store(p, addr, data)
@@ -407,6 +583,8 @@ func (a *API) MemStore(p *sim.Proc, addr uint32, data []byte) {
 
 // MemFlush writes back and invalidates the cache lines covering
 // [addr, addr+n) so the data is visible to the NIU's bus reads.
+//
+//voyager:noalloc
 func (a *API) MemFlush(p *sim.Proc, addr uint32, n int) {
 	defer a.busy("MemFlush")()
 	first := addr &^ (bus.LineSize - 1)
@@ -417,6 +595,8 @@ func (a *API) MemFlush(p *sim.Proc, addr uint32, n int) {
 
 // StageASram copies data into the aSRAM at off using cached stores plus
 // flushes (the TagOn staging path).
+//
+//voyager:noalloc
 func (a *API) StageASram(p *sim.Proc, off uint32, data []byte) {
 	defer a.busy("StageASram")()
 	addr := node.SramBase + off
@@ -434,30 +614,57 @@ func (a *API) Peek(addr uint32, buf []byte) { a.n.Dram.Peek(addr, buf) }
 
 // --- low-level pointer access ---
 
+// wordBuf is a pooled 8-byte bounce buffer for uncached word accesses. The
+// cache's pooled transaction record briefly retains the slice while the bus
+// operation is in flight, so a stack array would escape on every call.
+type wordBuf struct{ b [8]byte }
+
+//voyager:noalloc
+func (a *API) wordGet() *wordBuf {
+	if n := len(a.wordFree); n > 0 {
+		w := a.wordFree[n-1]
+		a.wordFree = a.wordFree[:n-1]
+		return w
+	}
+	return &wordBuf{} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+}
+
+//voyager:noalloc
+func (a *API) wordPut(w *wordBuf) {
+	a.wordFree = append(a.wordFree, w) //voyager:alloc-ok(amortized: pool backing array is retained)
+}
+
 // ptrLoad reads the (producer, consumer) pair of a queue with one uncached
 // load through the aBIU.
+//
+//voyager:noalloc
 func (a *API) ptrLoad(p *sim.Proc, q int, rx bool) (producer, consumer uint32) {
-	var word [8]byte
+	w := a.wordGet()
 	off := uint32(q) * 16
 	if rx {
 		off += 8
 	}
-	a.n.Cache.LoadUncached(p, node.PtrBase+off, word[:])
-	v := binary.BigEndian.Uint64(word[:])
+	a.n.Cache.LoadUncached(p, node.PtrBase+off, w.b[:])
+	v := binary.BigEndian.Uint64(w.b[:])
+	a.wordPut(w)
 	return uint32(v >> 32), uint32(v)
 }
 
 // ptrStore publishes a pointer value with one uncached store.
+//
+//voyager:noalloc
 func (a *API) ptrStore(p *sim.Proc, q int, rx bool, val uint32) {
-	var word [8]byte
-	binary.BigEndian.PutUint64(word[:], uint64(val))
+	w := a.wordGet()
+	binary.BigEndian.PutUint64(w.b[:], uint64(val))
 	off := uint32(q) * 16
 	if rx {
 		off += 8
 	}
-	a.n.Cache.StoreUncached(p, node.PtrBase+off, word[:])
+	a.n.Cache.StoreUncached(p, node.PtrBase+off, w.b[:])
+	a.wordPut(w)
 }
 
+//voyager:noalloc
 func (a *API) slotAddr(bufOff uint32, entryBytes, entries int, ptr uint32) uint32 {
 	return node.SramBase + ctrl.SlotOffset(bufOff, entryBytes, entries, ptr)
 }

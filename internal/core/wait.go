@@ -32,7 +32,11 @@ func IsTimeout(err error) bool {
 // pollWait drives every blocking receive/wait in the package: it retries try
 // until it reports success or the timeout elapses (noDeadline = never). Polls
 // that consume no simulated time (e.g. fully local checks) are self-paced so
-// a spinning aP cannot monopolize the simulation instant.
+// a spinning aP cannot monopolize the simulation instant. Callers pass
+// prebound method values of pooled records, not fresh closures, so try
+// itself costs nothing on the hot path.
+//
+//voyager:noalloc
 func (a *API) pollWait(p *sim.Proc, op string, timeout sim.Time, try func() bool) error {
 	deadline := p.Now() + timeout
 	for {
@@ -41,7 +45,7 @@ func (a *API) pollWait(p *sim.Proc, op string, timeout sim.Time, try func() bool
 			return nil
 		}
 		if timeout >= 0 && p.Now() >= deadline {
-			return &TimeoutError{Op: op, Timeout: timeout}
+			return &TimeoutError{Op: op, Timeout: timeout} //voyager:alloc-ok(timeout error on the cold exit)
 		}
 		if p.Now() == before {
 			p.Delay(100 * sim.Nanosecond)

@@ -150,6 +150,7 @@ func Suite() []*Analyzer {
 		NoGoroutine,
 		SimTimeUnits,
 		SpanLeak,
+		NoAlloc,
 	}
 }
 

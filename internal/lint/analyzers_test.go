@@ -15,6 +15,7 @@ func TestNoGoroutineBenchHarness(t *testing.T) {
 }
 func TestSimTimeUnits(t *testing.T) { runAnalyzerTest(t, SimTimeUnits, "testdata/simtimeunits") }
 func TestSpanLeak(t *testing.T)     { runAnalyzerTest(t, SpanLeak, "testdata/spanleak") }
+func TestNoAlloc(t *testing.T)      { runAnalyzerTest(t, NoAlloc, "testdata/noalloc") }
 
 // TestSuitePolicy pins which packages each analyzer covers: wall-clock and
 // goroutine rules protect model code under internal/ (sim itself may use
@@ -36,6 +37,8 @@ func TestSuitePolicy(t *testing.T) {
 		{SimTimeUnits, "startvoyager/examples/samplesort", true},
 		{SpanLeak, "startvoyager/internal/bus", true},
 		{SpanLeak, "startvoyager/cmd/voyager-bench", true},
+		{NoAlloc, "startvoyager/internal/sim", true},
+		{NoAlloc, "startvoyager/cmd/voyager-bench", true},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Applies(c.path); got != c.want {
@@ -47,7 +50,7 @@ func TestSuitePolicy(t *testing.T) {
 // TestSuiteComplete pins the suite contents so a new analyzer cannot be
 // added without being wired into the drivers' shared entry point.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"nowalltime", "noglobalrand", "nomaporder", "nogoroutine", "simtimeunits", "spanleak"}
+	want := []string{"nowalltime", "noglobalrand", "nomaporder", "nogoroutine", "simtimeunits", "spanleak", "noalloc"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// A Finding is one diagnostic in the machine-readable form emitted by
+// `voyager-vet -json`: stable field names, stable ordering, so CI can diff
+// artifacts across runs and annotate pull requests.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// SortFindings orders findings deterministically: by file, then position,
+// then analyzer name, then message. Two runs over the same tree produce
+// byte-identical output regardless of package load order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteFindingsJSON writes the findings as an indented JSON array followed by
+// a newline. A nil or empty slice encodes as [] so consumers always see an
+// array.
+func WriteFindingsJSON(w io.Writer, fs []Finding) error {
+	SortFindings(fs)
+	if fs == nil {
+		fs = []Finding{}
+	}
+	b, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

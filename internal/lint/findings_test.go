@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFindingsJSONGolden pins the -json wire format: field names, ordering,
+// indentation, and the empty-array encoding. CI scripts parse this; any
+// change here is a consumer-visible format change.
+func TestFindingsJSONGolden(t *testing.T) {
+	in := []Finding{
+		{File: "b.go", Line: 2, Col: 1, Analyzer: "noalloc", Message: "zeta"},
+		{File: "a.go", Line: 9, Col: 3, Analyzer: "spanleak", Message: "beta"},
+		{File: "a.go", Line: 9, Col: 3, Analyzer: "noalloc", Message: "alpha"},
+		{File: "a.go", Line: 2, Col: 7, Analyzer: "noalloc", Message: "gamma"},
+	}
+	const golden = `[
+  {
+    "file": "a.go",
+    "line": 2,
+    "col": 7,
+    "analyzer": "noalloc",
+    "message": "gamma"
+  },
+  {
+    "file": "a.go",
+    "line": 9,
+    "col": 3,
+    "analyzer": "noalloc",
+    "message": "alpha"
+  },
+  {
+    "file": "a.go",
+    "line": 9,
+    "col": 3,
+    "analyzer": "spanleak",
+    "message": "beta"
+  },
+  {
+    "file": "b.go",
+    "line": 2,
+    "col": 1,
+    "analyzer": "noalloc",
+    "message": "zeta"
+  }
+]
+`
+	var buf bytes.Buffer
+	if err := WriteFindingsJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("JSON output mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+
+	// Determinism: encoding the same findings again is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteFindingsJSON(&buf2, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two encodings of the same findings differ")
+	}
+
+	var empty bytes.Buffer
+	if err := WriteFindingsJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "[]\n" {
+		t.Errorf("empty findings = %q, want %q", empty.String(), "[]\n")
+	}
+}

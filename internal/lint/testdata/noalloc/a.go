@@ -1,0 +1,91 @@
+// Package a exercises the noalloc analyzer's per-construct allocation
+// checks: every construct that can heap-allocate is reported inside a
+// function marked //voyager:noalloc, and nowhere else.
+package a
+
+type point struct {
+	x, y int
+}
+
+type packet struct {
+	payload interface{}
+}
+
+type sink struct {
+	buf  []byte
+	vals []interface{}
+}
+
+// unmarked functions may allocate freely: no findings here.
+func unmarked() *point {
+	_ = make([]byte, 64)
+	_ = map[string]int{"a": 1}
+	return &point{1, 2}
+}
+
+//voyager:noalloc
+func literals() {
+	_ = &point{1, 2}      // want "composite literal escapes to the heap"
+	_ = []int{1, 2, 3}    // want "slice literal allocates"
+	_ = map[string]int{}  // want "map literal allocates"
+	_ = point{1, 2}       // a value literal stays on the stack: no finding
+	_ = new(point)        // want "new\(T\) allocates"
+	_ = make([]byte, 16)  // want "make allocates a slice"
+	_ = make(map[int]int) // want "map creation"
+	_ = make(chan int)    // want "channel creation"
+}
+
+//voyager:noalloc
+func appends(s *sink, extra []byte) {
+	s.buf = append(s.buf, extra...) // want "append may grow its backing array"
+	s.buf = append(s.buf[:0], extra...)
+	s.buf = append(s.buf[:4], extra...)
+}
+
+//voyager:noalloc
+func boxing(s *sink, p point, pp *point) {
+	var i interface{} = p // want "declaration boxes a.point into interface"
+	i = p                 // want "assignment boxes a.point into interface"
+	i = pp                // a pointer rides in the interface word: no finding
+	_ = i
+	_ = any(p)                     // want "conversion boxes a.point into"
+	_ = packet{payload: p}         // want "field payload boxes a.point into interface"
+	_ = packet{payload: pp}        // pointer payload: no finding
+	s.vals = append(s.vals[:0], p) // want "append element boxes a.point into interface"
+}
+
+//voyager:noalloc
+func boxedReturn(p point) interface{} {
+	return p // want "return value boxes a.point into interface"
+}
+
+//voyager:noalloc
+func conversions(s *sink, str string) {
+	_ = []byte(str)   // want "byte\(string\) conversion copies"
+	_ = string(s.buf) // want "string\(..byte\) conversion copies"
+	_ = s.buf[0]      // indexing is free: no finding
+}
+
+//voyager:noalloc
+func closures(n int) {
+	f := func() int { return n } // want "closure captures .n. and allocates"
+	_ = f()
+	g := func() int { return 7 } // captures nothing: no finding
+	_ = g()
+	defer func() { n++ }() // want "deferred closure captures .n."
+}
+
+//voyager:noalloc
+func variadics(s *sink, p point) {
+	logf("x", 1, p) // want "variadic \.\.\.interface.. arguments allocate"
+	logf("x")
+	logf("x", s.vals...) // passing an existing slice through: no finding
+}
+
+// logf models a fmt-style sink; the marked caller is what gets checked.
+//
+//voyager:noalloc
+func logf(format string, args ...interface{}) {
+	_ = format
+	_ = args
+}

@@ -1,0 +1,47 @@
+package a
+
+import "startvoyager/internal/sim"
+
+// helper is deliberately unmarked: calling it from noalloc code is the
+// canonical call-graph violation.
+func helper() int { return 1 }
+
+//voyager:noalloc
+func fast() int { return 2 }
+
+type plumb struct {
+	eng   *sim.Engine
+	runFn func()
+	n     int
+}
+
+//voyager:noalloc
+func (p *plumb) tick() { p.n++ }
+
+// callGraph: same-package callees must be marked; the engine primitives on
+// the audited allowlist pass.
+//
+//voyager:noalloc
+func (p *plumb) callGraph() {
+	_ = fast()
+	_ = helper() // want "calls helper, which is not marked //voyager:noalloc"
+	p.eng.Schedule(0, p.runFn)
+	_ = p.eng.Now()
+	p.eng.Run() // want "calls .*Engine..Run, which is not on the noalloc allowlist"
+}
+
+//voyager:noalloc
+func (p *plumb) methodValues() {
+	p.tick()                  // a direct call binds nothing: no finding
+	p.eng.Schedule(0, p.tick) // want "method value .a.plumb.tick binds a closure"
+}
+
+// excuses: a well-formed alloc-ok silences the finding on its line; an
+// empty reason or an excuse with nothing to excuse is directive misuse.
+//
+//voyager:noalloc
+func (p *plumb) excuses() {
+	_ = make([]byte, 8) //voyager:alloc-ok(cold path, runs once at setup)
+	_ = new(point)      //voyager:alloc-ok() // want "voyager:alloc-ok requires a reason" "new\(T\) allocates"
+	p.n++               //voyager:alloc-ok(nothing allocates here) // want "voyager:alloc-ok excuses nothing"
+}

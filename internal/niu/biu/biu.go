@@ -119,6 +119,19 @@ type ABIU struct {
 
 	reflect reflectState
 
+	// Snoop serve staging: the decode phase records what the prebound serve
+	// function needs and the bus serializes transactions, so the claimed
+	// operation is always served before the next snoop can restage. This
+	// keeps the SRAM/pointer/express fast paths closure-free.
+	srvOff      uint32 // aSRAM offset (snoopSram)
+	srvQ        int    // queue index (snoopPtr, snoopExpress*)
+	srvIsRx     bool   // pointer pair selector (snoopPtr)
+	srvDest     uint16 // express destination (snoopExpressTx)
+	sramServeFn func(*bus.Transaction)
+	ptrServeFn  func(*bus.Transaction)
+	exTxServeFn func(*bus.Transaction)
+	exRxServeFn func(*bus.Transaction)
+
 	stats Stats
 }
 
@@ -151,6 +164,10 @@ func NewABIU(eng *sim.Engine, node int, b *bus.Bus, c *ctrl.Ctrl, aS *sram.SRAM,
 		toSP:        sim.NewQueue[CapturedOp](eng),
 	}
 	a.scomaTable = DefaultScomaTable()
+	a.sramServeFn = a.sramServe
+	a.ptrServeFn = a.ptrServe
+	a.exTxServeFn = a.exTxServe
+	a.exRxServeFn = a.exRxServe
 	return a
 }
 
@@ -237,81 +254,94 @@ func (a *ABIU) SnoopBus(tx *bus.Transaction) bus.Snoop {
 }
 
 // snoopSram serves the direct aSRAM mapping.
+//
+//voyager:noalloc
 func (a *ABIU) snoopSram(tx *bus.Transaction) bus.Snoop {
-	off := a.m.Sram.Offset(tx.Addr)
-	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.SramLatency,
-		Serve: func(tx *bus.Transaction) {
-			if tx.Kind.IsRead() {
-				a.stats.SramReads++
-				a.aS.Read(off, tx.Data)
-			} else {
-				a.stats.SramWrites++
-				a.aS.Write(off, tx.Data)
-			}
-		}}
+	a.srvOff = a.m.Sram.Offset(tx.Addr)
+	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.SramLatency, Serve: a.sramServeFn}
+}
+
+//voyager:noalloc
+func (a *ABIU) sramServe(tx *bus.Transaction) {
+	if tx.Kind.IsRead() {
+		a.stats.SramReads++
+		a.aS.Read(a.srvOff, tx.Data)
+	} else {
+		a.stats.SramWrites++
+		a.aS.Write(a.srvOff, tx.Data)
+	}
 }
 
 // snoopPtr handles the pointer update/poll region.
+//
+//voyager:noalloc
 func (a *ABIU) snoopPtr(tx *bus.Transaction) bus.Snoop {
 	off := a.m.Ptr.Offset(tx.Addr)
-	q := int(off / 16)
-	isRx := off%16 >= 8
-	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency,
-		Serve: func(tx *bus.Transaction) {
-			switch tx.Kind {
-			case bus.WriteWord:
-				a.stats.PtrUpdates++
-				val := uint32(binary.BigEndian.Uint64(pad8(tx.Data)))
-				if isRx {
-					a.c.RxConsumerUpdate(q, val)
-				} else {
-					a.c.TxProducerUpdate(q, val)
-				}
-			case bus.ReadWord:
-				var v uint64
-				if isRx {
-					v = uint64(a.c.RxProducer(q))<<32 | uint64(a.c.RxConsumer(q))
-				} else {
-					v = uint64(a.c.TxProducer(q))<<32 | uint64(a.c.TxConsumer(q))
-				}
-				var b [8]byte
-				binary.BigEndian.PutUint64(b[:], v)
-				copy(tx.Data, b[:])
-			default:
-				panic(fmt.Sprintf("biu: node %d: %v in pointer region", a.node, tx.Kind))
-			}
-		}}
+	a.srvQ = int(off / 16)
+	a.srvIsRx = off%16 >= 8
+	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency, Serve: a.ptrServeFn}
+}
+
+//voyager:noalloc
+func (a *ABIU) ptrServe(tx *bus.Transaction) {
+	q, isRx := a.srvQ, a.srvIsRx
+	switch tx.Kind {
+	case bus.WriteWord:
+		a.stats.PtrUpdates++
+		var w [8]byte
+		copy(w[:], tx.Data)
+		val := uint32(binary.BigEndian.Uint64(w[:]))
+		if isRx {
+			a.c.RxConsumerUpdate(q, val)
+		} else {
+			a.c.TxProducerUpdate(q, val)
+		}
+	case bus.ReadWord:
+		var v uint64
+		if isRx {
+			v = uint64(a.c.RxProducer(q))<<32 | uint64(a.c.RxConsumer(q))
+		} else {
+			v = uint64(a.c.TxProducer(q))<<32 | uint64(a.c.TxConsumer(q))
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		copy(tx.Data, b[:])
+	default:
+		panic(fmt.Sprintf("biu: node %d: %v in pointer region", a.node, tx.Kind)) //voyager:alloc-ok(panic path)
+	}
 }
 
 // snoopExpressTx composes an express message from a single uncached store.
 func (a *ABIU) snoopExpressTx(tx *bus.Transaction) bus.Snoop {
 	off := a.m.ExpressTx.Offset(tx.Addr)
-	q := int(off >> 15 & 0xF)
-	dest := uint16(off >> 3 & 0xFFF)
-	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency,
-		Serve: func(tx *bus.Transaction) {
-			if tx.Kind != bus.WriteWord {
-				panic(fmt.Sprintf("biu: node %d: %v in express tx region", a.node, tx.Kind))
-			}
-			a.stats.ExpressTx++
-			payload := append([]byte(nil), pad8(tx.Data)[:ctrl.ExpressPayload]...)
-			a.c.ExpressCompose(q, dest, payload)
-		}}
+	a.srvQ = int(off >> 15 & 0xF)
+	a.srvDest = uint16(off >> 3 & 0xFFF)
+	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency, Serve: a.exTxServeFn}
+}
+
+func (a *ABIU) exTxServe(tx *bus.Transaction) {
+	if tx.Kind != bus.WriteWord {
+		panic(fmt.Sprintf("biu: node %d: %v in express tx region", a.node, tx.Kind))
+	}
+	a.stats.ExpressTx++
+	payload := append([]byte(nil), pad8(tx.Data)[:ctrl.ExpressPayload]...)
+	a.c.ExpressCompose(a.srvQ, a.srvDest, payload)
 }
 
 // snoopExpressRx serves an express receive from a single uncached load.
 func (a *ABIU) snoopExpressRx(tx *bus.Transaction) bus.Snoop {
 	off := a.m.ExpressRx.Offset(tx.Addr)
-	q := int(off / 8)
-	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency,
-		Serve: func(tx *bus.Transaction) {
-			if tx.Kind != bus.ReadWord {
-				panic(fmt.Sprintf("biu: node %d: %v in express rx region", a.node, tx.Kind))
-			}
-			a.stats.ExpressRx++
-			word := a.c.ExpressReceive(q)
-			copy(tx.Data, word[:])
-		}}
+	a.srvQ = int(off / 8)
+	return bus.Snoop{Action: bus.Claim, Latency: a.cfg.RegLatency, Serve: a.exRxServeFn}
+}
+
+func (a *ABIU) exRxServe(tx *bus.Transaction) {
+	if tx.Kind != bus.ReadWord {
+		panic(fmt.Sprintf("biu: node %d: %v in express rx region", a.node, tx.Kind))
+	}
+	a.stats.ExpressRx++
+	word := a.c.ExpressReceive(a.srvQ)
+	copy(tx.Data, word[:])
 }
 
 // snoopNuma captures operations in the NUMA window for the sP, retrying

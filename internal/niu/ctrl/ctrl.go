@@ -17,6 +17,7 @@ import (
 	"startvoyager/internal/arctic"
 	"startvoyager/internal/bus"
 	"startvoyager/internal/niu/sram"
+	"startvoyager/internal/niu/txrx"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 )
@@ -192,9 +193,14 @@ type rxQueue struct {
 	tags []sim.MsgTag
 }
 
+//voyager:noalloc
 func (q *txQueue) pending() uint32 { return q.producer - q.consumer }
-func (q *rxQueue) used() uint32    { return q.producer + q.reserved - q.consumer }
-func (q *rxQueue) full() bool      { return q.used() >= uint32(q.cfg.Entries) }
+
+//voyager:noalloc
+func (q *rxQueue) used() uint32 { return q.producer + q.reserved - q.consumer }
+
+//voyager:noalloc
+func (q *rxQueue) full() bool { return q.used() >= uint32(q.cfg.Entries) }
 
 // Stats counts CTRL activity.
 type Stats struct {
@@ -242,6 +248,40 @@ type Ctrl struct {
 	blockRead *blockUnit
 	blockTx   *blockUnit
 
+	// Launch staging (tx.go). The launch pipeline — kickTx, slot read, TagOn
+	// pull, translation, emit, completion — is serialized end to end by
+	// txBusy, so one staged record replaces the closure chain the pipeline
+	// used to allocate per message. A parked or violated launch abandons the
+	// staged state; the head slot is re-read on relaunch.
+	lnQ       int        // transmit queue being launched
+	lnOff     uint32     // SRAM offset of the head slot
+	lnTag     sim.MsgTag // trace tag of the head slot
+	lnSlot    []byte     // slot scratch (grows to the largest EntryBytes)
+	lnFrame   txrx.Frame // frame scratch; Payload capacity is reused
+	lnDest    uint16     // virtual (or raw physical) destination
+	lnFlags   byte       // slot flags
+	lnRawLQ   uint16     // logical queue for untranslated messages
+	lnPri     arctic.Priority
+	lnTagBank *sram.SRAM // TagOn source bank
+	lnTagOff  uint32
+	lnTagLen  int
+	lnTrIdx   int // translation table index
+	lnReadFn  func()
+	lnTagOnFn func()
+	lnTransFn func()
+	lnDoneFn  func()
+
+	// emFree recycles emitOp records (TxU inject events); rxFree recycles
+	// rxOp records (RxU landing chains, several may be in flight per queue);
+	// frFree recycles decoded receive frames (see frameGet for ownership).
+	emFree []*emitOp
+	rxFree []*rxOp
+	frFree []*txrx.Frame
+	// rxSlot is the receive-landing compose scratch; it is zeroed before
+	// every use because the whole slot is written to SRAM (simulation-visible
+	// state must not inherit stale bytes from a previous landing).
+	rxSlot []byte
+
 	stats      Stats
 	rxSizeHist *stats.Histogram // received payload bytes
 }
@@ -261,7 +301,36 @@ func New(eng *sim.Engine, myNode int, aS, sS *sram.SRAM, cls *sram.Cls, cfg Conf
 	c.remote = newRemoteQueue(c)
 	c.blockRead = newBlockUnit(c, "blockread")
 	c.blockTx = newBlockUnit(c, "blocktx")
+	c.lnReadFn = c.lnRead
+	c.lnTagOnFn = c.lnTagOn
+	c.lnTransFn = c.lnTrans
+	c.lnDoneFn = c.lnDone
 	return c
+}
+
+// frameGet returns a receive-frame scratch record. Ownership rules: a frame
+// obtained here is recycled with framePut exactly once, by whoever holds it
+// when it dies (see TryReceive/acceptInto). Command frames are never
+// recycled — remote command execution retains them (and may alias their
+// payloads) past the receive call.
+//
+//voyager:noalloc
+func (c *Ctrl) frameGet() *txrx.Frame {
+	if n := len(c.frFree); n > 0 {
+		f := c.frFree[n-1]
+		c.frFree = c.frFree[:n-1]
+		return f
+	}
+	return &txrx.Frame{} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+}
+
+// framePut recycles a dead receive frame. Payload capacity is kept; the
+// trace tag is cleared so a stale tag can never leak into the next message.
+//
+//voyager:noalloc
+func (c *Ctrl) framePut(f *txrx.Frame) {
+	f.Trace = sim.MsgTag{}
+	c.frFree = append(c.frFree, f) //voyager:alloc-ok(amortized: pool backing array is retained)
 }
 
 // SetPorts wires CTRL to its bus master, network, and interrupt sinks.
@@ -302,6 +371,8 @@ func (c *Ctrl) RegisterMetrics(r *stats.Registry) {
 }
 
 // sampleTx emits transmit queue q's depth on the node's "ctrl" track.
+//
+//voyager:noalloc
 func (c *Ctrl) sampleTx(q int) {
 	if c.eng.Observed() {
 		c.eng.Sample(c.myNode, "ctrl", txqName[q], int64(c.tx[q].pending()))
@@ -309,6 +380,8 @@ func (c *Ctrl) sampleTx(q int) {
 }
 
 // sampleRx emits receive queue q's depth on the node's "ctrl" track.
+//
+//voyager:noalloc
 func (c *Ctrl) sampleRx(q int) {
 	if c.eng.Observed() {
 		c.eng.Sample(c.myNode, "ctrl", rxqName[q], int64(c.rx[q].used()))
@@ -319,6 +392,8 @@ func (c *Ctrl) sampleRx(q int) {
 // composed at ptr on queue q. The tag is sideband state next to the slot
 // bytes — the publisher (aP library or aBIU) writes it together with the
 // slot, before the producer pointer makes the slot visible to CTRL.
+//
+//voyager:noalloc
 func (c *Ctrl) StageTxTag(q int, ptr uint32, tag sim.MsgTag) {
 	c.checkQ(q)
 	tq := &c.tx[q]
@@ -328,6 +403,8 @@ func (c *Ctrl) StageTxTag(q int, ptr uint32, tag sim.MsgTag) {
 }
 
 // txTag reads the trace tag staged for transmit slot ptr of queue q.
+//
+//voyager:noalloc
 func (c *Ctrl) txTag(q int, ptr uint32) sim.MsgTag {
 	tq := &c.tx[q]
 	if len(tq.tags) == 0 {
@@ -338,6 +415,8 @@ func (c *Ctrl) txTag(q int, ptr uint32) sim.MsgTag {
 
 // RxTag returns the trace tag of the message in receive slot ptr of queue q
 // (sideband next to the slot bytes; consumers read it alongside the slot).
+//
+//voyager:noalloc
 func (c *Ctrl) RxTag(q int, ptr uint32) sim.MsgTag {
 	c.checkQ(q)
 	rq := &c.rx[q]
@@ -375,10 +454,15 @@ func (c *Ctrl) ASram() *sram.SRAM { return c.aSRAM }
 func (c *Ctrl) SSram() *sram.SRAM { return c.sSRAM }
 
 // cycles converts NIU cycles to time.
+//
+//voyager:noalloc
 func (c *Ctrl) cycles(n int) sim.Time { return sim.Time(n) * c.cfg.CycleTime }
 
 // ibusMove occupies the IBus long enough to move n bytes (8 bytes/cycle,
-// minimum one cycle), then runs done.
+// minimum one cycle), then runs done. Callers pass prebound method values,
+// not fresh closures, so done itself costs nothing on the hot path.
+//
+//voyager:noalloc
 func (c *Ctrl) ibusMove(n int, done func()) {
 	cyc := (n + 7) / 8
 	if cyc < 1 {
@@ -440,9 +524,10 @@ func (c *Ctrl) SetTxAllowedDests(q int, mask uint64) {
 	c.tx[q].cfg.AllowedDests = mask
 }
 
+//voyager:noalloc
 func (c *Ctrl) checkQ(q int) {
 	if q < 0 || q >= NumQueues {
-		panic(fmt.Sprintf("ctrl: queue %d out of range", q))
+		panic(fmt.Sprintf("ctrl: queue %d out of range", q)) //voyager:alloc-ok(panic path)
 	}
 }
 
@@ -450,11 +535,13 @@ func (c *Ctrl) checkQ(q int) {
 
 // TxProducerUpdate publishes a new transmit producer counter (absolute,
 // free-running); CTRL launches the newly composed messages in order.
+//
+//voyager:noalloc
 func (c *Ctrl) TxProducerUpdate(q int, producer uint32) {
 	c.checkQ(q)
 	tq := &c.tx[q]
 	if producer-tq.consumer > uint32(tq.cfg.Entries) {
-		panic(fmt.Sprintf("ctrl: tx%d producer %d overruns consumer %d (%d entries)",
+		panic(fmt.Sprintf("ctrl: tx%d producer %d overruns consumer %d (%d entries)", //voyager:alloc-ok(panic path)
 			q, producer, tq.consumer, tq.cfg.Entries))
 	}
 	if producer == tq.producer {
@@ -467,11 +554,13 @@ func (c *Ctrl) TxProducerUpdate(q int, producer uint32) {
 }
 
 // RxConsumerUpdate publishes a new receive consumer counter, freeing slots.
+//
+//voyager:noalloc
 func (c *Ctrl) RxConsumerUpdate(q int, consumer uint32) {
 	c.checkQ(q)
 	rq := &c.rx[q]
 	if consumer-rq.consumer > rq.used() {
-		panic(fmt.Sprintf("ctrl: rx%d consumer %d passes producer %d", q, consumer, rq.producer))
+		panic(fmt.Sprintf("ctrl: rx%d consumer %d passes producer %d", q, consumer, rq.producer)) //voyager:alloc-ok(panic path)
 	}
 	rq.consumer = consumer
 	c.shadowRx(q)
@@ -484,21 +573,31 @@ func (c *Ctrl) RxConsumerUpdate(q int, consumer uint32) {
 
 // TxConsumer returns the transmit consumer counter (how far CTRL has
 // launched).
+//
+//voyager:noalloc
 func (c *Ctrl) TxConsumer(q int) uint32 { c.checkQ(q); return c.tx[q].consumer }
 
 // TxProducer returns the transmit producer counter.
+//
+//voyager:noalloc
 func (c *Ctrl) TxProducer(q int) uint32 { c.checkQ(q); return c.tx[q].producer }
 
 // RxProducer returns the receive producer counter (messages available).
+//
+//voyager:noalloc
 func (c *Ctrl) RxProducer(q int) uint32 { c.checkQ(q); return c.rx[q].producer }
 
 // RxConsumer returns the receive consumer counter.
+//
+//voyager:noalloc
 func (c *Ctrl) RxConsumer(q int) uint32 { c.checkQ(q); return c.rx[q].consumer }
 
 // TxShutdown reports whether queue q was shut down by protection.
 func (c *Ctrl) TxShutdown(q int) bool { c.checkQ(q); return c.tx[q].shutdown }
 
 // shadowTx mirrors tx pointers into SRAM so processors can poll them.
+//
+//voyager:noalloc
 func (c *Ctrl) shadowTx(q int) {
 	tq := &c.tx[q]
 	if tq.cfg.Buf == nil {
@@ -510,6 +609,7 @@ func (c *Ctrl) shadowTx(q int) {
 	tq.cfg.Buf.Write(tq.cfg.ShadowBase, b[:])
 }
 
+//voyager:noalloc
 func (c *Ctrl) shadowRx(q int) {
 	rq := &c.rx[q]
 	if rq.cfg.Buf == nil {
@@ -523,6 +623,8 @@ func (c *Ctrl) shadowRx(q int) {
 
 // SlotOffset returns the SRAM offset of slot (ptr mod entries) of a queue
 // laid out at base with the given entry size.
+//
+//voyager:noalloc
 func SlotOffset(base uint32, entryBytes, entries int, ptr uint32) uint32 {
 	return base + uint32(int(ptr%uint32(entries))*entryBytes)
 }
@@ -558,6 +660,8 @@ func (c *Ctrl) WriteTransEntry(idx int, e TransEntry) {
 }
 
 // readTransEntry fetches and decodes entry idx from sSRAM.
+//
+//voyager:noalloc
 func (c *Ctrl) readTransEntry(idx int) TransEntry {
 	var b [8]byte
 	c.sSRAM.Read(c.cfg.TransTableBase+uint32(idx)*8, b[:])

@@ -21,11 +21,19 @@ import (
 // with its sideband trace tag. It reports acceptance; refusal (Hold policy
 // on a full queue) stalls the packet's network lane until CTRL pokes the
 // fabric.
+// Frame ownership: the frame is decoded into a pooled record (frameGet) and
+// recycled by whoever holds it when it dies — the drop paths here, the rxOp
+// landing in acceptInto, or (on Hold refusal) this function before returning
+// false. Command frames leave the pool for good: remote command execution
+// retains them past this call.
+//
+//voyager:noalloc decodes into a pooled frame record
 func (c *Ctrl) TryReceive(wire []byte, tag sim.MsgTag) bool {
-	frame, err := txrx.Decode(wire)
-	if err != nil {
+	frame := c.frameGet()
+	if err := txrx.DecodeInto(frame, wire); err != nil {
+		c.framePut(frame)
 		if c.cfg.StrictRx {
-			panic(fmt.Sprintf("ctrl: node %d received garbage: %v", c.myNode, err))
+			panic(fmt.Sprintf("ctrl: node %d received garbage: %v", c.myNode, err)) //voyager:alloc-ok(panic path)
 		}
 		// A corrupted or malformed frame is network damage, not a protocol
 		// event: count it, trace it, and accept-and-discard so the fabric
@@ -34,7 +42,7 @@ func (c *Ctrl) TryReceive(wire []byte, tag sim.MsgTag) bool {
 		// drop stays attributed to its message.
 		c.stats.RxGarbage++
 		if c.eng.Observed() {
-			c.eng.Instant(c.myNode, "ctrl", "rx-garbage", sim.Str("err", err.Error()))
+			c.eng.Instant(c.myNode, "ctrl", "rx-garbage", sim.Str("err", err.Error())) //voyager:alloc-ok(opt-in diagnostics on the garbage path)
 			c.traceMsg("ctrl", "msg-drop", tag, sim.Str("why", "garbage"))
 		}
 		return true
@@ -42,8 +50,9 @@ func (c *Ctrl) TryReceive(wire []byte, tag sim.MsgTag) bool {
 	frame.Trace = tag
 	if frame.Kind == txrx.Cmd {
 		// Remote commands always land in the (unbounded-from-the-network's-
-		// view, firmware-bounded in practice) remote command queue.
-		c.remote.enqueue(frame)
+		// view, firmware-bounded in practice) remote command queue. The
+		// frame is not recycled — command execution owns it from here.
+		c.remote.enqueue(frame) //voyager:alloc-ok(command frames leave the alloc-free path here)
 		return true
 	}
 	q := c.lookupRx(frame.LogicalQ)
@@ -54,13 +63,20 @@ func (c *Ctrl) TryReceive(wire []byte, tag sim.MsgTag) bool {
 		if q < 0 {
 			c.stats.RxDrops++
 			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "no-queue"))
+			c.framePut(frame)
 			return true
 		}
 	}
-	return c.acceptInto(q, frame)
+	if !c.acceptInto(q, frame) {
+		c.framePut(frame)
+		return false
+	}
+	return true
 }
 
 // lookupRx is the cache-tag style search for a resident logical queue.
+//
+//voyager:noalloc
 func (c *Ctrl) lookupRx(logical uint16) int {
 	for i := 0; i < NumQueues; i++ {
 		rq := &c.rx[i]
@@ -72,12 +88,17 @@ func (c *Ctrl) lookupRx(logical uint16) int {
 }
 
 // acceptInto applies the full policy and, if the message is accepted,
-// schedules the RxU + IBus work that lands it in SRAM.
+// schedules the RxU + IBus work that lands it in SRAM. It takes ownership of
+// the (pooled) frame iff it returns true; on a Hold refusal the caller still
+// owns it.
+//
+//voyager:noalloc rides a pooled rxOp record
 func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 	rq := &c.rx[q]
 	if rq.cfg.Buf == nil || !rq.cfg.Enabled {
 		c.stats.RxDrops++
 		c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-disabled"))
+		c.framePut(frame)
 		return true
 	}
 	if rq.full() {
@@ -85,6 +106,7 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 		case Drop:
 			c.stats.RxDrops++
 			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-full"))
+			c.framePut(frame)
 			return true
 		case Divert:
 			if q != c.cfg.MissQueue && c.cfg.MissQueue >= 0 {
@@ -93,6 +115,7 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 			}
 			c.stats.RxDrops++
 			c.traceMsg("ctrl", "msg-drop", frame.Trace, sim.Str("why", "rx-full"))
+			c.framePut(frame)
 			return true
 		default: // Hold
 			c.stats.RxHolds++
@@ -102,49 +125,105 @@ func (c *Ctrl) acceptInto(q int, frame *txrx.Frame) bool {
 	}
 	rq.reserved++
 	ptr := rq.producer + rq.reserved - 1
-	off := SlotOffset(rq.cfg.Base, rq.cfg.EntryBytes, rq.cfg.Entries, ptr)
-	c.eng.Schedule(c.cycles(c.cfg.RxUCycles), func() {
-		c.ibusMove(rq.cfg.EntryBytes, func() {
-			if rq.cfg.Express {
-				var slot [ExpressSlotBytes]byte
-				slot[0] = 0x80
-				binary.BigEndian.PutUint16(slot[1:], frame.SrcNode)
-				n := len(frame.Payload)
-				if n > ExpressPayload {
-					n = ExpressPayload
-				}
-				copy(slot[3:], frame.Payload[:n])
-				rq.cfg.Buf.Write(off, slot[:])
-			} else {
-				slot := make([]byte, rq.cfg.EntryBytes)
-				binary.BigEndian.PutUint16(slot[0:], frame.SrcNode)
-				binary.BigEndian.PutUint16(slot[2:], frame.LogicalQ)
-				binary.BigEndian.PutUint16(slot[4:], uint16(len(frame.Payload)))
-				n := len(frame.Payload)
-				if n > rq.cfg.EntryBytes-SlotHeaderBytes {
-					panic(fmt.Sprintf("ctrl: node %d: %d-byte message for %d-byte rx%d slots",
-						c.myNode, n, rq.cfg.EntryBytes, q))
-				}
-				copy(slot[SlotHeaderBytes:], frame.Payload)
-				rq.cfg.Buf.Write(off, slot)
-			}
-			if len(rq.tags) > 0 {
-				rq.tags[int(ptr)%len(rq.tags)] = frame.Trace
-			}
-			c.traceMsg("ctrl", "msg-enq", frame.Trace, sim.Int("rxq", q))
-			rq.reserved--
-			rq.producer++
-			c.shadowRx(q)
-			c.sampleRx(q)
-			c.stats.RxMessages++
-			c.stats.RxBytes += uint64(len(frame.Payload))
-			c.rxSizeHist.Observe(int64(len(frame.Payload)))
-			if rq.cfg.Interrupt && c.ints != nil {
-				c.ints.RxInterrupt(q)
-			}
-		})
-	})
+	o := c.rxOpGet()
+	o.q = q
+	o.ptr = ptr
+	o.off = SlotOffset(rq.cfg.Base, rq.cfg.EntryBytes, rq.cfg.Entries, ptr)
+	o.frame = frame
+	c.eng.Schedule(c.cycles(c.cfg.RxUCycles), o.moveFn)
 	return true
+}
+
+// rxOp is one in-flight receive landing: RxU formatting delay, then the IBus
+// move, then the SRAM write that publishes the message. Pooled (not staged
+// on the Ctrl) because several landings can be in flight at once
+// (rq.reserved tracks them). It owns its frame until land recycles it.
+type rxOp struct {
+	c      *Ctrl
+	q      int
+	ptr    uint32
+	off    uint32
+	frame  *txrx.Frame
+	moveFn func()
+	landFn func()
+}
+
+//voyager:noalloc
+func (o *rxOp) move() {
+	o.c.ibusMove(o.c.rx[o.q].cfg.EntryBytes, o.landFn)
+}
+
+// land writes the slot and publishes the producer pointer. The compose
+// scratch (c.rxSlot) is shared by all landings: land runs as one synchronous
+// event and the slot is fully written to SRAM before it returns, so there is
+// no overlap. It is zeroed first — the whole slot is SRAM-visible state and
+// must not inherit bytes from a previous landing.
+//
+//voyager:noalloc
+func (o *rxOp) land() {
+	c, q, ptr, off, frame := o.c, o.q, o.ptr, o.off, o.frame
+	o.frame = nil
+	c.rxFree = append(c.rxFree, o) //voyager:alloc-ok(amortized: pool backing array is retained)
+	rq := &c.rx[q]
+	if rq.cfg.Express {
+		var slot [ExpressSlotBytes]byte
+		slot[0] = 0x80
+		binary.BigEndian.PutUint16(slot[1:], frame.SrcNode)
+		n := len(frame.Payload)
+		if n > ExpressPayload {
+			n = ExpressPayload
+		}
+		copy(slot[3:], frame.Payload[:n])
+		rq.cfg.Buf.Write(off, slot[:])
+	} else {
+		if cap(c.rxSlot) < rq.cfg.EntryBytes {
+			c.rxSlot = make([]byte, rq.cfg.EntryBytes) //voyager:alloc-ok(scratch grows once to the largest slot size)
+		}
+		slot := c.rxSlot[:rq.cfg.EntryBytes]
+		for i := range slot {
+			slot[i] = 0
+		}
+		binary.BigEndian.PutUint16(slot[0:], frame.SrcNode)
+		binary.BigEndian.PutUint16(slot[2:], frame.LogicalQ)
+		binary.BigEndian.PutUint16(slot[4:], uint16(len(frame.Payload)))
+		n := len(frame.Payload)
+		if n > rq.cfg.EntryBytes-SlotHeaderBytes {
+			panic(fmt.Sprintf("ctrl: node %d: %d-byte message for %d-byte rx%d slots", //voyager:alloc-ok(panic path)
+				c.myNode, n, rq.cfg.EntryBytes, q))
+		}
+		copy(slot[SlotHeaderBytes:], frame.Payload)
+		rq.cfg.Buf.Write(off, slot)
+	}
+	if len(rq.tags) > 0 {
+		rq.tags[int(ptr)%len(rq.tags)] = frame.Trace
+	}
+	c.traceMsg("ctrl", "msg-enq", frame.Trace, sim.Int("rxq", q))
+	rq.reserved--
+	rq.producer++
+	c.shadowRx(q)
+	c.sampleRx(q)
+	c.stats.RxMessages++
+	c.stats.RxBytes += uint64(len(frame.Payload))
+	c.rxSizeHist.Observe(int64(len(frame.Payload)))
+	c.framePut(frame)
+	if rq.cfg.Interrupt && c.ints != nil {
+		c.ints.RxInterrupt(q)
+	}
+}
+
+// rxOpGet returns a recycled (or new) rxOp with its method values bound.
+//
+//voyager:noalloc
+func (c *Ctrl) rxOpGet() *rxOp {
+	if n := len(c.rxFree); n > 0 {
+		o := c.rxFree[n-1]
+		c.rxFree = c.rxFree[:n-1]
+		return o
+	}
+	o := &rxOp{c: c}  //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	o.moveFn = o.move //voyager:alloc-ok(one-time method binding for the pooled record)
+	o.landFn = o.land //voyager:alloc-ok(one-time method binding for the pooled record)
+	return o
 }
 
 // ReadRxSlot decodes the message at the given receive pointer (a firmware /

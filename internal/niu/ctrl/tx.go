@@ -36,6 +36,8 @@ const ExpressSlotBytes = 8
 const ExpressPayload = 5
 
 // kickTx starts the transmit arbiter if it is idle.
+//
+//voyager:noalloc
 func (c *Ctrl) kickTx() {
 	if c.txBusy {
 		return
@@ -50,6 +52,8 @@ func (c *Ctrl) kickTx() {
 
 // pickTx selects the next transmit queue: best (lowest) priority class wins;
 // round-robin within the class.
+//
+//voyager:noalloc
 func (c *Ctrl) pickTx() int {
 	best, bestPri := -1, 0
 	for i := 0; i < NumQueues; i++ {
@@ -67,34 +71,53 @@ func (c *Ctrl) pickTx() int {
 }
 
 // launchFrom reads, translates and launches the head message of queue q,
-// then re-arms the arbiter.
+// then re-arms the arbiter. The whole pipeline runs on the Ctrl's staged
+// launch record (ln* fields) — txBusy serializes launches end to end, so the
+// record is never restaged while a launch is in flight (a parked or violated
+// launch abandons it; the head slot is re-read on relaunch).
+//
+//voyager:noalloc staged launch record; pipeline serialized by txBusy
 func (c *Ctrl) launchFrom(q int) {
 	tq := &c.tx[q]
-	off := SlotOffset(tq.cfg.Base, tq.cfg.EntryBytes, tq.cfg.Entries, tq.consumer)
-	tag := c.txTag(q, tq.consumer)
-	slot := make([]byte, tq.cfg.EntryBytes)
+	c.lnQ = q
+	c.lnOff = SlotOffset(tq.cfg.Base, tq.cfg.EntryBytes, tq.cfg.Entries, tq.consumer)
+	c.lnTag = c.txTag(q, tq.consumer)
 	// Pull the slot across the IBus.
-	c.ibusMove(tq.cfg.EntryBytes, func() {
-		tq.cfg.Buf.Read(off, slot)
-		if tq.cfg.Express {
-			c.launchExpress(q, slot, tag)
-			return
-		}
-		c.launchBasic(q, slot, tag)
-	})
+	c.ibusMove(tq.cfg.EntryBytes, c.lnReadFn)
 }
 
+// lnRead lands the head slot in the launch scratch and dispatches on the
+// queue flavor.
+//
+//voyager:noalloc
+func (c *Ctrl) lnRead() {
+	tq := &c.tx[c.lnQ]
+	if cap(c.lnSlot) < tq.cfg.EntryBytes {
+		c.lnSlot = make([]byte, tq.cfg.EntryBytes) //voyager:alloc-ok(scratch grows once to the largest slot size)
+	}
+	slot := c.lnSlot[:tq.cfg.EntryBytes]
+	tq.cfg.Buf.Read(c.lnOff, slot)
+	if tq.cfg.Express {
+		c.launchExpress(c.lnQ, slot, c.lnTag)
+		return
+	}
+	c.launchBasic(c.lnQ, slot, c.lnTag)
+}
+
+//voyager:noalloc
 func (c *Ctrl) launchExpress(q int, slot []byte, tag sim.MsgTag) {
 	dest := binary.BigEndian.Uint16(slot[0:])
 	n := int(slot[2])
 	if n > ExpressPayload {
 		n = ExpressPayload
 	}
-	frame := &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
-		Payload: append([]byte(nil), slot[3:3+n]...), Trace: tag}
-	c.translateAndSend(q, dest, true, arctic.Low, frame)
+	pl := c.lnFrame.Payload
+	c.lnFrame = txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode), Trace: tag}
+	c.lnFrame.Payload = append(pl[:0], slot[3:3+n]...)
+	c.translateAndSend(q, dest, true, arctic.Low)
 }
 
+//voyager:noalloc
 func (c *Ctrl) launchBasic(q int, slot []byte, tag sim.MsgTag) {
 	tq := &c.tx[q]
 	dest := binary.BigEndian.Uint16(slot[0:])
@@ -108,40 +131,27 @@ func (c *Ctrl) launchBasic(q int, slot []byte, tag sim.MsgTag) {
 		c.violate(q)
 		return
 	}
-	var frame *txrx.Frame
+	pl := c.lnFrame.Payload
 	if flags&SlotFlagCmd != 0 {
 		// Command frames reuse the TagOn field (bytes 4-5) for the op;
 		// TagOn and command framing are mutually exclusive.
-		frame = &txrx.Frame{
+		c.lnFrame = txrx.Frame{
 			Kind:    txrx.Cmd,
 			SrcNode: uint16(c.myNode),
 			Op:      txrx.CmdOp(binary.BigEndian.Uint16(slot[4:])),
 			Addr:    binary.BigEndian.Uint32(slot[8:]),
 			Aux:     binary.BigEndian.Uint16(slot[12:]),
 			Count:   binary.BigEndian.Uint16(slot[14:]),
-			Payload: append([]byte(nil), slot[16:16+n]...),
 			Trace:   tag,
 		}
+		c.lnFrame.Payload = append(pl[:0], slot[16:16+n]...)
 	} else {
-		frame = &txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode),
-			Payload: append([]byte(nil), slot[8:8+n]...), Trace: tag}
+		c.lnFrame = txrx.Frame{Kind: txrx.Data, SrcNode: uint16(c.myNode), Trace: tag}
+		c.lnFrame.Payload = append(pl[:0], slot[8:8+n]...)
 	}
-
-	finish := func() {
-		translate := tq.cfg.Translate && flags&SlotFlagRaw == 0
-		if flags&SlotFlagRaw != 0 && !tq.cfg.RawAllowed {
-			c.violate(q)
-			return
-		}
-		pri := arctic.Low
-		if flags&SlotFlagHighPri != 0 {
-			pri = arctic.High
-		}
-		if !translate {
-			frame.LogicalQ = binary.BigEndian.Uint16(slot[4:])
-		}
-		c.translateAndSend(q, dest, translate, pri, frame)
-	}
+	c.lnDest = dest
+	c.lnFlags = flags
+	c.lnRawLQ = binary.BigEndian.Uint16(slot[4:])
 
 	if flags&SlotFlagTagOn != 0 {
 		tagOff := uint32(slot[4])<<16 | uint32(slot[5])<<8 | uint32(slot[6])
@@ -151,67 +161,119 @@ func (c *Ctrl) launchBasic(q int, slot []byte, tag sim.MsgTag) {
 			if flags&SlotFlagTagASram != 0 {
 				bank = c.aSRAM
 			}
-			if len(frame.Payload)+tagLen > txrx.MaxDataPayload || frame.Kind == txrx.Cmd {
+			if len(c.lnFrame.Payload)+tagLen > txrx.MaxDataPayload || c.lnFrame.Kind == txrx.Cmd {
 				c.violate(q)
 				return
 			}
 			c.stats.TagOns++
+			c.lnTagBank, c.lnTagOff, c.lnTagLen = bank, tagOff, tagLen
 			// Pull the TagOn data across the IBus and append it.
-			c.ibusMove(tagLen, func() {
-				frame.Payload = append(frame.Payload, bank.Slice(tagOff, tagLen)...)
-				finish()
-			})
+			c.ibusMove(tagLen, c.lnTagOnFn)
 			return
 		}
 	}
-	finish()
+	c.lnFinish()
 }
 
-// translateAndSend applies destination translation and protection, then
-// hands the frame to the TxU.
-func (c *Ctrl) translateAndSend(q int, dest uint16, translate bool, pri arctic.Priority, frame *txrx.Frame) {
+// lnTagOn appends the staged TagOn bytes once their IBus pull completes.
+//
+//voyager:noalloc payload append stays within MaxDataPayload capacity after warm-up
+func (c *Ctrl) lnTagOn() {
+	c.lnFrame.Payload = append(c.lnFrame.Payload, c.lnTagBank.Slice(c.lnTagOff, c.lnTagLen)...) //voyager:alloc-ok(payload capacity grows once to MaxDataPayload)
+	c.lnFinish()
+}
+
+// lnFinish applies raw-message protection and routes the staged frame to
+// translation or directly to the TxU.
+//
+//voyager:noalloc
+func (c *Ctrl) lnFinish() {
+	q := c.lnQ
 	tq := &c.tx[q]
-	send := func(phys uint16, pri arctic.Priority) {
-		if tq.cfg.AllowedDests>>(phys%64)&1 == 0 {
-			c.violate(q)
-			return
-		}
-		if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
-			// The lane is backpressured: park this queue (its head will be
-			// re-read and relaunched when room returns) and let queues
-			// bound for the other lane keep launching.
-			tq.parked = true
-			tq.parkedPri = pri
-			c.txBusy = false
-			c.kickTx()
-			return
-		}
-		c.emit(frame, int(phys), pri, func() {
-			tq.consumer++
-			c.shadowTx(q)
-			c.sampleTx(q)
-			c.stats.TxMessages++
-			c.stats.TxBytes += uint64(len(frame.Payload))
-			c.txRR = q
-			c.txBusy = false
-			c.kickTx()
-		})
-	}
-	if !translate {
-		send(dest, pri)
+	flags := c.lnFlags
+	translate := tq.cfg.Translate && flags&SlotFlagRaw == 0
+	if flags&SlotFlagRaw != 0 && !tq.cfg.RawAllowed {
+		c.violate(q)
 		return
 	}
-	idx := int(dest&tq.cfg.AndMask|tq.cfg.OrMask) % c.cfg.TransTableEntries
+	pri := arctic.Low
+	if flags&SlotFlagHighPri != 0 {
+		pri = arctic.High
+	}
+	if !translate {
+		c.lnFrame.LogicalQ = c.lnRawLQ
+	}
+	c.translateAndSend(q, c.lnDest, translate, pri)
+}
+
+// translateAndSend applies destination translation and protection to the
+// staged launch frame (c.lnFrame), then hands it to the TxU.
+//
+//voyager:noalloc
+func (c *Ctrl) translateAndSend(q int, dest uint16, translate bool, pri arctic.Priority) {
+	if !translate {
+		c.lnSend(q, dest, pri)
+		return
+	}
+	tq := &c.tx[q]
+	c.lnTrIdx = int(dest&tq.cfg.AndMask|tq.cfg.OrMask) % c.cfg.TransTableEntries
+	c.lnPri = pri
 	// Translation table lookup crosses the IBus (one 8-byte entry).
-	c.ibusMove(8, func() {
-		e := c.readTransEntry(idx)
-		if !e.Valid {
-			c.violate(q)
-			return
-		}
-		frame.LogicalQ = e.LogicalQ
-		send(e.PhysNode, e.Priority)
-	})
+	c.ibusMove(8, c.lnTransFn)
+}
+
+// lnTrans consumes the staged translation lookup.
+//
+//voyager:noalloc
+func (c *Ctrl) lnTrans() {
+	q := c.lnQ
+	e := c.readTransEntry(c.lnTrIdx)
+	if !e.Valid {
+		c.violate(q)
+		return
+	}
+	c.lnFrame.LogicalQ = e.LogicalQ
+	c.lnSend(q, e.PhysNode, e.Priority)
+}
+
+// lnSend is the protection check + backpressure gate in front of the TxU.
+//
+//voyager:noalloc
+func (c *Ctrl) lnSend(q int, phys uint16, pri arctic.Priority) {
+	tq := &c.tx[q]
+	if tq.cfg.AllowedDests>>(phys%64)&1 == 0 {
+		c.violate(q)
+		return
+	}
+	if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
+		// The lane is backpressured: park this queue (its head will be
+		// re-read and relaunched when room returns) and let queues
+		// bound for the other lane keep launching.
+		tq.parked = true
+		tq.parkedPri = pri
+		c.txBusy = false
+		c.kickTx()
+		return
+	}
+	c.emit(&c.lnFrame, int(phys), pri, c.lnDoneFn)
+}
+
+// lnDone retires the launched message: advance the consumer, publish, and
+// re-arm the arbiter. It runs while txBusy still holds the staged record, so
+// lnQ and lnFrame are the message that was just injected.
+//
+//voyager:noalloc
+func (c *Ctrl) lnDone() {
+	q := c.lnQ
+	tq := &c.tx[q]
+	tq.consumer++
+	c.shadowTx(q)
+	c.sampleTx(q)
+	c.stats.TxMessages++
+	c.stats.TxBytes += uint64(len(c.lnFrame.Payload))
+	c.txRR = q
+	c.txBusy = false
+	c.kickTx()
 }
 
 // pendingEmit is a launch deferred by fabric backpressure.
@@ -223,26 +285,67 @@ type pendingEmit struct {
 	done func()
 }
 
+// emitOp is one in-flight TxU inject event: a recycled record whose prebound
+// method value stands in for the Schedule closure. Pooled (not staged on the
+// Ctrl) because the command queues and block units emit concurrently with
+// the launch pipeline.
+type emitOp struct {
+	c        *Ctrl
+	wire     []byte
+	phys     int
+	pri      arctic.Priority
+	tag      sim.MsgTag
+	done     func()
+	injectFn func()
+}
+
+//voyager:noalloc
+func (o *emitOp) inject() {
+	c, wire, phys, pri, tag, done := o.c, o.wire, o.phys, o.pri, o.tag, o.done
+	o.wire, o.done = nil, nil
+	c.emFree = append(c.emFree, o) //voyager:alloc-ok(amortized: pool backing array is retained)
+	c.net.Inject(phys, pri, wire, tag)
+	done()
+}
+
+// emitOpGet returns a recycled (or new) emitOp with its method value bound.
+//
+//voyager:noalloc
+func (c *Ctrl) emitOpGet() *emitOp {
+	if n := len(c.emFree); n > 0 {
+		o := c.emFree[n-1]
+		c.emFree = c.emFree[:n-1]
+		return o
+	}
+	o := &emitOp{c: c}    //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	o.injectFn = o.inject //voyager:alloc-ok(one-time method binding for the pooled record)
+	return o
+}
+
 // emit runs the TxU formatting and injects the encoded frame. When the
 // fabric's injection buffering is full, the launch (and everything behind
 // it) waits until the fabric signals readiness — finite network buffering
 // propagates backpressure into the NIU and from there to software.
+//
+// The frame itself is the caller's (it may be the staged launch scratch);
+// emit does not retain it past this call.
+//
+//voyager:noalloc wire buffer is the one per-message allocation (it travels in the packet)
 func (c *Ctrl) emit(frame *txrx.Frame, phys int, pri arctic.Priority, done func()) {
-	wire, err := txrx.Encode(frame)
+	wire, err := txrx.Encode(frame) //voyager:alloc-ok(wire bytes travel inside the packet until remote delivery; recycling at the destination would accumulate unboundedly under one-way traffic)
 	if err != nil {
-		panic(fmt.Sprintf("ctrl: node %d: %v", c.myNode, err))
+		panic(fmt.Sprintf("ctrl: node %d: %v", c.myNode, err)) //voyager:alloc-ok(panic path)
 	}
 	// The message has left its queue and owns the TxU: one launch per
 	// attempt, even if injection is then deferred by backpressure.
 	c.traceMsg("ctrl", "msg-launch", frame.Trace, sim.Int("dst", phys))
 	if len(c.emitPending[pri]) > 0 || !c.net.Ready(pri) {
-		c.emitPending[pri] = append(c.emitPending[pri], pendingEmit{wire, phys, pri, frame.Trace, done})
+		c.emitPending[pri] = append(c.emitPending[pri], pendingEmit{wire, phys, pri, frame.Trace, done}) //voyager:alloc-ok(backpressure path)
 		return
 	}
-	c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
-		c.net.Inject(phys, pri, wire, frame.Trace)
-		done()
-	})
+	o := c.emitOpGet()
+	o.wire, o.phys, o.pri, o.tag, o.done = wire, phys, pri, frame.Trace, done
+	c.eng.Schedule(c.cycles(c.cfg.TxUCycles), o.injectFn)
 }
 
 // NetReady drains deferred launches; the node's fabric adapter calls it
@@ -252,10 +355,9 @@ func (c *Ctrl) NetReady() {
 		for len(c.emitPending[pri]) > 0 && c.net.Ready(pri) {
 			pe := c.emitPending[pri][0]
 			c.emitPending[pri] = c.emitPending[pri][1:]
-			c.eng.Schedule(c.cycles(c.cfg.TxUCycles), func() {
-				c.net.Inject(pe.phys, pe.pri, pe.wire, pe.tag)
-				pe.done()
-			})
+			o := c.emitOpGet()
+			o.wire, o.phys, o.pri, o.tag, o.done = pe.wire, pe.phys, pe.pri, pe.tag, pe.done
+			c.eng.Schedule(c.cycles(c.cfg.TxUCycles), o.injectFn)
 		}
 	}
 	unparked := false
@@ -274,6 +376,8 @@ func (c *Ctrl) NetReady() {
 // violate shuts down queue q and raises the protection interrupt. The
 // offending message is left at the head of the queue for firmware to
 // inspect; the queue stops launching until re-enabled.
+//
+//voyager:noalloc
 func (c *Ctrl) violate(q int) {
 	tq := &c.tx[q]
 	tq.shutdown = true

@@ -47,6 +47,8 @@ var crcTable = func() [256]byte {
 
 // Checksum computes the CRC-8 of a frame's wire bytes, treating the checksum
 // slot (byte 1) as zero so verification can run on the bytes as received.
+//
+//voyager:noalloc
 func Checksum(b []byte) byte {
 	var c byte
 	for i, v := range b {
@@ -139,14 +141,29 @@ func (f *Frame) WireSize() int {
 	return DataHeaderBytes + len(f.Payload)
 }
 
-// Encode serializes the frame to wire bytes.
+// Encode serializes the frame to freshly allocated wire bytes.
 func Encode(f *Frame) ([]byte, error) {
+	return EncodeInto(f, nil)
+}
+
+// EncodeInto serializes the frame, reusing buf's capacity when it suffices
+// (the returned slice aliases buf in that case). Callers that hand the wire
+// bytes to the fabric must not reuse buf until the packet is delivered.
+//
+//voyager:noalloc wire bytes reuse buf's capacity when it suffices
+func EncodeInto(f *Frame, buf []byte) ([]byte, error) {
+	wireBytes := func(n int) []byte { //voyager:alloc-ok(helper is inlined and does not escape)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		return make([]byte, n) //voyager:alloc-ok(grows the caller's reusable buffer once)
+	}
 	switch f.Kind {
 	case Data:
 		if len(f.Payload) > MaxDataPayload {
-			return nil, fmt.Errorf("txrx: data payload %d exceeds %d", len(f.Payload), MaxDataPayload)
+			return nil, fmt.Errorf("txrx: data payload %d exceeds %d", len(f.Payload), MaxDataPayload) //voyager:alloc-ok(error path)
 		}
-		b := make([]byte, DataHeaderBytes+len(f.Payload))
+		b := wireBytes(DataHeaderBytes + len(f.Payload))
 		b[0] = byte(Data)
 		binary.BigEndian.PutUint16(b[2:], f.SrcNode)
 		binary.BigEndian.PutUint16(b[4:], f.LogicalQ)
@@ -156,9 +173,9 @@ func Encode(f *Frame) ([]byte, error) {
 		return b, nil
 	case Cmd:
 		if len(f.Payload) > MaxCmdPayload {
-			return nil, fmt.Errorf("txrx: cmd payload %d exceeds %d", len(f.Payload), MaxCmdPayload)
+			return nil, fmt.Errorf("txrx: cmd payload %d exceeds %d", len(f.Payload), MaxCmdPayload) //voyager:alloc-ok(error path)
 		}
-		b := make([]byte, CmdHeaderBytes+len(f.Payload))
+		b := wireBytes(CmdHeaderBytes + len(f.Payload))
 		b[0] = byte(Cmd)
 		binary.BigEndian.PutUint16(b[2:], f.SrcNode)
 		binary.BigEndian.PutUint16(b[4:], uint16(f.Op))
@@ -170,39 +187,53 @@ func Encode(f *Frame) ([]byte, error) {
 		b[1] = Checksum(b)
 		return b, nil
 	default:
-		return nil, fmt.Errorf("txrx: unknown frame kind %d", f.Kind)
+		return nil, fmt.Errorf("txrx: unknown frame kind %d", f.Kind) //voyager:alloc-ok(error path)
 	}
 }
 
-// Decode parses wire bytes back into a frame.
+// Decode parses wire bytes into a freshly allocated frame.
 func Decode(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses wire bytes into f, reusing f's payload capacity. Every
+// field of f is overwritten (Trace is zeroed — it is sideband state the
+// caller restores). On error f's contents are unspecified.
+//
+//voyager:noalloc payload lands in f's reused capacity
+func DecodeInto(f *Frame, b []byte) error {
 	if len(b) < DataHeaderBytes {
-		return nil, fmt.Errorf("txrx: frame of %d bytes too short", len(b))
+		return fmt.Errorf("txrx: frame of %d bytes too short", len(b)) //voyager:alloc-ok(error path)
 	}
 	if got := Checksum(b); got != b[1] {
-		return nil, fmt.Errorf("txrx: checksum mismatch (got %#02x, want %#02x)", got, b[1])
+		return fmt.Errorf("txrx: checksum mismatch (got %#02x, want %#02x)", got, b[1]) //voyager:alloc-ok(error path)
 	}
-	f := &Frame{Kind: Kind(b[0]), SrcNode: binary.BigEndian.Uint16(b[2:])}
+	pl := f.Payload
+	*f = Frame{Kind: Kind(b[0]), SrcNode: binary.BigEndian.Uint16(b[2:])}
 	n := int(binary.BigEndian.Uint16(b[6:]))
 	switch f.Kind {
 	case Data:
 		if len(b) != DataHeaderBytes+n {
-			return nil, fmt.Errorf("txrx: data frame length %d, header says %d", len(b), n)
+			return fmt.Errorf("txrx: data frame length %d, header says %d", len(b), n) //voyager:alloc-ok(error path)
 		}
 		f.LogicalQ = binary.BigEndian.Uint16(b[4:])
-		f.Payload = append([]byte(nil), b[DataHeaderBytes:]...)
-		return f, nil
+		f.Payload = append(pl[:0], b[DataHeaderBytes:]...)
+		return nil
 	case Cmd:
 		if len(b) < CmdHeaderBytes || len(b) != CmdHeaderBytes+n {
-			return nil, fmt.Errorf("txrx: cmd frame length %d, header says %d", len(b), n)
+			return fmt.Errorf("txrx: cmd frame length %d, header says %d", len(b), n) //voyager:alloc-ok(error path)
 		}
 		f.Op = CmdOp(binary.BigEndian.Uint16(b[4:]))
 		f.Addr = binary.BigEndian.Uint32(b[8:])
 		f.Aux = binary.BigEndian.Uint16(b[12:])
 		f.Count = binary.BigEndian.Uint16(b[14:])
-		f.Payload = append([]byte(nil), b[CmdHeaderBytes:]...)
-		return f, nil
+		f.Payload = append(pl[:0], b[CmdHeaderBytes:]...)
+		return nil
 	default:
-		return nil, fmt.Errorf("txrx: unknown frame kind %d", b[0])
+		return fmt.Errorf("txrx: unknown frame kind %d", b[0]) //voyager:alloc-ok(error path)
 	}
 }

@@ -23,6 +23,8 @@ type condWaiter struct {
 }
 
 // getWaiter takes a waiter record from the free list (or allocates one).
+//
+//voyager:noalloc
 func (e *Engine) getWaiter(p *Proc) *condWaiter {
 	if n := len(e.waiterFree); n > 0 {
 		w := e.waiterFree[n-1]
@@ -31,15 +33,17 @@ func (e *Engine) getWaiter(p *Proc) *condWaiter {
 		w.signaled, w.timedOut, w.timed = false, false, false
 		return w
 	}
-	return &condWaiter{p: p}
+	return &condWaiter{p: p} //voyager:alloc-ok(pool warm-up; recycled thereafter)
 }
 
 // putWaiter returns a waiter record to the free list, invalidating any
 // timeout event still holding it.
+//
+//voyager:noalloc
 func (e *Engine) putWaiter(w *condWaiter) {
 	w.gen++
 	w.p = nil
-	e.waiterFree = append(e.waiterFree, w)
+	e.waiterFree = append(e.waiterFree, w) //voyager:alloc-ok(amortized: free-list backing array is retained)
 }
 
 // NewCond returns a condition variable bound to e.
@@ -47,8 +51,10 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 
 // Wait blocks p until a Signal or Broadcast resumes it. As with sync.Cond,
 // callers should re-check their predicate in a loop.
+//
+//voyager:noalloc
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, c.eng.getWaiter(p))
+	c.waiters = append(c.waiters, c.eng.getWaiter(p)) //voyager:alloc-ok(amortized: waiter list backing array is retained)
 	c.eng.blocked++
 	p.block()
 }
@@ -87,6 +93,8 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 }
 
 // Signal wakes the longest-waiting process, if any.
+//
+//voyager:noalloc
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
@@ -110,6 +118,8 @@ func (c *Cond) Signal() {
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
+//
+//voyager:noalloc
 func (c *Cond) Broadcast() {
 	for len(c.waiters) > 0 {
 		c.Signal()
@@ -206,6 +216,7 @@ func (q *Queue[T]) Observe(node int, component, name string) {
 	q.obsName = name
 }
 
+//voyager:noalloc
 func (q *Queue[T]) sample() {
 	if q.observed {
 		q.cond.eng.Sample(q.obsNode, q.obsComp, q.obsName, int64(q.n))
@@ -213,12 +224,14 @@ func (q *Queue[T]) sample() {
 }
 
 // grow doubles the ring (linearizing it from head) when it is full.
+//
+//voyager:noalloc grows only while warming up; steady state reuses the ring
 func (q *Queue[T]) grow() {
 	size := 2 * len(q.buf)
 	if size < 8 {
 		size = 8
 	}
-	buf := make([]T, size)
+	buf := make([]T, size) //voyager:alloc-ok(amortized ring doubling; steady state never grows)
 	for i := 0; i < q.n; i++ {
 		buf[i] = q.buf[(q.head+i)%len(q.buf)]
 	}
@@ -227,6 +240,8 @@ func (q *Queue[T]) grow() {
 }
 
 // take removes and returns the oldest item; the caller guarantees q.n > 0.
+//
+//voyager:noalloc
 func (q *Queue[T]) take() T {
 	var zero T
 	v := q.buf[q.head]
@@ -238,6 +253,8 @@ func (q *Queue[T]) take() T {
 }
 
 // Push appends an item and wakes one waiter.
+//
+//voyager:noalloc
 func (q *Queue[T]) Push(v T) {
 	if q.n == len(q.buf) {
 		q.grow()
@@ -249,6 +266,8 @@ func (q *Queue[T]) Push(v T) {
 }
 
 // Pop blocks p until an item is available, then removes and returns it.
+//
+//voyager:noalloc
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.n == 0 {
 		q.cond.Wait(p)
@@ -277,6 +296,8 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 
 // TryPop removes and returns an item without blocking; ok is false when the
 // queue is empty.
+//
+//voyager:noalloc
 func (q *Queue[T]) TryPop() (v T, ok bool) {
 	if q.n == 0 {
 		return v, false

@@ -45,6 +45,8 @@ type event struct {
 // order — seq is unique and monotonic — so the pop sequence of any correct
 // min-heap over it is identical, which is what keeps this rewrite
 // bit-compatible with the old container/heap implementation.
+//
+//voyager:noalloc
 func (a *event) before(b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
@@ -59,8 +61,10 @@ type eventHeap []event
 // push appends ev and sifts it up to its heap position. The new event is
 // held aside while ancestors shift down, so each level costs one event copy
 // rather than a swap's three.
+//
+//voyager:noalloc
 func (h *eventHeap) push(ev event) {
-	s := append(*h, ev)
+	s := append(*h, ev) //voyager:alloc-ok(amortized: heap backing array is retained across pops)
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -76,6 +80,8 @@ func (h *eventHeap) push(ev event) {
 
 // pop removes and returns the minimum event. The displaced last element is
 // held aside while the smallest children shift up, then placed once.
+//
+//voyager:noalloc
 func (h *eventHeap) pop() event {
 	s := *h
 	root := s[0]
@@ -141,29 +147,37 @@ func NewEngine() *Engine {
 }
 
 // Now returns the current simulated time.
+//
+//voyager:noalloc
 func (e *Engine) Now() Time { return e.now }
 
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.nEvents }
 
 // Schedule runs fn after delay d (d may be zero; negative delays panic).
+//
+//voyager:noalloc
 func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
+		panic(fmt.Sprintf("sim: negative delay %d", d)) //voyager:alloc-ok(panic path)
 	}
 	e.At(e.now+d, fn)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
+//
+//voyager:noalloc
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now)) //voyager:alloc-ok(panic path)
 	}
 	e.seq++
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the next event. It reports false when no events remain.
+//
+//voyager:noalloc
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
@@ -181,12 +195,16 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until none remain.
+//
+//voyager:noalloc
 func (e *Engine) Run() {
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t, then sets now to t.
+//
+//voyager:noalloc
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()

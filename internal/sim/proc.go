@@ -70,9 +70,11 @@ func (p *Proc) Now() Time { return p.eng.now }
 
 // run transfers control to the process goroutine and waits for it to yield.
 // It must only be called from an engine event.
+//
+//voyager:noalloc
 func (p *Proc) run() {
 	if p.dead {
-		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name))
+		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name)) //voyager:alloc-ok(panic path)
 	}
 	p.ch <- struct{}{}
 	<-p.ch
@@ -80,6 +82,8 @@ func (p *Proc) run() {
 
 // block yields control back to the engine. The caller must have arranged a
 // wakeup (a scheduled event or Cond registration) that calls p.run().
+//
+//voyager:noalloc
 func (p *Proc) block() {
 	p.ch <- struct{}{}
 	<-p.ch
@@ -87,6 +91,8 @@ func (p *Proc) block() {
 
 // Delay advances the process by d of simulated time (modeling computation or
 // a fixed-latency operation).
+//
+//voyager:noalloc
 func (p *Proc) Delay(d Time) {
 	if d == 0 {
 		return
@@ -105,12 +111,14 @@ func (p *Proc) Delay(d Time) {
 // The common path — start completes synchronously (a bus issue that is
 // granted immediately) — allocates nothing: the done callback is the
 // Proc's prebound doneFn and the completion state lives in the Proc.
+//
+//voyager:noalloc the immediate-completion path; nested Calls take callSlow
 func (p *Proc) Call(start func(done func())) {
 	if p.callActive {
 		// Nested Call (start itself blocked on another Call): give the inner
 		// call private state so an outer completion arriving while the inner
 		// call is blocked cannot be misattributed.
-		p.callSlow(start)
+		p.callSlow(start) //voyager:alloc-ok(nested Calls are the audited closure-per-call slow path)
 		return
 	}
 	p.callActive = true
@@ -125,9 +133,11 @@ func (p *Proc) Call(start func(done func())) {
 }
 
 // callDone is the prebound completion callback for the Call fast path.
+//
+//voyager:noalloc
 func (p *Proc) callDone() {
 	if !p.callActive || p.callCompleted {
-		panic(fmt.Sprintf("sim: double completion in proc %q", p.name))
+		panic(fmt.Sprintf("sim: double completion in proc %q", p.name)) //voyager:alloc-ok(panic path)
 	}
 	p.callCompleted = true
 	if p.callBlocked {

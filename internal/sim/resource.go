@@ -12,6 +12,16 @@ type Resource struct {
 	busyTotal Time
 	grants    uint64
 
+	// useFree recycles useReq records so the steady-state Use cycle —
+	// acquire, hold for d, release, notify — allocates nothing.
+	useFree []*useReq
+	// acquireFn is the prebound Acquire method value handed to Proc.Call by
+	// AcquireP; usePD stages UseP's duration for usePStart, which Call
+	// invokes synchronously.
+	acquireFn func(func())
+	usePFn    func(func())
+	usePD     Time
+
 	// Observation state (see Observe): each hold becomes a span on track
 	// (obsNode, obsComp) and waiter-queue depth is sampled on change.
 	observed    bool
@@ -23,7 +33,10 @@ type Resource struct {
 
 // NewResource returns an idle resource.
 func NewResource(e *Engine, name string) *Resource {
-	return &Resource{eng: e, name: name}
+	r := &Resource{eng: e, name: name}
+	r.acquireFn = r.Acquire
+	r.usePFn = r.usePStart
+	return r
 }
 
 // Observe puts each hold of the resource on the observability track
@@ -82,29 +95,74 @@ func (r *Resource) Release() {
 	}
 }
 
+// useReq is one in-flight Use: a recycled record whose prebound method
+// values stand in for the closures this pattern used to allocate. The event
+// sequence (grant at +0, release after d, then done) is unchanged.
+type useReq struct {
+	r         *Resource
+	d         Time
+	done      func()
+	grantedFn func()
+	expireFn  func()
+}
+
+//voyager:noalloc
+func (u *useReq) granted() {
+	u.r.eng.Schedule(u.d, u.expireFn)
+}
+
+//voyager:noalloc
+func (u *useReq) expire() {
+	r, done := u.r, u.done
+	u.done = nil
+	r.useFree = append(r.useFree, u) //voyager:alloc-ok(amortized: pool backing array is retained)
+	r.Release()
+	if done != nil {
+		done()
+	}
+}
+
 // Use acquires the resource, holds it for d, then releases it, invoking done
 // (if non-nil) at release time. It is the common "occupy for a fixed service
 // time" pattern.
+//
+//voyager:noalloc steady-state uses ride a recycled useReq record
 func (r *Resource) Use(d Time, done func()) {
-	r.Acquire(func() {
-		r.eng.Schedule(d, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	var u *useReq
+	if n := len(r.useFree); n > 0 {
+		u = r.useFree[n-1]
+		r.useFree = r.useFree[:n-1]
+	} else {
+		u = &useReq{r: r}       //voyager:alloc-ok(pool warm-up; recycled thereafter)
+		u.grantedFn = u.granted //voyager:alloc-ok(one-time method binding for the pooled record)
+		u.expireFn = u.expire   //voyager:alloc-ok(one-time method binding for the pooled record)
+	}
+	u.d = d
+	u.done = done
+	r.Acquire(u.grantedFn)
 }
 
-// UseP is the blocking form of Use for Procs.
+// UseP is the blocking form of Use for Procs. The duration is staged on the
+// resource and consumed synchronously by usePStart, so no adapter closure is
+// built per call.
+//
+//voyager:noalloc
 func (r *Resource) UseP(p *Proc, d Time) {
-	p.Call(func(doneCb func()) { r.Use(d, doneCb) })
+	r.usePD = d
+	p.Call(r.usePFn)
+}
+
+//voyager:noalloc
+func (r *Resource) usePStart(done func()) {
+	r.Use(r.usePD, done)
 }
 
 // AcquireP blocks p until it exclusively holds the resource; the caller must
 // Release it explicitly.
+//
+//voyager:noalloc
 func (r *Resource) AcquireP(p *Proc) {
-	p.Call(func(granted func()) { r.Acquire(granted) })
+	p.Call(r.acquireFn)
 }
 
 // Busy reports whether the resource is currently held.
