@@ -8,11 +8,12 @@
 #   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
 #   make faults-check  parallel (-parallel 4) fault matrix byte-compared to sequential
 #   make bench-micro   simulation-core microbenchmarks -> BENCH_micro.json
+#   make series      windowed telemetry sample -> SERIES_sample.json + SERIES_report.txt
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro ci
+.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series ci
 
 all: build test
 
@@ -96,4 +97,14 @@ faults-check:
 bench-micro:
 	$(GO) run ./cmd/voyager-bench -fig none -micro BENCH_micro.json
 
-ci: build test lint bench-json bench-diff faults faults-check
+# Windowed time-series telemetry sample: a reliable run under a 5% drop
+# plan exports its voyager-series/v1 document, and voyager-stats renders
+# the link/credit heatmaps and stall attribution. Both artifacts are
+# byte-identical across invocations (the series and report golden tests
+# under `make test` pin the formats).
+series:
+	$(GO) run ./cmd/voyager-run -nodes 4 -mech reliable -count 50 \
+		-faults 'seed=7,drop=0.05' -series SERIES_sample.json -series-window 20us
+	$(GO) run ./cmd/voyager-stats -top 8 SERIES_sample.json > SERIES_report.txt
+
+ci: build test lint bench-json bench-diff faults faults-check series

@@ -5,14 +5,17 @@
 //
 //	voyager-bench [-fig 3|4|ext-a|ext-b|ext-c|all|none] [-max-size bytes]
 //	              [-trace file.json] [-metrics file.json] [-trace-cap n]
+//	              [-series file.json] [-series-window 20us] [-strict-trace]
 //	              [-headline file.json] [-diff baseline.json]
 //	              [-fault-matrix] [-fault-seeds 1,2,3] [-faults-json file.json]
 //	              [-parallel n] [-micro file.json]
 //	              [-cpuprofile file] [-memprofile file]
 //
-// -trace / -metrics execute the canonical instrumented run (every mechanism
-// on a four-node machine) and export its Perfetto trace / metrics registry;
-// combine with -fig none to produce only the observability artifacts.
+// -trace / -metrics / -series execute the canonical instrumented run (every
+// mechanism on a four-node machine) and export its Perfetto trace / metrics
+// registry / windowed voyager-series/v1 telemetry; combine with -fig none to
+// produce only the observability artifacts. -strict-trace exits nonzero if
+// the canonical run's trace ring dropped events.
 //
 // -headline writes the deterministic headline latencies (mean traced
 // end-to-end latency per MP mechanism) as JSON; -diff recomputes them and
@@ -48,8 +51,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"startvoyager/internal/bench"
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 	"startvoyager/internal/workload"
 )
 
@@ -59,6 +65,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Perfetto trace of the canonical instrumented run")
 	metricsFile := flag.String("metrics", "", "write the canonical run's metrics registry as JSON")
 	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity for the instrumented run (oldest events drop beyond this)")
+	seriesFile := flag.String("series", "", "write the canonical run's windowed telemetry (voyager-series/v1, render with voyager-stats)")
+	seriesWindow := flag.String("series-window", "20us", "simulated-time window width for -series (Go duration)")
+	strictTrace := flag.Bool("strict-trace", false, "exit nonzero if the canonical run's trace ring dropped events")
 	headlineFile := flag.String("headline", "", "write the headline per-mechanism latencies as JSON")
 	diffBase := flag.String("diff", "", "diff headline latencies against this baseline JSON; exit 1 on >10% regression")
 	faultMatrix := flag.Bool("fault-matrix", false, "run the fault-injection smoke matrix")
@@ -81,18 +90,36 @@ func main() {
 	}
 
 	ran := false
-	if *traceFile != "" || *metricsFile != "" {
-		obs := bench.ObservedRunCap(*traceCap)
+	if *traceFile != "" || *metricsFile != "" || *seriesFile != "" || *strictTrace {
+		var scfg *stats.SamplerConfig
+		if *seriesFile != "" {
+			w, err := time.ParseDuration(*seriesWindow)
+			if err != nil || w <= 0 {
+				log.Fatalf("-series-window: invalid duration %q", *seriesWindow)
+			}
+			scfg = &stats.SamplerConfig{Window: sim.Time(w.Nanoseconds())}
+		}
+		obs := bench.ObservedRunSeries(*traceCap, scfg)
+		meta := &stats.RunMeta{Tool: "voyager-bench", Mechanism: "mixed", Nodes: 4,
+			SimTimeNs: int64(obs.SimTime)}
 		if *traceFile != "" {
 			writeFile(*traceFile, func(f *os.File) error { return obs.Trace.WritePerfetto(f) })
 			fmt.Printf("trace: %s (simulated %v)\n", *traceFile, obs.SimTime)
 		}
 		if *metricsFile != "" {
-			writeFile(*metricsFile, func(f *os.File) error { return obs.Metrics.WriteJSON(f, obs.SimTime) })
+			writeFile(*metricsFile, func(f *os.File) error { return obs.Metrics.WriteJSONMeta(f, obs.SimTime, meta) })
 			fmt.Printf("metrics: %s\n", *metricsFile)
+		}
+		if *seriesFile != "" {
+			writeFile(*seriesFile, func(f *os.File) error { return obs.Series.WriteJSON(f, meta) })
+			fmt.Printf("series: %s (%d windows, render with voyager-stats)\n", *seriesFile, obs.Series.Windows())
 		}
 		if d := obs.Trace.Stats().Dropped; d > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace is truncated (raise -trace-cap)\n", d)
+			if *strictTrace {
+				stopProfiles()
+				os.Exit(1)
+			}
 		}
 		ran = true
 	}

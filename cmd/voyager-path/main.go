@@ -8,11 +8,13 @@
 // Usage:
 //
 //	voyager-path [-nodes n] [-mech basic|express|tagon|dma|reliable] [-count c]
-//	             [-size s] [-faults plan] [-top n] [-metrics file.json]
+//	             [-size s] [-faults plan] [-top n] [-json] [-metrics file.json]
 //	             [-trace file.json] [-trace-cap n]
 //
 // Output is deterministic: two runs with the same arguments produce
-// byte-identical reports. -top limits the per-message waterfall blocks to the
+// byte-identical reports. -json replaces the text waterfall with the
+// voyager-path/v1 JSON document (run metadata, summary counts, aggregate
+// stage attribution, and every chain's per-stage breakdown) on stdout. -top limits the per-message waterfall blocks to the
 // n slowest delivered messages (0 = all). -metrics adds the per-stage latency
 // histograms to the dumped registry under path/. -trace writes the Perfetto
 // export, whose flow arrows link each message's events across tracks.
@@ -28,6 +30,7 @@ import (
 	"startvoyager/internal/core"
 	"startvoyager/internal/fault"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
 )
 
@@ -38,6 +41,7 @@ func main() {
 	size := flag.Int("size", 32, "payload bytes (dma: transfer bytes, line-aligned)")
 	faults := flag.String("faults", "", "fault-injection plan (e.g. 'seed=7,drop=0.05')")
 	top := flag.Int("top", 0, "show only the n slowest delivered messages (0 = all)")
+	jsonOut := flag.Bool("json", false, "emit the voyager-path/v1 JSON document instead of the text waterfall")
 	metricsFile := flag.String("metrics", "", "write the metrics registry (with path/ histograms) as JSON")
 	traceFile := flag.String("trace", "", "write a Perfetto trace with per-message flow arrows")
 	traceCap := flag.Int("trace-cap", 1<<19, "trace ring capacity (oldest events drop beyond this)")
@@ -117,26 +121,42 @@ func main() {
 	}
 	m.Run()
 
-	fmt.Printf("mechanism=%s nodes=%d senders=%d count=%d simulated=%v\n\n",
-		*mech, *nodes, senders, *count, m.Eng.Now())
 	analysis := trace.AnalyzePaths(tbuf.Events())
 	if *top > 0 {
 		analysis = analysis.Slowest(*top)
 	}
-	if err := analysis.WriteWaterfall(os.Stdout); err != nil {
-		log.Fatal(err)
+	meta := &stats.RunMeta{Tool: "voyager-path", Mechanism: *mech, Nodes: *nodes,
+		FaultPlan: *faults, SimTimeNs: int64(m.Eng.Now())}
+	if cfg.Faults != nil {
+		meta.Seed = cfg.Faults.Seed
+	}
+	if *jsonOut {
+		// Pure JSON on stdout: the header line would corrupt the document.
+		if err := analysis.WriteJSON(os.Stdout, meta); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("mechanism=%s nodes=%d senders=%d count=%d simulated=%v\n\n",
+			*mech, *nodes, senders, *count, m.Eng.Now())
+		if err := analysis.WriteWaterfall(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *metricsFile != "" {
 		analysis.RegisterMetrics(m.Metrics().Child("path"))
 		writeFile(*metricsFile, func(f *os.File) error {
-			return m.Metrics().WriteJSON(f, m.Eng.Now())
+			return m.Metrics().WriteJSONMeta(f, m.Eng.Now(), meta)
 		})
-		fmt.Printf("\nmetrics: %s\n", *metricsFile)
+		if !*jsonOut {
+			fmt.Printf("\nmetrics: %s\n", *metricsFile)
+		}
 	}
 	if *traceFile != "" {
 		writeFile(*traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
-		fmt.Printf("\ntrace: %s\n", *traceFile)
+		if !*jsonOut {
+			fmt.Printf("\ntrace: %s\n", *traceFile)
+		}
 	}
 	if d := tbuf.Stats().Dropped; d > 0 {
 		fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; chains may be orphaned (raise -trace-cap)\n", d)

@@ -6,11 +6,21 @@
 //
 //	voyager-run [-nodes n] [-mech basic|express|dma|reliable] [-count c] [-size s]
 //	            [-faults plan] [-trace file.json] [-metrics file.json] [-dump n]
+//	            [-series file.json] [-series-window 20us] [-strict-trace]
 //	            [-seeds 1,2,3] [-parallel n] [-cpuprofile f] [-memprofile f]
 //
 // -trace writes a Chrome trace-event (Perfetto) file of the run; open it at
 // ui.perfetto.dev. -metrics dumps the hierarchical metrics registry as JSON.
 // Both are byte-identical across runs with the same arguments.
+//
+// -series attaches the windowed telemetry sampler (window width set by
+// -series-window, simulated time) and writes the voyager-series/v1 export:
+// per-window min/max/sum/count for every registered metric, O(windows)
+// memory however long the run. Render it with voyager-stats. The sampler
+// scrapes out of band and never perturbs simulated outcomes.
+//
+// -strict-trace attaches the trace ring and exits nonzero when it dropped
+// events — the CI guard that a run's trace artifact is complete.
 //
 // -faults attaches a deterministic fault-injection plan to the network, e.g.
 //
@@ -40,6 +50,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"startvoyager/internal/bench"
 	"startvoyager/internal/cluster"
@@ -55,8 +66,10 @@ type runOpts struct {
 	nodes, count, size int
 	mech               string
 	plan               *fault.Plan
+	faultsSpec         string // original -faults text, recorded in run metadata
 	traceCap           int
 	trace              bool
+	seriesWindow       sim.Time // 0: no windowed telemetry sampler
 }
 
 // runResult carries the counters the report paths need, plus the machine for
@@ -64,6 +77,7 @@ type runOpts struct {
 type runResult struct {
 	m                      *core.Machine
 	tbuf                   *trace.Buffer
+	sampler                *stats.Sampler
 	received, failed       int
 	retrans, dups, garbage uint64
 }
@@ -78,6 +92,10 @@ func runOnce(o runOpts) runResult {
 	var tbuf *trace.Buffer
 	if o.trace {
 		tbuf = m.Trace(o.traceCap)
+	}
+	var sampler *stats.Sampler
+	if o.seriesWindow > 0 {
+		sampler = m.Series(stats.SamplerConfig{Window: o.seriesWindow})
 	}
 	senders := o.nodes - 1
 	total := senders * o.count
@@ -149,8 +167,11 @@ func runOnce(o runOpts) runResult {
 		})
 	}
 	m.Run()
+	if sampler != nil {
+		sampler.Finish()
+	}
 
-	r := runResult{m: m, tbuf: tbuf, received: received, failed: failed}
+	r := runResult{m: m, tbuf: tbuf, sampler: sampler, received: received, failed: failed}
 	for _, rel := range m.Rels {
 		st := rel.Stats()
 		r.retrans += st.Retransmits
@@ -172,6 +193,9 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write the metrics registry as JSON")
 	dumpN := flag.Int("dump", 0, "print the last N structured trace events")
 	traceCap := flag.Int("trace-cap", 1<<18, "trace ring capacity (oldest events drop beyond this)")
+	seriesFile := flag.String("series", "", "write windowed time-series telemetry (voyager-series/v1, render with voyager-stats)")
+	seriesWindow := flag.String("series-window", "20us", "simulated-time window width for -series (Go duration)")
+	strictTrace := flag.Bool("strict-trace", false, "exit nonzero if the trace ring dropped events (implies tracing)")
 	seeds := flag.String("seeds", "", "comma-separated fault-plan seeds: run once per seed and print a summary table")
 	parallelN := flag.Int("parallel", 1, "max OS worker goroutines for the -seeds sweep (output is identical at any value)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator process")
@@ -191,20 +215,34 @@ func main() {
 	}
 	opts := runOpts{
 		nodes: *nodes, count: *count, size: *size, mech: *mech,
-		plan: plan, traceCap: *traceCap,
-		trace: *traceFile != "" || *dumpN > 0,
+		plan: plan, faultsSpec: *faults, traceCap: *traceCap,
+		trace: *traceFile != "" || *dumpN > 0 || *strictTrace,
+	}
+	if *seriesFile != "" {
+		w, err := time.ParseDuration(*seriesWindow)
+		if err != nil || w <= 0 {
+			log.Fatalf("-series-window: invalid duration %q", *seriesWindow)
+		}
+		opts.seriesWindow = sim.Time(w.Nanoseconds())
 	}
 
 	if *seeds != "" {
-		if opts.trace || *metricsFile != "" {
-			log.Fatalf("-seeds cannot be combined with -trace, -metrics, or -dump")
+		if opts.trace || *metricsFile != "" || *seriesFile != "" {
+			log.Fatalf("-seeds cannot be combined with -trace, -metrics, -series, or -dump")
 		}
 		runSweep(opts, parseSeeds(*seeds), *parallelN)
 		return
 	}
 
 	r := runOnce(opts)
-	report(opts, r, *traceFile, *metricsFile, *dumpN)
+	report(opts, r, *traceFile, *metricsFile, *seriesFile, *dumpN)
+	if *strictTrace {
+		if d := r.tbuf.Stats().Dropped; d > 0 {
+			fmt.Fprintf(os.Stderr, "strict-trace: ring dropped %d events\n", d)
+			stopProfiles()
+			os.Exit(1)
+		}
+	}
 }
 
 // parseSeeds parses the -seeds list.
@@ -250,8 +288,20 @@ func runSweep(opts runOpts, seedList []uint64, workers int) {
 	}
 }
 
+// runMeta describes the run for the metrics and series export headers.
+func runMeta(opts runOpts, m *core.Machine) *stats.RunMeta {
+	meta := &stats.RunMeta{
+		Tool: "voyager-run", Mechanism: opts.mech, Nodes: opts.nodes,
+		FaultPlan: opts.faultsSpec, SimTimeNs: int64(m.Eng.Now()),
+	}
+	if opts.plan != nil {
+		meta.Seed = opts.plan.Seed
+	}
+	return meta
+}
+
 // report prints the single-run statistics and writes the requested artifacts.
-func report(opts runOpts, r runResult, traceFile, metricsFile string, dumpN int) {
+func report(opts runOpts, r runResult, traceFile, metricsFile, seriesFile string, dumpN int) {
 	m, tbuf := r.m, r.tbuf
 	total := (opts.nodes - 1) * opts.count
 	fmt.Printf("mechanism=%s nodes=%d messages=%d simulated=%v\n",
@@ -295,9 +345,16 @@ func report(opts runOpts, r runResult, traceFile, metricsFile string, dumpN int)
 	}
 	if metricsFile != "" {
 		writeFile(metricsFile, func(f *os.File) error {
-			return m.Metrics().WriteJSON(f, m.Eng.Now())
+			return m.Metrics().WriteJSONMeta(f, m.Eng.Now(), runMeta(opts, m))
 		})
 		fmt.Printf("metrics: %s\n", metricsFile)
+	}
+	if seriesFile != "" {
+		writeFile(seriesFile, func(f *os.File) error {
+			return r.sampler.WriteJSON(f, runMeta(opts, m))
+		})
+		fmt.Printf("series: %s (%d windows of %v, render with voyager-stats)\n",
+			seriesFile, r.sampler.Windows(), opts.seriesWindow)
 	}
 	if dumpN > 0 {
 		evs := tbuf.Events()

@@ -1,0 +1,59 @@
+// voyager-stats renders a voyager-series/v1 windowed-telemetry export (the
+// -series output of voyager-run and voyager-bench) as a deterministic text
+// report: top-K hottest links and deepest queues, per-link utilization and
+// credit-stall heatmaps across windows, stall attribution (credit stalls,
+// retransmits, fault drops) window by window, and — with -match — full
+// per-window tables for individual series. This is the scale-phase debugging
+// view: a 10^7-message run whose trace ring wrapped hours ago is still
+// diagnosable from its O(windows) series file.
+//
+// Usage:
+//
+//	voyager-stats [-top k] [-width n] [-match substr] series.json
+//
+// Reading from stdin when no file is given. Output is byte-deterministic
+// for a given input document.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"startvoyager/internal/stats"
+)
+
+func main() {
+	top := flag.Int("top", 10, "rows in the top-K hottest/deepest lists")
+	width := flag.Int("width", 64, "sparkline and heatmap column budget")
+	match := flag.String("match", "", "also print full per-window tables for series containing this substring")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		log.Fatalf("usage: voyager-stats [flags] [series.json]")
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	doc, err := stats.ParseSeries(in)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	opts := stats.ReportOpts{TopK: *top, Width: *width, Match: *match}
+	if err := stats.WriteReport(os.Stdout, doc, opts); err != nil {
+		log.Fatal(err)
+	}
+	if *match == "" {
+		fmt.Println("hint: -match <substr> prints full per-window tables for matching series")
+	}
+}

@@ -32,6 +32,12 @@ type directChan struct {
 	busy    bool
 	queue   []*Packet
 	stalled []*Packet // refused deliveries, FIFO, retried on Poke
+
+	// Per-channel telemetry, mirroring the fat-tree's per-link series: wire
+	// occupancy and stall onsets (here endpoint refusals rather than credit
+	// exhaustion — the ideal fabric has unbounded buffering).
+	busyNs   sim.Time
+	stallCnt stats.Counter
 }
 
 // NewDirect builds an ideal fabric with the given one-way latency. If
@@ -71,6 +77,16 @@ func (d *Direct) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("high_pri", func() int64 { return int64(d.stats.ByPri[High]) })
 	r.Gauge("low_pri", func() int64 { return int64(d.stats.ByPri[Low]) })
 	r.Histogram("delivery_latency_ns", d.latHist)
+	lr := r.Child("link")
+	for i, c := range d.chans {
+		c := c
+		lc := lr.Child(fmt.Sprintf("ch%d-%d", i/d.nodes, i%d.nodes))
+		lc.Time("busy", func() sim.Time { return c.busyNs })
+		lc.Counter("credit_stalls", &c.stallCnt)
+		lc.Gauge("queued", func() int64 {
+			return int64(len(c.queue) + len(c.stalled))
+		})
+	}
 }
 
 // delivered updates delivery counters and emits the per-packet trace event.
@@ -150,6 +166,7 @@ func (c *directChan) kick() {
 	if c.d.flit > 0 {
 		ser = sim.Time((pkt.Size+15)/16) * c.d.flit
 	}
+	c.busyNs += ser
 	c.d.eng.Schedule(ser, func() {
 		c.busy = false
 		c.d.eng.Schedule(c.d.latency, func() { c.arrive(pkt) })
@@ -165,6 +182,7 @@ func (c *directChan) arrive(pkt *Packet) {
 	// Preserve FIFO past a refusal: while anything is stalled, new arrivals
 	// queue behind it.
 	if len(c.stalled) > 0 {
+		c.stallCnt.Events++
 		c.stalled = append(c.stalled, pkt)
 		return
 	}
@@ -173,6 +191,7 @@ func (c *directChan) arrive(pkt *Packet) {
 		return
 	}
 	c.d.stats.Refusals++
+	c.stallCnt.Events++
 	c.stalled = append(c.stalled, pkt)
 }
 

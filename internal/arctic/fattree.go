@@ -78,6 +78,7 @@ type FatTree struct {
 	endpoints  []Endpoint
 	inject     []*link
 	eject      []*link
+	links      []*link // every link, in construction order, for metrics
 	readyHooks []func()
 	// up[l][w*k+j]: switch(l+1, w) -> switch(l, w with digit l = j)
 	// down[l][w*k+i]: switch(l, w) -> switch(l+1, w with digit l = i)
@@ -119,6 +120,7 @@ func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
 		f.inject[p] = f.newLink(fmt.Sprintf("inj%d", p), -1)
 		f.inject[p].inject = p
 		f.eject[p] = f.newLink(fmt.Sprintf("ej%d", p), p)
+		f.links = append(f.links, f.inject[p], f.eject[p])
 	}
 	f.up = make([][]*link, n-1)
 	f.down = make([][]*link, n-1)
@@ -127,8 +129,9 @@ func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
 		f.down[l] = make([]*link, f.width*k)
 		for w := 0; w < f.width; w++ {
 			for j := 0; j < k; j++ {
-				f.up[l][w*k+j] = f.newLink(fmt.Sprintf("up l%d w%d j%d", l, w, j), -1)
-				f.down[l][w*k+j] = f.newLink(fmt.Sprintf("dn l%d w%d i%d", l, w, j), -1)
+				f.up[l][w*k+j] = f.newLink(fmt.Sprintf("up-l%d-w%d-j%d", l, w, j), -1)
+				f.down[l][w*k+j] = f.newLink(fmt.Sprintf("dn-l%d-w%d-i%d", l, w, j), -1)
+				f.links = append(f.links, f.up[l][w*k+j], f.down[l][w*k+j])
 			}
 		}
 	}
@@ -156,6 +159,16 @@ func (f *FatTree) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("high_pri", func() int64 { return int64(f.stats.ByPri[High]) })
 	r.Gauge("low_pri", func() int64 { return int64(f.stats.ByPri[Low]) })
 	r.Histogram("delivery_latency_ns", f.latHist)
+	lr := r.Child("link")
+	for _, l := range f.links {
+		l := l
+		lc := lr.Child(l.name)
+		lc.Time("busy", func() sim.Time { return l.busyNs })
+		lc.Counter("credit_stalls", &l.stallCnt)
+		lc.Gauge("queued", func() int64 {
+			return int64(len(l.queues[High]) + len(l.queues[Low]))
+		})
+	}
 }
 
 // delivered updates delivery counters and emits the per-packet trace event;
@@ -389,6 +402,15 @@ type link struct {
 	// waiters are upstream packets waiting for a lane slot here.
 	waiters [numPriorities][]*creditWaiter
 	busy    bool
+
+	// Per-link telemetry: wire occupancy, and credit stalls — packets that
+	// found their lane full and had to wait for a slot. stallCnt.Events
+	// counts stall onsets (the window the backpressure bit), stallCnt.Amount
+	// accumulates the nanoseconds those packets spent waiting (credited at
+	// admission). The windowed sampler turns these into the per-link
+	// per-window utilization and credit-stall series voyager-stats renders.
+	busyNs   sim.Time
+	stallCnt stats.Counter
 }
 
 type linkEntry struct {
@@ -403,7 +425,8 @@ type linkEntry struct {
 
 type creditWaiter struct {
 	entry *linkEntry
-	from  *link // upstream link to unblock on admission (nil at injection)
+	from  *link    // upstream link to unblock on admission (nil at injection)
+	since sim.Time // when the stall began, for stalled-time attribution
 }
 
 func (f *FatTree) newLink(name string, dstNode int) *link {
@@ -423,7 +446,8 @@ func (l *link) enqueueOrWait(e *linkEntry, from *link) {
 		l.kick()
 		return
 	}
-	l.waiters[pr] = append(l.waiters[pr], &creditWaiter{entry: e, from: from})
+	l.stallCnt.Events++
+	l.waiters[pr] = append(l.waiters[pr], &creditWaiter{entry: e, from: from, since: l.f.eng.Now()})
 }
 
 // unblock clears the lane's downstream-wait state and restarts the
@@ -454,6 +478,7 @@ func (l *link) kick() {
 		l.queues[pr] = l.queues[pr][1:]
 		l.admitWaiter(pr)
 		l.busy = true
+		l.busyNs += l.f.serTime(entry.pkt.Size)
 		l.f.eng.Schedule(l.f.serTime(entry.pkt.Size), func() {
 			l.busy = false
 			l.afterSer(entry)
@@ -471,6 +496,7 @@ func (l *link) admitWaiter(pr Priority) {
 	}
 	w := l.waiters[pr][0]
 	l.waiters[pr] = l.waiters[pr][1:]
+	l.stallCnt.Amount += uint64(l.f.eng.Now() - w.since)
 	l.queues[pr] = append(l.queues[pr], w.entry)
 	if w.from != nil {
 		w.from.unblock(pr)

@@ -103,7 +103,7 @@ func multitaskRun(qos, bulk bool) (p50, p99 sim.Time, bulkBW float64) {
 	})
 	m.Run()
 
-	var s stats.Sampler
+	var s stats.Samples
 	for i := 0; i < pings; i++ {
 		if recvAt[i] > 0 {
 			s.Add(float64(recvAt[i] - sendAt[i]))

@@ -13,6 +13,10 @@ type Observed struct {
 	Trace   *trace.Buffer
 	Metrics *stats.Registry
 	SimTime sim.Time
+	// Series is the windowed telemetry sampler, non-nil when the run was
+	// launched with a sampler config (ObservedRunSeries); Finish has already
+	// been called, so it is ready to export.
+	Series *stats.Sampler
 }
 
 // ObservedRun executes the canonical observability workload: a four-node
@@ -29,8 +33,18 @@ func ObservedRun() Observed {
 // ObservedRunCap is ObservedRun with an explicit trace ring capacity, for
 // callers that expose -trace-cap.
 func ObservedRunCap(capacity int) Observed {
+	return ObservedRunSeries(capacity, nil)
+}
+
+// ObservedRunSeries is ObservedRunCap with an optional windowed telemetry
+// sampler attached for the run (nil scfg: no sampler).
+func ObservedRunSeries(capacity int, scfg *stats.SamplerConfig) Observed {
 	m := core.NewMachine(4)
 	tbuf := m.Trace(capacity)
+	var sampler *stats.Sampler
+	if scfg != nil {
+		sampler = m.Series(*scfg)
+	}
 
 	xfer := blockxfer.NewTransfer(blockxfer.A3, m, 4<<10)
 	m.Go(0, "xfer-src", func(p *sim.Proc, api *core.API) {
@@ -64,5 +78,8 @@ func ObservedRunCap(capacity int) Observed {
 		api.RecvNotify(p)
 	})
 	m.Run()
-	return Observed{Trace: tbuf, Metrics: m.Metrics(), SimTime: m.Eng.Now()}
+	if sampler != nil {
+		sampler.Finish()
+	}
+	return Observed{Trace: tbuf, Metrics: m.Metrics(), SimTime: m.Eng.Now(), Series: sampler}
 }

@@ -249,6 +249,8 @@ func (b *Bus) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("data_bytes", func() int64 { return int64(b.stats.DataBytes) })
 	r.Time("busy", b.res.BusyTime)
 	r.Histogram("retries_per_tx", b.retHist)
+	// Masters queued for bus tenure right now — the bus-side depth series.
+	r.Gauge("waiters", func() int64 { return int64(b.res.QueueLen()) })
 }
 
 // SetTraceHook installs fn to observe each completed transaction.

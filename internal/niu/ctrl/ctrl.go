@@ -368,6 +368,19 @@ func (c *Ctrl) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("tagons", func() int64 { return int64(c.stats.TagOns) })
 	r.Time("ibus_busy", c.ibus.BusyTime)
 	r.Histogram("rx_payload_bytes", c.rxSizeHist)
+	// Per-queue depth gauges for the queues configured at registration time
+	// (cluster wiring registers after SetupDefaultQueues), so the windowed
+	// sampler can chart occupancy — rising rx depth per window is the
+	// receiver-side face of tree saturation.
+	for q := 0; q < NumQueues; q++ {
+		q := q
+		if c.tx[q].cfg.Buf != nil {
+			r.Gauge(txqName[q]+"_depth", func() int64 { return int64(c.tx[q].pending()) })
+		}
+		if c.rx[q].cfg.Buf != nil {
+			r.Gauge(rxqName[q]+"_depth", func() int64 { return int64(c.rx[q].used()) })
+		}
+	}
 }
 
 // sampleTx emits transmit queue q's depth on the node's "ctrl" track.

@@ -139,6 +139,15 @@ type Engine struct {
 	// waiterFree recycles condWaiter records (see cond.go) so steady-state
 	// blocking — every Queue.Pop, every Cond.Wait — is allocation-free.
 	waiterFree []*condWaiter
+
+	// Timer hook: an out-of-band callback fired when simulated time reaches
+	// hookAt. Unlike a scheduled event it lives outside the event queue — it
+	// consumes no sequence number and does not count toward nEvents — so
+	// arming it cannot perturb the simulated outcome in any observable way.
+	// The telemetry sampler (internal/stats) uses it to scrape metrics on
+	// fixed window boundaries.
+	hookAt Time
+	hookFn func(Time)
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -175,12 +184,51 @@ func (e *Engine) At(t Time, fn func()) {
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
+// SetTimerHook arms the engine's single out-of-band timer: fn is invoked
+// with the boundary time once simulated time reaches at. The hook fires
+// before any event with timestamp >= at executes, so an observation at a
+// window boundary always precedes the events that land exactly on it. The
+// hook is one-shot — fn re-arms by calling SetTimerHook again — and passing
+// a nil fn disarms it. Hooks are observation-only: they run between events,
+// must not schedule events or otherwise touch modeled state, and leave the
+// event sequence, the executed-event count, and every trace/span id
+// allocator untouched.
+//
+//voyager:noalloc
+func (e *Engine) SetTimerHook(at Time, fn func(Time)) {
+	if fn != nil && at < e.now {
+		panic(fmt.Sprintf("sim: timer hook at %v before now %v", at, e.now)) //voyager:alloc-ok(panic path)
+	}
+	e.hookAt = at
+	e.hookFn = fn
+}
+
+// fireHooks invokes the timer hook for every armed boundary <= t, in order.
+// now is advanced to each boundary before its callback runs so time reads
+// (Meter.BusyTime, Engine.Now) see the boundary instant, never a stale
+// earlier time.
+//
+//voyager:noalloc
+func (e *Engine) fireHooks(t Time) {
+	for e.hookFn != nil && e.hookAt <= t {
+		at, fn := e.hookAt, e.hookFn
+		e.hookFn = nil
+		if at > e.now {
+			e.now = at
+		}
+		fn(at)
+	}
+}
+
 // Step executes the next event. It reports false when no events remain.
 //
 //voyager:noalloc
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.hookFn != nil && e.events[0].at >= e.hookAt {
+		e.fireHooks(e.events[0].at)
 	}
 	ev := e.events.pop()
 	e.now = ev.at
@@ -208,6 +256,9 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
+	}
+	if e.hookFn != nil && e.hookAt <= t {
+		e.fireHooks(t)
 	}
 	if t > e.now {
 		e.now = t

@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+// TestTimerHookFiresBeforeBoundaryEvents: a hook armed at t fires before any
+// event scheduled exactly at t executes — boundary observations precede the
+// boundary's own events, so those events' effects land in the next window.
+func TestTimerHookFiresBeforeBoundaryEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(50, func() { order = append(order, "ev@50") })
+	e.Schedule(100, func() { order = append(order, "ev@100") })
+	e.SetTimerHook(100, func(at Time) {
+		if at != 100 {
+			t.Fatalf("hook at %v, want 100", at)
+		}
+		if e.Now() != 100 {
+			t.Fatalf("hook ran with now=%v, want 100", e.Now())
+		}
+		order = append(order, "hook@100")
+	})
+	e.Run()
+	want := []string{"ev@50", "hook@100", "ev@100"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTimerHookRearmsAcrossGaps: a self-rearming hook fires once per
+// boundary, including boundaries in event-free gaps, all before the next
+// event executes.
+func TestTimerHookRearmsAcrossGaps(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var tick func(Time)
+	tick = func(at Time) {
+		fired = append(fired, at)
+		e.SetTimerHook(at+10, tick)
+	}
+	e.SetTimerHook(10, tick)
+	e.Schedule(5, func() {})
+	e.Schedule(45, func() {}) // boundaries 10,20,30,40 fall in the gap
+	e.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestTimerHookRunUntil: boundaries past the last event but within
+// RunUntil's horizon still fire, so a sampler sees every full window of a
+// fixed-length run.
+func TestTimerHookRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var tick func(Time)
+	tick = func(at Time) {
+		fired = append(fired, at)
+		e.SetTimerHook(at+25, tick)
+	}
+	e.SetTimerHook(25, tick)
+	e.Schedule(30, func() {})
+	e.RunUntil(100)
+	want := []Time{25, 50, 75, 100}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 100 {
+		t.Fatalf("now = %v, want 100", e.Now())
+	}
+}
+
+// TestTimerHookInert: arming a hook changes nothing the simulation can
+// observe — the executed-event count and final time match a hook-free run.
+func TestTimerHookInert(t *testing.T) {
+	run := func(hook bool) (uint64, Time) {
+		e := NewEngine()
+		for i := Time(1); i <= 10; i++ {
+			d := i * 7
+			e.Schedule(d, func() {})
+		}
+		if hook {
+			var tick func(Time)
+			tick = func(at Time) { e.SetTimerHook(at+5, tick) }
+			e.SetTimerHook(5, tick)
+		}
+		e.Run()
+		return e.Executed(), e.Now()
+	}
+	bn, bt := run(false)
+	hn, ht := run(true)
+	if bn != hn || bt != ht {
+		t.Fatalf("hooked run diverged: events %d vs %d, now %v vs %v", bn, hn, bt, ht)
+	}
+}
+
+// TestTimerHookDisarm: a nil fn disarms the hook.
+func TestTimerHookDisarm(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.SetTimerHook(10, func(Time) { fired++ })
+	e.SetTimerHook(0, nil)
+	e.Schedule(20, func() {})
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("disarmed hook fired %d times", fired)
+	}
+}
+
+// TestTimerHookPastPanics: arming a hook in the past is a bug.
+func TestTimerHookPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic arming a hook before now")
+		}
+	}()
+	e.SetTimerHook(10, func(Time) {})
+}

@@ -26,12 +26,37 @@ type Registry struct {
 }
 
 type registryRoot struct {
-	entries map[string]func() interface{}
+	entries map[string]*entry
+}
+
+// entryKind discriminates the typed registry entry variants. Entries are
+// typed (rather than opaque read closures) so the telemetry Sampler can
+// scrape each one without boxing values into interface{} — the precondition
+// for an allocation-free scrape path.
+type entryKind uint8
+
+const (
+	kindGauge entryKind = iota
+	kindCounter
+	kindMeter
+	kindTime
+	kindHist
+)
+
+// entry is one registered metric. Exactly one source field is set,
+// according to kind.
+type entry struct {
+	kind    entryKind
+	gauge   func() int64
+	counter *Counter
+	meter   *Meter
+	timeFn  func() sim.Time
+	hist    *Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{root: &registryRoot{entries: make(map[string]func() interface{})}}
+	return &Registry{root: &registryRoot{entries: make(map[string]*entry)}}
 }
 
 // Child returns a view of the registry scoped under name.
@@ -52,49 +77,66 @@ func (r *Registry) join(name string) string {
 	return r.prefix + "/" + name
 }
 
-func (r *Registry) add(name string, read func() interface{}) {
+func (r *Registry) add(name string, e *entry) {
 	path := r.join(name)
 	if _, dup := r.root.entries[path]; dup {
 		panic("stats: duplicate metric " + path)
 	}
-	r.root.entries[path] = read
+	r.root.entries[path] = e
 }
 
 // Gauge registers an integer read at dump time.
 func (r *Registry) Gauge(name string, fn func() int64) {
-	r.add(name, func() interface{} {
-		return map[string]interface{}{"kind": "gauge", "value": fn()}
-	})
+	r.add(name, &entry{kind: kindGauge, gauge: fn})
 }
 
 // Counter registers an event/amount counter.
 func (r *Registry) Counter(name string, c *Counter) {
-	r.add(name, func() interface{} {
-		return map[string]interface{}{"kind": "counter", "events": c.Events, "amount": c.Amount}
-	})
+	r.add(name, &entry{kind: kindCounter, counter: c})
 }
 
 // Meter registers a busy-time meter; the dump reports accumulated busy
 // nanoseconds and completed spans.
 func (r *Registry) Meter(name string, m *Meter) {
-	r.add(name, func() interface{} {
-		return map[string]interface{}{
-			"kind": "meter", "busy_ns": int64(m.BusyTime()), "spans": m.Spans(),
-		}
-	})
+	r.add(name, &entry{kind: kindMeter, meter: m})
 }
 
 // Time registers a simulated-time quantity (resource busy time, latency sum)
 // read at dump time, reported in nanoseconds.
 func (r *Registry) Time(name string, fn func() sim.Time) {
-	r.add(name, func() interface{} {
-		return map[string]interface{}{"kind": "time", "ns": int64(fn())}
-	})
+	r.add(name, &entry{kind: kindTime, timeFn: fn})
 }
 
 // Histogram registers a fixed-bucket histogram.
 func (r *Registry) Histogram(name string, h *Histogram) {
-	r.add(name, func() interface{} {
+	r.add(name, &entry{kind: kindHist, hist: h})
+}
+
+// Paths returns every registered metric path, sorted.
+func (r *Registry) Paths() []string {
+	var out []string
+	for p := range r.root.entries {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// read renders one entry in the voyager-metrics/v1 value shape.
+func (e *entry) read() interface{} {
+	switch e.kind {
+	case kindGauge:
+		return map[string]interface{}{"kind": "gauge", "value": e.gauge()}
+	case kindCounter:
+		return map[string]interface{}{"kind": "counter", "events": e.counter.Events, "amount": e.counter.Amount}
+	case kindMeter:
+		return map[string]interface{}{
+			"kind": "meter", "busy_ns": int64(e.meter.BusyTime()), "spans": e.meter.Spans(),
+		}
+	case kindTime:
+		return map[string]interface{}{"kind": "time", "ns": int64(e.timeFn())}
+	default:
+		h := e.hist
 		buckets := make([]interface{}, h.NumBuckets())
 		for i := range buckets {
 			bound, count, bounded := h.Bucket(i)
@@ -108,31 +150,43 @@ func (r *Registry) Histogram(name string, h *Histogram) {
 			"kind": "histogram", "count": h.Count(), "sum": h.Sum(),
 			"min": h.Min(), "max": h.Max(), "buckets": buckets,
 		}
-	})
+	}
 }
 
-// Paths returns every registered metric path, sorted.
-func (r *Registry) Paths() []string {
-	var out []string
-	for p := range r.root.entries {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
+// RunMeta is the self-describing header attached to exported artifacts: who
+// produced the run and under what configuration, so a metrics or series file
+// found on its own (a CI artifact, an old experiment directory) identifies
+// its run without the command line that made it.
+type RunMeta struct {
+	Tool      string `json:"tool"`
+	Mechanism string `json:"mechanism,omitempty"`
+	Nodes     int    `json:"nodes"`
+	Seed      uint64 `json:"seed"`
+	FaultPlan string `json:"fault_plan,omitempty"`
+	SimTimeNs int64  `json:"sim_time_ns"`
 }
 
 // WriteJSON writes the whole registry as one indented JSON document, with
 // now recorded as the dump's simulated timestamp. Output is byte-stable for
 // a given registry state (sorted paths, integer values only).
 func (r *Registry) WriteJSON(w io.Writer, now sim.Time) error {
+	return r.WriteJSONMeta(w, now, nil)
+}
+
+// WriteJSONMeta is WriteJSON with an optional run-metadata header; with a
+// nil meta the output is identical to WriteJSON.
+func (r *Registry) WriteJSONMeta(w io.Writer, now sim.Time, meta *RunMeta) error {
 	metrics := make(map[string]interface{}, len(r.root.entries))
 	for _, p := range r.Paths() {
-		metrics[p] = r.root.entries[p]()
+		metrics[p] = r.root.entries[p].read()
 	}
 	doc := map[string]interface{}{
 		"schema":      "voyager-metrics/v1",
 		"sim_time_ns": int64(now),
 		"metrics":     metrics,
+	}
+	if meta != nil {
+		doc["run"] = meta
 	}
 	// encoding/json sorts map keys, which is exactly the stability we want.
 	out, err := json.MarshalIndent(doc, "", "  ")

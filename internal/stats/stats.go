@@ -63,6 +63,8 @@ func (m *Meter) Stop() {
 }
 
 // BusyTime returns total busy time, including the current span if active.
+//
+//voyager:noalloc
 func (m *Meter) BusyTime() sim.Time {
 	t := m.total
 	if m.busy {
@@ -95,20 +97,20 @@ func (m *Meter) Reset() {
 // Name returns the meter's name.
 func (m *Meter) Name() string { return m.name }
 
-// Sampler collects scalar samples (latencies, sizes) and reports summary
-// statistics.
-type Sampler struct {
+// Samples collects scalar samples (latencies, sizes) and reports summary
+// statistics. (The windowed time-series scraper is Sampler, in series.go.)
+type Samples struct {
 	vals []float64
 }
 
 // Add records one sample.
-func (s *Sampler) Add(v float64) { s.vals = append(s.vals, v) }
+func (s *Samples) Add(v float64) { s.vals = append(s.vals, v) }
 
 // N returns the number of samples.
-func (s *Sampler) N() int { return len(s.vals) }
+func (s *Samples) N() int { return len(s.vals) }
 
 // Mean returns the arithmetic mean (0 if empty).
-func (s *Sampler) Mean() float64 {
+func (s *Samples) Mean() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
@@ -120,7 +122,7 @@ func (s *Sampler) Mean() float64 {
 }
 
 // Min returns the smallest sample (0 if empty).
-func (s *Sampler) Min() float64 {
+func (s *Samples) Min() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
@@ -134,7 +136,7 @@ func (s *Sampler) Min() float64 {
 }
 
 // Max returns the largest sample (0 if empty).
-func (s *Sampler) Max() float64 {
+func (s *Samples) Max() float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
@@ -148,7 +150,7 @@ func (s *Sampler) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
-func (s *Sampler) Percentile(p float64) float64 {
+func (s *Samples) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}

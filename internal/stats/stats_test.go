@@ -72,8 +72,8 @@ func TestMeterStopIdlePanics(t *testing.T) {
 	NewMeter(sim.NewEngine(), "x").Stop()
 }
 
-func TestSampler(t *testing.T) {
-	var s Sampler
+func TestSamples(t *testing.T) {
+	var s Samples
 	for _, v := range []float64{5, 1, 3, 2, 4} {
 		s.Add(v)
 	}
@@ -92,7 +92,7 @@ func TestSampler(t *testing.T) {
 }
 
 func TestSamplerEmpty(t *testing.T) {
-	var s Sampler
+	var s Samples
 	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
 		t.Fatal("empty sampler should report zeros")
 	}
@@ -101,7 +101,7 @@ func TestSamplerEmpty(t *testing.T) {
 // Property: percentile is always within [min, max] and monotone in p.
 func TestPercentileProperty(t *testing.T) {
 	f := func(vals []float64, a, b uint8) bool {
-		var s Sampler
+		var s Samples
 		for _, v := range vals {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				continue

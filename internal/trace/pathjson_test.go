@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
+)
+
+// pathEvents builds a hand-authored lifecycle stream: message 1 is delivered
+// after one retransmission, message 2 is dropped by a fault.
+func pathEvents() []Event {
+	msg := func(at sim.Time, node int, comp, name string, fields ...sim.Field) Event {
+		return Event{At: at, Node: node, Component: comp, Kind: Instant, Name: name, Fields: fields}
+	}
+	return []Event{
+		msg(100, 1, "aP", "msg-send", sim.I64("msg", 1)),
+		msg(250, 1, "ctrl", "msg-launch", sim.I64("msg", 1)),
+		msg(300, 1, "net", "inject", sim.I64("msg", 1)),
+		msg(450, 0, "net", "msg-drop", sim.I64("msg", 1), sim.Str("why", "fault-drop")),
+		msg(900, 1, "ctrl", "msg-launch", sim.I64("msg", 1), sim.I64("attempt", 2)),
+		msg(950, 1, "net", "inject", sim.I64("msg", 1), sim.I64("attempt", 2)),
+		msg(1100, 0, "net", "deliver", sim.I64("msg", 1), sim.I64("attempt", 2)),
+		msg(1150, 0, "ctrl", "msg-enq", sim.I64("msg", 1)),
+		msg(1400, 0, "aP", "msg-consume", sim.I64("msg", 1)),
+		msg(200, 2, "aP", "msg-send", sim.I64("msg", 2)),
+		msg(350, 2, "ctrl", "msg-launch", sim.I64("msg", 2)),
+		msg(400, 2, "net", "inject", sim.I64("msg", 2)),
+		msg(600, 0, "net", "msg-drop", sim.I64("msg", 2), sim.Str("why", "dead-node")),
+	}
+}
+
+func TestPathJSONGolden(t *testing.T) {
+	a := AnalyzePaths(pathEvents())
+	var buf bytes.Buffer
+	meta := &stats.RunMeta{Tool: "voyager-path", Mechanism: "reliable", Nodes: 3,
+		Seed: 7, FaultPlan: "seed=7,drop=0.05", SimTimeNs: 1400}
+	if err := a.WriteJSON(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "path.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("path JSON differs from golden (run with -update to refresh):\n%s", buf.String())
+	}
+}
+
+func TestPathJSONShape(t *testing.T) {
+	a := AnalyzePaths(pathEvents())
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Msgs      int    `json:"msgs"`
+		Delivered int    `json:"delivered"`
+		Dropped   int    `json:"dropped"`
+		Messages  []struct {
+			ID       uint64 `json:"id"`
+			Attempts uint32 `json:"attempts"`
+			Outcome  string `json:"outcome"`
+			TotalNs  int64  `json:"total_ns"`
+			DropWhy  string `json:"drop_why"`
+			Stages   []struct {
+				Stage string `json:"stage"`
+				Ns    int64  `json:"ns"`
+			} `json:"stages"`
+		} `json:"messages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Schema != PathSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, PathSchema)
+	}
+	if doc.Msgs != 2 || doc.Delivered != 1 || doc.Dropped != 1 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/1", doc.Msgs, doc.Delivered, doc.Dropped)
+	}
+	m1 := doc.Messages[0]
+	if m1.ID != 1 || m1.Attempts != 2 || m1.Outcome != "delivered" || m1.TotalNs != 1300 {
+		t.Errorf("msg 1 = %+v", m1)
+	}
+	var sum int64
+	for _, s := range m1.Stages {
+		sum += s.Ns
+	}
+	if sum != m1.TotalNs {
+		t.Errorf("stages sum to %d, total %d (attribution must telescope)", sum, m1.TotalNs)
+	}
+	if doc.Messages[1].DropWhy != "dead-node" {
+		t.Errorf("msg 2 drop_why = %q", doc.Messages[1].DropWhy)
+	}
+}
+
+func TestPathJSONDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := AnalyzePaths(pathEvents()).WriteJSON(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("JSON export differs across identical renders")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"startvoyager/internal/core"
 	"startvoyager/internal/sim"
+	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
 )
 
@@ -152,6 +153,69 @@ func TestObserverZeroTimingImpact(t *testing.T) {
 	}
 	if !reflect.DeepEqual(bare, observed) {
 		t.Errorf("observer changed run results:\n  bare:     %+v\n  observed: %+v", bare, observed)
+	}
+}
+
+// sampledRun executes one instrumented run with both the trace buffer and
+// the windowed telemetry sampler attached, and renders the metrics dump and
+// the voyager-series/v1 export to bytes.
+func sampledRun(t *testing.T, seed int64) (Result, []byte, []byte) {
+	t.Helper()
+	var mach *core.Machine
+	var sampler *stats.Sampler
+	res := RunInstrumented(detConfig(seed), func(m *core.Machine) {
+		mach = m
+		m.Trace(1 << 16)
+		sampler = m.Series(stats.SamplerConfig{Window: 20 * sim.Microsecond})
+	})
+	sampler.Finish()
+	var metricsOut, seriesOut bytes.Buffer
+	if err := mach.Metrics().WriteJSON(&metricsOut, mach.Eng.Now()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := sampler.WriteJSON(&seriesOut, nil); err != nil {
+		t.Fatalf("series WriteJSON: %v", err)
+	}
+	return res, metricsOut.Bytes(), seriesOut.Bytes()
+}
+
+// TestSamplerZeroTimingImpact extends the zero-impact contract to the
+// windowed sampler: a run with the sampler scraping every 5us must report
+// results bit-identical to a bare run, and its metrics dump must be
+// byte-identical to a sampler-free instrumented run — the sampler neither
+// schedules events nor registers metrics.
+func TestSamplerZeroTimingImpact(t *testing.T) {
+	bare := Run(detConfig(42))
+	sampled, metricsOn, _ := sampledRun(t, 42)
+	if bare.Duration != sampled.Duration {
+		t.Errorf("sampler changed simulated duration: %v vs %v", bare.Duration, sampled.Duration)
+	}
+	if bare.Events != sampled.Events {
+		t.Errorf("sampler changed engine event count: %d vs %d", bare.Events, sampled.Events)
+	}
+	if bare.TraceHash != sampled.TraceHash {
+		t.Errorf("sampler changed the delivery trace: %#x vs %#x", bare.TraceHash, sampled.TraceHash)
+	}
+	if !reflect.DeepEqual(bare, sampled) {
+		t.Errorf("sampler changed run results:\n  bare:    %+v\n  sampled: %+v", bare, sampled)
+	}
+	_, _, metricsOff := observedRun(t, 42)
+	if !bytes.Equal(metricsOn, metricsOff) {
+		t.Error("metrics dump differs with the sampler attached; sampling must not touch the registry")
+	}
+}
+
+// TestSeriesExportDeterministic extends the same-seed contract to the series
+// export: byte-identical across same-seed runs, divergent across seeds.
+func TestSeriesExportDeterministic(t *testing.T) {
+	_, _, series1 := sampledRun(t, 42)
+	_, _, series2 := sampledRun(t, 42)
+	if !bytes.Equal(series1, series2) {
+		t.Error("series exports differ between same-seed runs")
+	}
+	_, _, series3 := sampledRun(t, 43)
+	if bytes.Equal(series1, series3) {
+		t.Error("series export identical across different seeds; windows are not capturing the schedule")
 	}
 }
 

@@ -137,7 +137,7 @@ func RunInstrumented(cfg Config, attach func(*core.Machine)) Result {
 	if attach != nil {
 		attach(m)
 	}
-	var lat stats.Sampler
+	var lat stats.Samples
 	received := make([]int, cfg.Nodes)
 	total := cfg.Nodes * cfg.Messages
 	totalReceived := 0
