@@ -9,11 +9,12 @@
 #   make faults-check  parallel (-parallel 4) fault matrix byte-compared to sequential
 #   make bench-micro   simulation-core microbenchmarks -> BENCH_micro.json
 #   make series      windowed telemetry sample -> SERIES_sample.json + SERIES_report.txt
+#   make chaos       short-budget chaos sweep, byte-compared to CHAOS_findings.json
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series ci
+.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series chaos ci
 
 all: build test
 
@@ -107,4 +108,17 @@ series:
 		-faults 'seed=7,drop=0.05' -series SERIES_sample.json -series-window 20us
 	$(GO) run ./cmd/voyager-stats -top 8 SERIES_sample.json > SERIES_report.txt
 
-ci: build test lint bench-json bench-diff faults faults-check series
+# Short-budget chaos sweep: fuzzed fault plans run through the invariant
+# oracles (exactly-once, conservation, quiescence, telescoping, metrics,
+# memcheck) under the deadlock watchdog, fanned across 4 workers. The report
+# is byte-deterministic, so it is compared against the committed baseline
+# CHAOS_findings.json (empty findings = the machine is clean); any diff —
+# a new violation or a changed plan stream — fails the build. voyager-chaos
+# itself exits nonzero on findings, so CHAOS_found.json survives for upload.
+chaos:
+	$(GO) run ./cmd/voyager-chaos -cells 8 -msgs 6 -nodes 3 -parallel 4 \
+		-shrink -out CHAOS_found.json
+	cmp CHAOS_found.json CHAOS_findings.json
+	@echo "chaos: sweep matches the committed baseline (no findings)"
+
+ci: build test lint bench-json bench-diff faults faults-check series chaos

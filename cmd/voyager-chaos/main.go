@@ -1,0 +1,88 @@
+// voyager-chaos runs the deterministic chaos harness: it fuzzes fault plans
+// over the -faults grammar, runs each (mechanism, seed, plan) cell on a
+// private machine, and checks machine-wide invariant oracles — exactly-once
+// reliable delivery, packet conservation, end-of-run quiescence, telescoping
+// trace attribution, metric sanity, and shared-memory linearizability. Cells
+// run under a sim-time watchdog, so a protocol deadlock becomes a structured
+// finding instead of a hung process, and -shrink reduces each failing cell
+// to a minimal reproduction.
+//
+// Usage:
+//
+//	voyager-chaos [-seed n] [-cells n] [-msgs n] [-nodes n] [-mech list]
+//	              [-parallel n] [-budget dur] [-shrink] [-out file]
+//
+// The report is byte-identical for a given flag set at any -parallel value;
+// CI diffs it against the committed CHAOS_findings.json baseline. Exit
+// status is 1 when any oracle found a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"startvoyager/internal/chaos"
+	"startvoyager/internal/fault"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master seed; every cell's plan and workload derive from it")
+	cells := flag.Int("cells", 24, "number of fuzz cells")
+	msgs := flag.Int("msgs", 8, "messages per sender (ops per node for scoma)")
+	nodes := flag.Int("nodes", 4, "machine size per cell")
+	mech := flag.String("mech", "", "comma-separated mechanism rotation (default reliable,basic,scoma)")
+	parallel := flag.Int("parallel", 1, "worker fan-out across cells (results are identical at any value)")
+	budget := flag.String("budget", "", "sim-time budget per cell, e.g. 5ms (default: derived per mechanism)")
+	shrink := flag.Bool("shrink", false, "reduce each failing cell to a minimal reproduction")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		log.Fatalf("usage: voyager-chaos [flags]")
+	}
+
+	cfg := chaos.Config{
+		Seed: *seed, Cells: *cells, Msgs: *msgs, Nodes: *nodes,
+		Workers: *parallel, Shrink: *shrink,
+	}
+	if *mech != "" {
+		for _, m := range strings.Split(*mech, ",") {
+			m = strings.TrimSpace(m)
+			switch m {
+			case chaos.MechReliable, chaos.MechBasic, chaos.MechScoma:
+				cfg.Mechs = append(cfg.Mechs, m)
+			default:
+				log.Fatalf("unknown mechanism %q (valid: %s)", m, strings.Join(chaos.DefaultMechs, ", "))
+			}
+		}
+	}
+	if *budget != "" {
+		d, err := fault.ParseTime(*budget)
+		if err != nil {
+			log.Fatalf("-budget: %v", err)
+		}
+		cfg.Budget = d
+	}
+
+	rep := chaos.Run(cfg)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "voyager-chaos: %d cells (%s), seed %d: %d findings\n",
+		cfg.Cells, strings.Join(rep.Mechs, ","), cfg.Seed, len(rep.Findings))
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}

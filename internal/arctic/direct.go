@@ -89,6 +89,18 @@ func (d *Direct) RegisterMetrics(r *stats.Registry) {
 	}
 }
 
+// InFlight counts packets buffered in the fabric's directional channels
+// (queued or stalled on a refusing endpoint). With the event queue drained
+// this is exactly injected-minus-delivered-minus-dropped, mirroring
+// FatTree.InFlight for the conservation oracle.
+func (d *Direct) InFlight() int {
+	n := 0
+	for _, c := range d.chans {
+		n += len(c.queue) + len(c.stalled)
+	}
+	return n
+}
+
 // delivered updates delivery counters and emits the per-packet trace event.
 func (d *Direct) delivered(pkt *Packet) {
 	d.stats.Delivered++

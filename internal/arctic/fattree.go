@@ -171,6 +171,41 @@ func (f *FatTree) RegisterMetrics(r *stats.Registry) {
 	}
 }
 
+// InFlight counts the packets currently buffered inside the fabric: lane
+// queues, serialized packets blocked on downstream admission, and credit
+// waiters, across every link. Once the event queue has drained (no
+// serialization or flight callbacks outstanding) this is exactly the number
+// of injected-but-undelivered packets, which is what the chaos harness's
+// credit-conservation oracle balances against the injector's drop counters.
+func (f *FatTree) InFlight() int {
+	n := 0
+	for _, l := range f.links {
+		for pr := Priority(0); pr < numPriorities; pr++ {
+			n += len(l.queues[pr]) + len(l.waiters[pr])
+			if l.blocked[pr] != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckLanes verifies the finite-buffer invariant: no link lane ever holds
+// more than the configured LaneCapacity packets. A violation means the
+// credit protocol admitted past a full buffer — exactly the corruption the
+// chaos harness exists to catch.
+func (f *FatTree) CheckLanes() error {
+	for _, l := range f.links {
+		for pr := Priority(0); pr < numPriorities; pr++ {
+			if got := len(l.queues[pr]); got > f.cfg.LaneCapacity {
+				return fmt.Errorf("arctic: link %s lane %d holds %d packets (capacity %d)",
+					l.name, pr, got, f.cfg.LaneCapacity)
+			}
+		}
+	}
+	return nil
+}
+
 // delivered updates delivery counters and emits the per-packet trace event;
 // both acceptance paths (first try and post-Poke retry) funnel through it.
 func (f *FatTree) delivered(pkt *Packet) {

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+
+	"startvoyager/internal/bench"
+)
+
+// Schema identifies the findings artifact format.
+const Schema = "voyager-chaos/v1"
+
+// Report is a chaos sweep's full outcome: the configuration it derives from
+// and every oracle violation, in cell order. Marshaling is deterministic
+// (fixed struct order, findings sorted by cell then discovery order), so
+// the committed findings baseline diffs cleanly.
+type Report struct {
+	Schema   string    `json:"schema"`
+	Seed     uint64    `json:"seed"`
+	Cells    int       `json:"cells"`
+	Nodes    int       `json:"nodes"`
+	Msgs     int       `json:"msgs"`
+	Mechs    []string  `json:"mechs"`
+	Findings []Finding `json:"findings"`
+}
+
+// Finding is one oracle violation, self-contained enough to replay: the
+// cell's mechanism and seed, its plan in -faults syntax, and (when the
+// shrinker ran) the reduced reproduction.
+type Finding struct {
+	Cell   int    `json:"cell"`
+	Mech   string `json:"mech"`
+	Seed   uint64 `json:"seed"`
+	Plan   string `json:"plan,omitempty"`
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	Shrunk *Repro `json:"shrunk,omitempty"`
+}
+
+// Repro is a shrunken reproduction of a finding.
+type Repro struct {
+	Plan string `json:"plan,omitempty"`
+	Msgs int    `json:"msgs"`
+	Runs int    `json:"runs"` // rerun budget the shrinker spent
+}
+
+// Run executes the whole sweep: cells fan out across Config.Workers via the
+// deterministic parallel harness and merge in cell order, so the report is
+// byte-identical at any worker count. When Config.Shrink is set, the first
+// violation of each failing cell is reduced to a minimal repro.
+func Run(cfg Config) *Report {
+	cells := GenCells(cfg)
+	results := bench.Cells(len(cells), cfg.Workers, func(i int) CellResult {
+		return RunCell(cells[i], cfg)
+	})
+	rep := &Report{
+		Schema: Schema, Seed: cfg.Seed, Cells: cfg.Cells,
+		Nodes: cfg.Nodes, Msgs: cfg.Msgs, Mechs: cfg.mechs(),
+		Findings: []Finding{},
+	}
+	type shrinkJob struct {
+		finding int // index into rep.Findings
+		cell    Cell
+		oracle  string
+	}
+	var jobs []shrinkJob
+	for _, res := range results {
+		for vi, v := range res.Violations {
+			f := Finding{
+				Cell: res.Cell.Index, Mech: res.Cell.Mech, Seed: res.Cell.Seed,
+				Oracle: v.Oracle, Detail: v.Detail,
+			}
+			if res.Cell.Plan != nil {
+				f.Plan = res.Cell.Plan.String()
+			}
+			rep.Findings = append(rep.Findings, f)
+			if cfg.Shrink && vi == 0 {
+				jobs = append(jobs, shrinkJob{len(rep.Findings) - 1, res.Cell, v.Oracle})
+			}
+		}
+	}
+	if len(jobs) > 0 {
+		// Failing cells shrink independently; fan them out like the sweep.
+		repros := bench.Cells(len(jobs), cfg.Workers, func(i int) Repro {
+			cell, runs := Shrink(jobs[i].cell, cfg, jobs[i].oracle, func(c Cell) []Violation {
+				return RunCell(c, cfg).Violations
+			})
+			r := Repro{Msgs: cell.Msgs, Runs: runs}
+			if cell.Plan != nil {
+				r.Plan = cell.Plan.String()
+			}
+			return r
+		})
+		for i := range jobs {
+			r := repros[i]
+			rep.Findings[jobs[i].finding].Shrunk = &r
+		}
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline —
+// the format of the committed CHAOS_findings.json baseline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

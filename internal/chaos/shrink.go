@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"startvoyager/internal/fault"
+	"startvoyager/internal/sim"
+)
+
+// Shrink reduces a failing cell to a minimal reproduction by greedy
+// delta-debugging over the plan's structure: it repeatedly proposes
+// strictly simpler variants (fewer messages, a clause removed, a lane rate
+// zeroed, an outage window narrowed), re-runs each, and keeps a variant
+// only when the SAME oracle still fails — a different failure is a
+// different bug, not a smaller instance of this one. Every accepted step
+// strictly shrinks the cell, so the loop terminates; rerun invocations are
+// additionally capped by cfg.MaxShrinkRuns, and the count spent is
+// returned alongside the reduced cell.
+//
+// rerun must be a pure function of the cell (RunCell is), or the reduction
+// is meaningless.
+func Shrink(c Cell, cfg Config, oracle string, rerun func(Cell) []Violation) (Cell, int) {
+	runs := 0
+	maxRuns := cfg.maxShrinkRuns()
+	fails := func(cand Cell) bool {
+		runs++
+		for _, v := range rerun(cand) {
+			if v.Oracle == oracle {
+				return true
+			}
+		}
+		return false
+	}
+	cur := c
+	for improved := true; improved && runs < maxRuns; {
+		improved = false
+		for _, cand := range shrinkCandidates(cur) {
+			if runs >= maxRuns {
+				break
+			}
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break // restart candidate generation from the simpler cell
+			}
+		}
+	}
+	return cur, runs
+}
+
+// shrinkCandidates proposes every one-step simplification of the cell, each
+// strictly smaller than the input, ordered so the biggest structural
+// reductions are tried first.
+func shrinkCandidates(c Cell) []Cell {
+	var out []Cell
+	emit := func(msgs int, mutate func(p *fault.Plan)) {
+		cand := c
+		cand.Msgs = msgs
+		if c.Plan != nil {
+			cand.Plan = clonePlan(c.Plan)
+			if mutate != nil {
+				mutate(cand.Plan)
+			}
+		}
+		out = append(out, cand)
+	}
+
+	// Workload size first: halving the message count halves every re-run.
+	if c.Msgs > 1 {
+		emit(c.Msgs/2, nil)
+	}
+	if c.Plan == nil {
+		return out
+	}
+	p := c.Plan
+	// Remove whole clauses: deaths, then outages.
+	for i := range p.Deaths {
+		i := i
+		emit(c.Msgs, func(q *fault.Plan) { q.Deaths = append(q.Deaths[:i], q.Deaths[i+1:]...) })
+	}
+	for i := range p.Outages {
+		i := i
+		emit(c.Msgs, func(q *fault.Plan) { q.Outages = append(q.Outages[:i], q.Outages[i+1:]...) })
+	}
+	// Zero each probabilistic fault class (both lanes at once — the classes
+	// are independent knobs, the lanes rarely are).
+	if p.Lanes[fault.LaneHigh].Drop != 0 || p.Lanes[fault.LaneLow].Drop != 0 {
+		emit(c.Msgs, func(q *fault.Plan) {
+			q.Lanes[fault.LaneHigh].Drop, q.Lanes[fault.LaneLow].Drop = 0, 0
+		})
+	}
+	if p.Lanes[fault.LaneHigh].Corrupt != 0 || p.Lanes[fault.LaneLow].Corrupt != 0 {
+		emit(c.Msgs, func(q *fault.Plan) {
+			q.Lanes[fault.LaneHigh].Corrupt, q.Lanes[fault.LaneLow].Corrupt = 0, 0
+		})
+	}
+	if p.Lanes[fault.LaneHigh].Duplicate != 0 || p.Lanes[fault.LaneLow].Duplicate != 0 {
+		emit(c.Msgs, func(q *fault.Plan) {
+			q.Lanes[fault.LaneHigh].Duplicate, q.Lanes[fault.LaneLow].Duplicate = 0, 0
+		})
+	}
+	if p.Lanes[fault.LaneHigh].DelayProb != 0 || p.Lanes[fault.LaneLow].DelayProb != 0 {
+		emit(c.Msgs, func(q *fault.Plan) {
+			q.Lanes[fault.LaneHigh].DelayProb, q.Lanes[fault.LaneHigh].DelayMax = 0, 0
+			q.Lanes[fault.LaneLow].DelayProb, q.Lanes[fault.LaneLow].DelayMax = 0, 0
+		})
+	}
+	// Narrow surviving outage windows: halve from the back, keeping the
+	// onset (the onset is usually what matters; the tail is usually slack).
+	for i, o := range p.Outages {
+		i := i
+		if w := o.To - o.From; w > sim.Microsecond {
+			emit(c.Msgs, func(q *fault.Plan) { q.Outages[i].To = q.Outages[i].From + w/2 })
+		}
+	}
+	return out
+}
+
+// clonePlan deep-copies a plan so candidate mutations never alias.
+func clonePlan(p *fault.Plan) *fault.Plan {
+	q := *p
+	q.Outages = append([]fault.Outage(nil), p.Outages...)
+	q.Deaths = append([]fault.NodeDeath(nil), p.Deaths...)
+	return &q
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"startvoyager/internal/sim"
+	"startvoyager/internal/trace"
+)
+
+// lifecycleTap is a sim.Observer that retains only message-lifecycle
+// instants — the events trace.AnalyzePaths consumes (Instant kind, nonzero
+// I64 "msg" field). Firmware polling emits tens of span events per simulated
+// microsecond whether or not traffic flows, so a general ring sized for a
+// chaos cell's full budget would need millions of slots; filtering at the
+// observer instead keeps memory proportional to actual message traffic and
+// makes the telescoping oracle immune to ring truncation.
+type lifecycleTap struct {
+	cap     int
+	events  []trace.Event
+	dropped uint64
+}
+
+func attachLifecycleTap(e *sim.Engine, capacity int) *lifecycleTap {
+	t := &lifecycleTap{cap: capacity}
+	e.SetObserver(t)
+	return t
+}
+
+// Instant implements sim.Observer, keeping only events with a message id.
+func (t *lifecycleTap) Instant(at sim.Time, node int, component, name string, fields []sim.Field) {
+	hasMsg := false
+	for _, f := range fields {
+		if f.Key == "msg" {
+			if v, ok := f.Int64(); ok && v != 0 {
+				hasMsg = true
+				break
+			}
+		}
+	}
+	if !hasMsg {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, trace.Event{
+		At: at, Node: node, Component: component, Kind: trace.Instant,
+		Name: name, Fields: fields,
+	})
+}
+
+// SpanBegin implements sim.Observer (spans carry no message ids; discard).
+func (t *lifecycleTap) SpanBegin(sim.Time, int, string, string, uint64, []sim.Field) {}
+
+// SpanEnd implements sim.Observer.
+func (t *lifecycleTap) SpanEnd(sim.Time, int, string, uint64, []sim.Field) {}
+
+// CounterSample implements sim.Observer.
+func (t *lifecycleTap) CounterSample(sim.Time, int, string, string, int64) {}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"startvoyager/internal/sim"
+)
+
+// String renders the plan in the grammar ParsePlan accepts, so a plan — in
+// particular a fuzzer-generated or shrinker-reduced one — can be committed
+// as a -faults flag and replayed exactly. The rendering is deterministic
+// (fixed clause order: seed, drop, corrupt, dup, delay, outages, deaths) and
+// lossless: ParsePlan(p.String()) reproduces p field for field. A lane pair
+// with equal rates collapses to the unsuffixed key; times render with the
+// coarsest exact unit.
+func (p *Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	hi, lo := p.Lanes[LaneHigh], p.Lanes[LaneLow]
+	prob := func(key string, h, l float64) {
+		switch {
+		case h == l && h != 0:
+			parts = append(parts, key+"="+formatProb(h))
+		default:
+			if h != 0 {
+				parts = append(parts, key+".high="+formatProb(h))
+			}
+			if l != 0 {
+				parts = append(parts, key+".low="+formatProb(l))
+			}
+		}
+	}
+	prob("drop", hi.Drop, lo.Drop)
+	prob("corrupt", hi.Corrupt, lo.Corrupt)
+	prob("dup", hi.Duplicate, lo.Duplicate)
+	delay := func(key string, lp LaneProbs) {
+		// A delay clause with no bound is a no-op in the injector; omit it so
+		// the rendering stays parseable (ParsePlan requires a positive bound).
+		if lp.DelayProb == 0 || lp.DelayMax <= 0 {
+			return
+		}
+		parts = append(parts, key+"="+formatProb(lp.DelayProb)+"@"+FormatTime(lp.DelayMax))
+	}
+	if hi.DelayProb == lo.DelayProb && hi.DelayMax == lo.DelayMax {
+		delay("delay", hi)
+	} else {
+		delay("delay.high", hi)
+		delay("delay.low", lo)
+	}
+	for _, o := range p.Outages {
+		parts = append(parts, fmt.Sprintf("outage=%s-%s@%s:%s",
+			formatNode(o.Src), formatNode(o.Dst), FormatTime(o.From), FormatTime(o.To)))
+	}
+	for _, d := range p.Deaths {
+		parts = append(parts, fmt.Sprintf("death=%d@%s", d.Node, FormatTime(d.At)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// formatProb renders a probability with the shortest representation that
+// ParseFloat reads back exactly.
+func formatProb(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// formatNode renders a node index, with -1 as the * wildcard.
+func formatNode(n int) string {
+	if n < 0 {
+		return "*"
+	}
+	return strconv.Itoa(n)
+}
+
+// FormatTime renders t in the ns/us/ms/s grammar ParseTime accepts, using
+// the coarsest unit that divides t exactly so the round trip is lossless.
+func FormatTime(t sim.Time) string {
+	switch {
+	case t != 0 && t%sim.Second == 0:
+		return fmt.Sprintf("%ds", t/sim.Second)
+	case t != 0 && t%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", t/sim.Millisecond)
+	case t != 0 && t%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", t/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+// plansEqual compares two plans field for field (slices by value).
+func plansEqual(a, b *Plan) bool {
+	if a.Seed != b.Seed || a.Lanes != b.Lanes ||
+		len(a.Outages) != len(b.Outages) || len(a.Deaths) != len(b.Deaths) {
+		return false
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			return false
+		}
+	}
+	for i := range a.Deaths {
+		if a.Deaths[i] != b.Deaths[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePlan(p.String()) must reproduce p exactly — the property that lets a
+// shrunken repro be committed as a -faults flag and replayed.
+func TestPlanStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"seed=9,drop=0.05,corrupt=0.01,dup=0.02,delay=0.1@2us,outage=1-2@10us:20us,death=3@50us",
+		"seed=2,drop.high=0.001,drop.low=0.25,delay.low=0.03@30us",
+		"outage=*-0@1ms:2ms,outage=0-*@0ns:5us,outage=*-*@7us:8us,death=0@0ns",
+		"seed=18446744073709551615,dup=0.5,outage=3-1@999ns:1us",
+	}
+	for _, spec := range specs {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		s := p.String()
+		q, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("round trip of %q: rendering %q does not parse: %v", spec, s, err)
+		}
+		if !plansEqual(p, q) {
+			t.Errorf("round trip of %q via %q: %+v != %+v", spec, s, p, q)
+		}
+	}
+}
+
+// Rendering is canonical: the same plan expressed two ways in the input
+// grammar renders to one string.
+func TestPlanStringCanonical(t *testing.T) {
+	a, err := ParsePlan("drop.high=0.1,drop.low=0.1,seed=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParsePlan("seed=4,drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("equivalent plans render differently: %q vs %q", a.String(), b.String())
+	}
+}
+
+// Generated plans — the fuzzer's whole output space — must round-trip too.
+func TestGenPlanRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := GenPlan(seed, 4, 2*sim.Millisecond)
+		s := p.String()
+		q, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("seed %d: rendering %q does not parse: %v", seed, s, err)
+		}
+		if !plansEqual(p, q) {
+			t.Fatalf("seed %d: round trip via %q: %+v != %+v", seed, s, p, q)
+		}
+	}
+}
+
+func TestFormatTime(t *testing.T) {
+	cases := map[sim.Time]string{
+		0:                           "0ns",
+		250 * sim.Nanosecond:        "250ns",
+		2 * sim.Microsecond:         "2us",
+		1500 * sim.Microsecond:      "1500us",
+		3 * sim.Millisecond:         "3ms",
+		sim.Second:                  "1s",
+		sim.Second + sim.Nanosecond: "1000000001ns",
+	}
+	for in, want := range cases {
+		if got := FormatTime(in); got != want {
+			t.Errorf("FormatTime(%d) = %q, want %q", int64(in), got, want)
+		}
+		back, err := ParseTime(FormatTime(in))
+		if err != nil || back != in {
+			t.Errorf("FormatTime(%d) = %q does not parse back: %v, %v", int64(in), FormatTime(in), back, err)
+		}
+	}
+}

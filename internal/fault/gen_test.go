@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+// Same (seed, nodes, horizon) must always yield the same plan — the chaos
+// harness's reproducibility rests on this.
+func TestGenPlanDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 50; seed++ {
+		a := GenPlan(seed, 8, sim.Millisecond)
+		b := GenPlan(seed, 8, sim.Millisecond)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a.String(), b.String())
+		}
+	}
+}
+
+// Different seeds must explore the space: across a modest sweep we expect
+// to see lane faults, outages, deaths, boundary windows (From == 0), and
+// chained windows (back-to-back or overlapping) all appear.
+func TestGenPlanCoversBoundaryCases(t *testing.T) {
+	const horizon = 2 * sim.Millisecond
+	var sawLaneFault, sawOutage, sawDeath, sawZeroFrom, sawChained, sawWildcard, sawSplit bool
+	for seed := uint64(0); seed < 500; seed++ {
+		p := GenPlan(seed, 4, horizon)
+		if p.Lanes[LaneHigh] != (LaneProbs{}) || p.Lanes[LaneLow] != (LaneProbs{}) {
+			sawLaneFault = true
+		}
+		if p.Lanes[LaneHigh] != p.Lanes[LaneLow] {
+			sawSplit = true
+		}
+		if len(p.Outages) > 0 {
+			sawOutage = true
+		}
+		for i, o := range p.Outages {
+			if o.From == 0 {
+				sawZeroFrom = true
+			}
+			if o.Src == -1 || o.Dst == -1 {
+				sawWildcard = true
+			}
+			if i > 0 {
+				prev := p.Outages[i-1]
+				if o.From == prev.To || (o.From > prev.From && o.From < prev.To) {
+					sawChained = true
+				}
+			}
+		}
+		if len(p.Deaths) > 0 {
+			sawDeath = true
+		}
+		// Structural invariants on every plan.
+		for _, o := range p.Outages {
+			if o.To <= o.From {
+				t.Fatalf("seed %d: empty window %+v", seed, o)
+			}
+		}
+		seen := map[int]bool{}
+		for _, d := range p.Deaths {
+			if d.Node < 0 || d.Node >= 4 {
+				t.Fatalf("seed %d: death of nonexistent node %d", seed, d.Node)
+			}
+			if seen[d.Node] {
+				t.Fatalf("seed %d: node %d dies twice", seed, d.Node)
+			}
+			seen[d.Node] = true
+		}
+		if len(p.Deaths) > 3 {
+			t.Fatalf("seed %d: %d deaths leave no survivor among 4 nodes", seed, len(p.Deaths))
+		}
+		if p.Seed == 0 {
+			t.Fatalf("seed %d: generated plan has zero injector seed", seed)
+		}
+	}
+	for name, saw := range map[string]bool{
+		"lane faults": sawLaneFault, "outages": sawOutage, "deaths": sawDeath,
+		"zero-start windows": sawZeroFrom, "chained windows": sawChained,
+		"wildcard endpoints": sawWildcard, "split lanes": sawSplit,
+	} {
+		if !saw {
+			t.Errorf("500-seed sweep never produced %s", name)
+		}
+	}
+}
+
+// Degenerate inputs produce a benign plan rather than panicking.
+func TestGenPlanDegenerate(t *testing.T) {
+	for _, c := range []struct {
+		nodes   int
+		horizon sim.Time
+	}{{1, sim.Millisecond}, {0, sim.Millisecond}, {4, 0}, {4, -sim.Microsecond}} {
+		p := GenPlan(7, c.nodes, c.horizon)
+		if len(p.Outages) != 0 || len(p.Deaths) != 0 {
+			t.Errorf("GenPlan(7, %d, %v) scheduled faults: %+v", c.nodes, c.horizon, p)
+		}
+		if p.Seed == 0 {
+			t.Errorf("GenPlan(7, %d, %v) has zero seed", c.nodes, c.horizon)
+		}
+	}
+}

@@ -35,7 +35,7 @@ func ParsePlan(s string) (*Plan, error) {
 		}
 		key, val, ok := strings.Cut(entry, "=")
 		if !ok {
-			return nil, fmt.Errorf("fault: entry %q is not key=value", entry)
+			return nil, fmt.Errorf("fault: entry %q is not key=value (%s)", entry, clauseKinds)
 		}
 		if err := p.apply(key, val); err != nil {
 			return nil, err
@@ -43,6 +43,12 @@ func ParsePlan(s string) (*Plan, error) {
 	}
 	return p, nil
 }
+
+// clauseKinds enumerates the accepted grammar for error messages, so a typo
+// in a -faults flag names what would have been legal.
+const clauseKinds = "valid clauses: seed=N, drop=P, corrupt=P, dup=P, " +
+	"delay=P@maxT, outage=SRC-DST@FROM:TO, death=NODE@T; " +
+	"drop/corrupt/dup/delay take an optional .high/.low lane suffix"
 
 func (p *Plan) apply(key, val string) error {
 	base, lane, err := splitLane(key)
@@ -121,7 +127,7 @@ func (p *Plan) apply(key, val string) error {
 		p.Deaths = append(p.Deaths, NodeDeath{Node: node, At: at})
 		return nil
 	default:
-		return fmt.Errorf("fault: unknown plan key %q", key)
+		return fmt.Errorf("fault: unknown plan key %q in entry %q (%s)", key, key+"="+val, clauseKinds)
 	}
 }
 
@@ -145,7 +151,7 @@ func splitLane(key string) (base, lane string, err error) {
 		return key, "", nil
 	}
 	if lane != "high" && lane != "low" {
-		return "", "", fmt.Errorf("fault: unknown lane suffix %q (want high or low)", lane)
+		return "", "", fmt.Errorf("fault: unknown lane suffix %q in key %q (want high or low; %s)", lane, key, clauseKinds)
 	}
 	return base, lane, nil
 }

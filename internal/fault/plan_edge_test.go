@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+// Wildcards mixed with concrete endpoints: *-N, N-*, and *-* must each
+// match exactly the traffic their concrete half pins down.
+func TestOutageWildcardMix(t *testing.T) {
+	at := 15 * sim.Microsecond
+	cases := []struct {
+		spec                   string
+		src, dst               int
+		into2, outOf2, zeroTo1 bool
+	}{
+		// *-2: anything into node 2, nothing out of it.
+		{"outage=*-2@10us:20us", -1, 2, true, false, false},
+		// 2-*: anything out of node 2, nothing into it.
+		{"outage=2-*@10us:20us", 2, -1, false, true, false},
+		// *-*: the whole fabric.
+		{"outage=*-*@10us:20us", -1, -1, true, true, true},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", c.spec, err)
+		}
+		o := p.Outages[0]
+		if o.Src != c.src || o.Dst != c.dst {
+			t.Fatalf("%q parsed to %+v", c.spec, o)
+		}
+		if got := o.covers(0, 2, at); got != c.into2 {
+			t.Errorf("%q covers(0,2) = %v, want %v", c.spec, got, c.into2)
+		}
+		if got := o.covers(2, 0, at); got != c.outOf2 {
+			t.Errorf("%q covers(2,0) = %v, want %v", c.spec, got, c.outOf2)
+		}
+		if got := o.covers(0, 1, at); got != c.zeroTo1 {
+			t.Errorf("%q covers(0,1) = %v, want %v", c.spec, got, c.zeroTo1)
+		}
+	}
+}
+
+// Overlapping windows behave as their union; adjacent (back-to-back)
+// windows leave no gap and no double boundary: [10,20) then [20,30) covers
+// t=20 exactly once, via the second window.
+func TestOutageOverlapAndAdjacency(t *testing.T) {
+	p, err := ParsePlan("outage=0-1@10us:20us,outage=0-1@15us:25us,outage=0-1@25us:35us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := func(at sim.Time) int {
+		n := 0
+		for _, o := range p.Outages {
+			if o.covers(0, 1, at) {
+				n++
+			}
+		}
+		return n
+	}
+	// Overlap region: both windows claim it — the injector drops either way.
+	if covered(17*sim.Microsecond) != 2 {
+		t.Errorf("overlap region covered by %d windows, want 2", covered(17*sim.Microsecond))
+	}
+	// Adjacent boundary: half-open windows hand off with no double count.
+	if covered(25*sim.Microsecond) != 1 {
+		t.Errorf("adjacency boundary covered %d times, want exactly 1", covered(25*sim.Microsecond))
+	}
+	// No gap anywhere in the merged span [10us, 35us).
+	for at := 10 * sim.Microsecond; at < 35*sim.Microsecond; at += sim.Microsecond {
+		if covered(at) == 0 {
+			t.Fatalf("gap at %v inside the merged outage span", at)
+		}
+	}
+	if covered(35*sim.Microsecond) != 0 {
+		t.Error("half-open window covered its own end")
+	}
+}
+
+// Zero-length (and inverted) windows are rejected at parse time — a window
+// that can never fire is always a typo.
+func TestOutageEmptyWindowRejected(t *testing.T) {
+	for _, spec := range []string{
+		"outage=0-1@10us:10us",
+		"outage=*-1@5ms:5ms",
+		"outage=0-1@20us:10us",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted an empty window", spec)
+		} else if !strings.Contains(err.Error(), "empty") {
+			t.Errorf("ParsePlan(%q) error %q does not say the window is empty", spec, err)
+		}
+	}
+}
+
+// Parse errors must name the offending token and enumerate the valid
+// clause kinds, so a botched -faults flag is self-explaining.
+func TestParsePlanErrorsNameToken(t *testing.T) {
+	cases := []struct{ spec, token string }{
+		{"bogus=1", `"bogus"`},
+		{"drop+0.1", `"drop+0.1"`},
+		{"drop.mid=0.1", `"mid"`},
+	}
+	for _, c := range cases {
+		_, err := ParsePlan(c.spec)
+		if err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", c.spec)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, c.token) {
+			t.Errorf("ParsePlan(%q) error %q does not name token %s", c.spec, msg, c.token)
+		}
+		if !strings.Contains(msg, "valid clauses") || !strings.Contains(msg, "outage=SRC-DST@FROM:TO") {
+			t.Errorf("ParsePlan(%q) error %q does not enumerate valid clause kinds", c.spec, msg)
+		}
+	}
+}

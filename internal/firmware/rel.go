@@ -168,6 +168,20 @@ func (r *Rel) Config() RelConfig { return r.cfg }
 // Stats returns a snapshot of counters.
 func (r *Rel) Stats() RelStats { return r.stats }
 
+// Quiesced reports whether every peer's sender state has drained: nothing
+// awaiting an ACK, nothing queued behind the window. With the event queue
+// drained this must hold — a non-empty buffer with no armed timer means a
+// send was silently abandoned, which is the quiescence oracle's target.
+func (r *Rel) Quiesced() error {
+	for _, peer := range r.peers {
+		if len(peer.inflight) > 0 || len(peer.pending) > 0 {
+			return fmt.Errorf("firmware: node %d rel peer %d not quiesced: %d in flight, %d pending",
+				r.e.node, peer.node, len(peer.inflight), len(peer.pending))
+		}
+	}
+	return nil
+}
+
 // RegisterMetrics registers the service's counters under reg.
 func (r *Rel) RegisterMetrics(reg *stats.Registry) {
 	reg.Gauge("rel_sends", func() int64 { return int64(r.stats.Sends) })

@@ -608,6 +608,20 @@ func (c *Ctrl) RxConsumer(q int) uint32 { c.checkQ(q); return c.rx[q].consumer }
 // TxShutdown reports whether queue q was shut down by protection.
 func (c *Ctrl) TxShutdown(q int) bool { c.checkQ(q); return c.tx[q].shutdown }
 
+// TxBacklog totals the work CTRL has accepted but not finished launching:
+// produced-but-unconsumed transmit descriptors across every queue, plus
+// launches deferred by fabric backpressure. Zero is part of the machine's
+// end-of-run quiescence invariant — a nonzero backlog after the event queue
+// drains means a send was accepted and then silently wedged.
+func (c *Ctrl) TxBacklog() int {
+	n := 0
+	for q := range c.tx {
+		n += int(c.tx[q].pending())
+	}
+	n += len(c.emitPending[0]) + len(c.emitPending[1])
+	return n
+}
+
 // shadowTx mirrors tx pointers into SRAM so processors can poll them.
 //
 //voyager:noalloc

@@ -5,6 +5,7 @@ package sim
 // engine event at the current time, so wakeup order is deterministic.
 type Cond struct {
 	eng     *Engine
+	name    string // optional label for stall diagnostics (see SetName)
 	waiters []*condWaiter
 }
 
@@ -16,6 +17,7 @@ type Cond struct {
 // recognizes itself and bows out.
 type condWaiter struct {
 	p        *Proc
+	since    Time // when the wait began, for stall diagnostics
 	signaled bool
 	timedOut bool
 	timed    bool   // a timeout event may still reference this record
@@ -30,10 +32,11 @@ func (e *Engine) getWaiter(p *Proc) *condWaiter {
 		w := e.waiterFree[n-1]
 		e.waiterFree = e.waiterFree[:n-1]
 		w.p = p
+		w.since = e.now
 		w.signaled, w.timedOut, w.timed = false, false, false
 		return w
 	}
-	return &condWaiter{p: p} //voyager:alloc-ok(pool warm-up; recycled thereafter)
+	return &condWaiter{p: p, since: e.now} //voyager:alloc-ok(pool warm-up; recycled thereafter)
 }
 
 // putWaiter returns a waiter record to the free list, invalidating any
@@ -47,7 +50,16 @@ func (e *Engine) putWaiter(w *condWaiter) {
 }
 
 // NewCond returns a condition variable bound to e.
-func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+func NewCond(e *Engine) *Cond {
+	c := &Cond{eng: e}
+	e.conds = append(e.conds, c)
+	return c
+}
+
+// SetName labels the condition for stall diagnostics: a Proc found blocked
+// here is reported as waiting at this name. Unnamed conditions report as
+// "cond".
+func (c *Cond) SetName(name string) { c.name = name }
 
 // Wait blocks p until a Signal or Broadcast resumes it. As with sync.Cond,
 // callers should re-check their predicate in a loop.
@@ -208,12 +220,15 @@ type Queue[T any] struct {
 func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
 
 // Observe samples the queue depth onto the observability track
-// (node, component) under name whenever the depth changes.
+// (node, component) under name whenever the depth changes. The queue's
+// condition inherits the label, so stall diagnostics name Procs blocked in
+// Pop by the queue they starve on.
 func (q *Queue[T]) Observe(node int, component, name string) {
 	q.observed = true
 	q.obsNode = node
 	q.obsComp = component
 	q.obsName = name
+	q.cond.SetName(component + "/" + name)
 }
 
 //voyager:noalloc

@@ -140,6 +140,13 @@ type Engine struct {
 	// blocking — every Queue.Pop, every Cond.Wait — is allocation-free.
 	waiterFree []*condWaiter
 
+	// conds registers every condition variable created on this engine, in
+	// construction order, so the stall watchdog (watchdog.go) can enumerate
+	// blocked Procs with where and since-when they block. Registration is a
+	// construction-time append; the steady-state wait/signal path never
+	// touches it.
+	conds []*Cond
+
 	// Timer hook: an out-of-band callback fired when simulated time reaches
 	// hookAt. Unlike a scheduled event it lives outside the event queue — it
 	// consumes no sequence number and does not count toward nEvents — so

@@ -112,6 +112,18 @@ func (r *Registry) Histogram(name string, h *Histogram) {
 	r.add(name, &entry{kind: kindHist, hist: h})
 }
 
+// ReadGauge reads the current value of the gauge registered at the full
+// path (e.g. "net/fault/injected_drops"). The second result is false when
+// no gauge lives there. It lets invariant checkers sample individual
+// counters point-wise instead of serializing the whole registry.
+func (r *Registry) ReadGauge(path string) (int64, bool) {
+	e, ok := r.root.entries[path]
+	if !ok || e.kind != kindGauge {
+		return 0, false
+	}
+	return e.gauge(), true
+}
+
 // Paths returns every registered metric path, sorted.
 func (r *Registry) Paths() []string {
 	var out []string

@@ -337,7 +337,10 @@ func writeQueues(b *strings.Builder, doc *SeriesDoc, opts ReportOpts) {
 }
 
 // writeStallAttribution charts, window by window, where backpressure went:
-// link credit stalls, R-Basic retransmits, and fault-injected drops.
+// link credit stalls, R-Basic retransmits, and fault-injected drops — the
+// latter split by cause, since a probabilistic drop (retransmission noise),
+// an outage window (transient partition), and a node death (permanent loss)
+// call for very different fixes.
 func writeStallAttribution(b *strings.Builder, doc *SeriesDoc, opts ReportOpts) {
 	isCounterSum := func(d *SeriesData) []int64 { return d.Sum }
 	creditStalls := sumMatching(doc,
@@ -348,25 +351,31 @@ func writeStallAttribution(b *strings.Builder, doc *SeriesDoc, opts ReportOpts) 
 	retrans := sumMatching(doc,
 		func(p string) bool { return strings.HasSuffix(p, "fault/retransmits") },
 		gaugeWindowDeltas)
-	drops := sumMatching(doc,
-		func(p string) bool {
-			return strings.HasPrefix(p, "net/fault/") && strings.HasSuffix(p, "_drops")
-		},
-		gaugeWindowDeltas)
+	dropSuffix := func(leaf string) []int64 {
+		return sumMatching(doc,
+			func(p string) bool { return strings.HasPrefix(p, "net/fault/") && strings.HasSuffix(p, leaf) },
+			gaugeWindowDeltas)
+	}
+	probDrops := dropSuffix("/injected_drops")
+	outageDrops := dropSuffix("/outage_drops")
+	deathDrops := dropSuffix("/death_drops")
 
 	t := Table{
 		Title:   "stall attribution by window",
-		Columns: []string{"window", "t_start", "credit-stalls", "retransmits", "drops"},
+		Columns: []string{"window", "t_start", "credit-stalls", "retransmits", "prob-drops", "outage-drops", "death-drops"},
 	}
 	any := false
 	for i := 0; i < doc.Windows; i++ {
-		if creditStalls[i] != 0 || retrans[i] != 0 || drops[i] != 0 {
+		if creditStalls[i] != 0 || retrans[i] != 0 ||
+			probDrops[i] != 0 || outageDrops[i] != 0 || deathDrops[i] != 0 {
 			any = true
 		}
 		t.AddRow(fmt.Sprintf("%d", i), sim.Time(int64(i)*doc.WindowNs).String(),
 			fmt.Sprintf("%d", creditStalls[i]),
 			fmt.Sprintf("%d", retrans[i]),
-			fmt.Sprintf("%d", drops[i]))
+			fmt.Sprintf("%d", probDrops[i]),
+			fmt.Sprintf("%d", outageDrops[i]),
+			fmt.Sprintf("%d", deathDrops[i]))
 	}
 	if !any {
 		fmt.Fprintf(b, "== stall attribution by window ==\n(no stalls, retransmits, or drops recorded)\n\n")

@@ -50,6 +50,8 @@ func reportDoc() *SeriesDoc {
 			"node0/bus/waiters":           mk("gauge", 0, 1, 2, 1, 0, 0),
 			"node1/fault/retransmits":     mk("gauge", 0, 1, 3, 6, 7, 7),
 			"net/fault/injected_drops":    mk("gauge", 0, 1, 2, 4, 5, 5),
+			"net/fault/outage_drops":      mk("gauge", 0, 0, 3, 3, 3, 3),
+			"net/fault/death_drops":       mk("gauge", 0, 0, 0, 2, 4, 4),
 			"net/delivery_latency_ns":     hist,
 		},
 	}
