@@ -9,12 +9,14 @@
 #   make faults-check  parallel (-parallel 4) fault matrix byte-compared to sequential
 #   make bench-micro   simulation-core microbenchmarks -> BENCH_micro.json
 #   make series      windowed telemetry sample -> SERIES_sample.json + SERIES_report.txt
+#   make prof        simulated-time profile byte-compared to PROF_sample.* goldens
+#   make prof-baseline  refresh the committed profile goldens
 #   make chaos       short-budget chaos sweep, byte-compared to CHAOS_findings.json
 #   make ci          everything CI runs
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series chaos ci
+.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series prof prof-baseline chaos ci
 
 all: build test
 
@@ -108,6 +110,30 @@ series:
 		-faults 'seed=7,drop=0.05' -series SERIES_sample.json -series-window 20us
 	$(GO) run ./cmd/voyager-stats -top 8 SERIES_sample.json > SERIES_report.txt
 
+# Simulated-time profile golden: the headline reliable-ring run captured
+# with the profiler and exported in all three formats (voyager-prof/v1 JSON,
+# folded flame-graph stacks, pprof protobuf) plus the rendered report, each
+# byte-compared to the committed artifact. The inertness tests under
+# `make test` prove the profiled run is the same run as the unprofiled one.
+prof:
+	$(GO) run ./cmd/voyager-run -nodes 4 -mech reliable -count 50 \
+		-faults 'seed=7,drop=0.05' -prof /tmp/PROF_sample.json \
+		-prof-folded /tmp/PROF_sample.folded -prof-pprof /tmp/PROF_sample.pb
+	$(GO) run ./cmd/voyager-prof -top 8 /tmp/PROF_sample.json > /tmp/PROF_report.txt
+	cmp /tmp/PROF_sample.json PROF_sample.json
+	cmp /tmp/PROF_sample.folded PROF_sample.folded
+	cmp /tmp/PROF_sample.pb PROF_sample.pb
+	cmp /tmp/PROF_report.txt PROF_report.txt
+	@echo "prof: profile artifacts match the committed goldens"
+
+# Refresh the committed profile goldens after an intentional timing or
+# attribution change.
+prof-baseline:
+	$(GO) run ./cmd/voyager-run -nodes 4 -mech reliable -count 50 \
+		-faults 'seed=7,drop=0.05' -prof PROF_sample.json \
+		-prof-folded PROF_sample.folded -prof-pprof PROF_sample.pb
+	$(GO) run ./cmd/voyager-prof -top 8 PROF_sample.json > PROF_report.txt
+
 # Short-budget chaos sweep: fuzzed fault plans run through the invariant
 # oracles (exactly-once, conservation, quiescence, telescoping, metrics,
 # memcheck) under the deadlock watchdog, fanned across 4 workers. The report
@@ -121,4 +147,4 @@ chaos:
 	cmp CHAOS_found.json CHAOS_findings.json
 	@echo "chaos: sweep matches the committed baseline (no findings)"
 
-ci: build test lint bench-json bench-diff faults faults-check series chaos
+ci: build test lint bench-json bench-diff faults faults-check series prof chaos

@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"startvoyager/internal/bench"
+	"startvoyager/internal/prof"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 	"startvoyager/internal/workload"
@@ -78,6 +79,9 @@ func main() {
 	microFile := flag.String("micro", "", "run the microbenchmark suite and write events/sec + allocs/op as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	profFile := flag.String("prof", "", "write the canonical run's simulated-time profile (voyager-prof/v1 JSON)")
+	profFolded := flag.String("prof-folded", "", "write the canonical run's profile as folded flame-graph stacks")
+	profPprof := flag.String("prof-pprof", "", "write the canonical run's profile as pprof protobuf")
 	flag.Parse()
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
@@ -90,7 +94,8 @@ func main() {
 	}
 
 	ran := false
-	if *traceFile != "" || *metricsFile != "" || *seriesFile != "" || *strictTrace {
+	profiling := *profFile != "" || *profFolded != "" || *profPprof != ""
+	if *traceFile != "" || *metricsFile != "" || *seriesFile != "" || *strictTrace || profiling {
 		var scfg *stats.SamplerConfig
 		if *seriesFile != "" {
 			w, err := time.ParseDuration(*seriesWindow)
@@ -99,7 +104,11 @@ func main() {
 			}
 			scfg = &stats.SamplerConfig{Window: sim.Time(w.Nanoseconds())}
 		}
-		obs := bench.ObservedRunSeries(*traceCap, scfg)
+		var profiler *prof.Profiler
+		if profiling {
+			profiler = prof.New()
+		}
+		obs := bench.ObservedRunProf(*traceCap, scfg, profiler)
 		meta := &stats.RunMeta{Tool: "voyager-bench", Mechanism: "mixed", Nodes: 4,
 			SimTimeNs: int64(obs.SimTime)}
 		if *traceFile != "" {
@@ -113,6 +122,21 @@ func main() {
 		if *seriesFile != "" {
 			writeFile(*seriesFile, func(f *os.File) error { return obs.Series.WriteJSON(f, meta) })
 			fmt.Printf("series: %s (%d windows, render with voyager-stats)\n", *seriesFile, obs.Series.Windows())
+		}
+		if profiling {
+			doc := profiler.Doc(meta)
+			if *profFile != "" {
+				writeFile(*profFile, func(f *os.File) error { return doc.WriteJSON(f) })
+				fmt.Printf("prof: %s (render with voyager-prof)\n", *profFile)
+			}
+			if *profFolded != "" {
+				writeFile(*profFolded, func(f *os.File) error { return doc.WriteFolded(f) })
+				fmt.Printf("prof-folded: %s\n", *profFolded)
+			}
+			if *profPprof != "" {
+				writeFile(*profPprof, func(f *os.File) error { return doc.WritePprof(f) })
+				fmt.Printf("prof-pprof: %s\n", *profPprof)
+			}
 		}
 		if d := obs.Trace.Stats().Dropped; d > 0 {
 			fmt.Fprintf(os.Stderr, "WARNING: trace ring dropped %d events; the trace is truncated (raise -trace-cap)\n", d)

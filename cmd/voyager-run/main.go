@@ -56,6 +56,7 @@ import (
 	"startvoyager/internal/cluster"
 	"startvoyager/internal/core"
 	"startvoyager/internal/fault"
+	"startvoyager/internal/prof"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
@@ -70,6 +71,7 @@ type runOpts struct {
 	traceCap           int
 	trace              bool
 	seriesWindow       sim.Time // 0: no windowed telemetry sampler
+	profile            bool     // attach the simulated-time profiler
 }
 
 // runResult carries the counters the report paths need, plus the machine for
@@ -78,6 +80,7 @@ type runResult struct {
 	m                      *core.Machine
 	tbuf                   *trace.Buffer
 	sampler                *stats.Sampler
+	profiler               *prof.Profiler
 	received, failed       int
 	retrans, dups, garbage uint64
 }
@@ -88,6 +91,13 @@ type runResult struct {
 func runOnce(o runOpts) runResult {
 	cfg := cluster.DefaultConfig(o.nodes)
 	cfg.Faults = o.plan
+	var profiler *prof.Profiler
+	if o.profile {
+		// Attached through the config so firmware loops spawned during
+		// machine construction are accounted from time zero.
+		profiler = prof.New()
+		cfg.Profiler = profiler
+	}
 	m := core.NewMachineConfig(cfg)
 	var tbuf *trace.Buffer
 	if o.trace {
@@ -170,8 +180,12 @@ func runOnce(o runOpts) runResult {
 	if sampler != nil {
 		sampler.Finish()
 	}
+	if profiler != nil {
+		profiler.Finish(m.Eng.Now())
+	}
 
-	r := runResult{m: m, tbuf: tbuf, sampler: sampler, received: received, failed: failed}
+	r := runResult{m: m, tbuf: tbuf, sampler: sampler, profiler: profiler,
+		received: received, failed: failed}
 	for _, rel := range m.Rels {
 		st := rel.Stats()
 		r.retrans += st.Retransmits
@@ -200,6 +214,9 @@ func main() {
 	parallelN := flag.Int("parallel", 1, "max OS worker goroutines for the -seeds sweep (output is identical at any value)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator process")
 	memProfile := flag.String("memprofile", "", "write an allocation profile of the simulator process")
+	profFile := flag.String("prof", "", "write a simulated-time profile (voyager-prof/v1 JSON, render with voyager-prof)")
+	profFolded := flag.String("prof-folded", "", "write the simulated-time profile as folded flame-graph stacks")
+	profPprof := flag.String("prof-pprof", "", "write the simulated-time profile as pprof protobuf (open with `go tool pprof`)")
 	flag.Parse()
 
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
@@ -216,7 +233,8 @@ func main() {
 	opts := runOpts{
 		nodes: *nodes, count: *count, size: *size, mech: *mech,
 		plan: plan, faultsSpec: *faults, traceCap: *traceCap,
-		trace: *traceFile != "" || *dumpN > 0 || *strictTrace,
+		trace:   *traceFile != "" || *dumpN > 0 || *strictTrace,
+		profile: *profFile != "" || *profFolded != "" || *profPprof != "",
 	}
 	if *seriesFile != "" {
 		w, err := time.ParseDuration(*seriesWindow)
@@ -227,8 +245,8 @@ func main() {
 	}
 
 	if *seeds != "" {
-		if opts.trace || *metricsFile != "" || *seriesFile != "" {
-			log.Fatalf("-seeds cannot be combined with -trace, -metrics, -series, or -dump")
+		if opts.trace || *metricsFile != "" || *seriesFile != "" || opts.profile {
+			log.Fatalf("-seeds cannot be combined with -trace, -metrics, -series, -prof, or -dump")
 		}
 		runSweep(opts, parseSeeds(*seeds), *parallelN)
 		return
@@ -236,6 +254,7 @@ func main() {
 
 	r := runOnce(opts)
 	report(opts, r, *traceFile, *metricsFile, *seriesFile, *dumpN)
+	writeProfiles(opts, r, *profFile, *profFolded, *profPprof)
 	if *strictTrace {
 		if d := r.tbuf.Stats().Dropped; d > 0 {
 			fmt.Fprintf(os.Stderr, "strict-trace: ring dropped %d events\n", d)
@@ -365,6 +384,27 @@ func report(opts runOpts, r runResult, traceFile, metricsFile, seriesFile string
 		for _, e := range evs {
 			fmt.Println(e.String())
 		}
+	}
+}
+
+// writeProfiles exports the simulated-time profile in the requested formats.
+// All three derive from the same document, so their totals agree exactly.
+func writeProfiles(opts runOpts, r runResult, jsonFile, foldedFile, pprofFile string) {
+	if r.profiler == nil {
+		return
+	}
+	doc := r.profiler.Doc(runMeta(opts, r.m))
+	if jsonFile != "" {
+		writeFile(jsonFile, func(f *os.File) error { return doc.WriteJSON(f) })
+		fmt.Printf("prof: %s (render with voyager-prof)\n", jsonFile)
+	}
+	if foldedFile != "" {
+		writeFile(foldedFile, func(f *os.File) error { return doc.WriteFolded(f) })
+		fmt.Printf("prof-folded: %s (flamegraph.pl / speedscope)\n", foldedFile)
+	}
+	if pprofFile != "" {
+		writeFile(pprofFile, func(f *os.File) error { return doc.WritePprof(f) })
+		fmt.Printf("prof-pprof: %s (go tool pprof)\n", pprofFile)
 	}
 }
 

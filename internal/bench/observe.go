@@ -2,7 +2,9 @@ package bench
 
 import (
 	"startvoyager/internal/blockxfer"
+	"startvoyager/internal/cluster"
 	"startvoyager/internal/core"
+	"startvoyager/internal/prof"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
@@ -39,7 +41,19 @@ func ObservedRunCap(capacity int) Observed {
 // ObservedRunSeries is ObservedRunCap with an optional windowed telemetry
 // sampler attached for the run (nil scfg: no sampler).
 func ObservedRunSeries(capacity int, scfg *stats.SamplerConfig) Observed {
-	m := core.NewMachine(4)
+	return ObservedRunProf(capacity, scfg, nil)
+}
+
+// ObservedRunProf is ObservedRunSeries with an optional simulated-time
+// profiler attached from machine construction (nil: no profiling). The
+// profiler is Finished at the run's end time, ready to export; attaching it
+// cannot change the run's trace, metrics, or timing (test-enforced).
+func ObservedRunProf(capacity int, scfg *stats.SamplerConfig, profiler *prof.Profiler) Observed {
+	cfg := cluster.DefaultConfig(4)
+	if profiler != nil {
+		cfg.Profiler = profiler
+	}
+	m := core.NewMachineConfig(cfg)
 	tbuf := m.Trace(capacity)
 	var sampler *stats.Sampler
 	if scfg != nil {
@@ -80,6 +94,9 @@ func ObservedRunSeries(capacity int, scfg *stats.SamplerConfig) Observed {
 	m.Run()
 	if sampler != nil {
 		sampler.Finish()
+	}
+	if profiler != nil {
+		profiler.Finish(m.Eng.Now())
 	}
 	return Observed{Trace: tbuf, Metrics: m.Metrics(), SimTime: m.Eng.Now(), Series: sampler}
 }

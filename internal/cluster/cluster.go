@@ -61,6 +61,13 @@ type Config struct {
 	// state check for arrival gating (block transfer approaches 4 and 5)
 	// register their own capture handling.
 	DisableScomaProtocol bool
+
+	// Profiler, when non-nil, attaches a simulated-time profiler (see
+	// internal/prof) to the engine before any Proc spawns, so the firmware
+	// service loops started during construction are accounted from time
+	// zero. Profiling is observation-only: it cannot change any simulated
+	// outcome.
+	Profiler sim.ProcProfiler
 }
 
 // DefaultConfig returns a ready-to-run machine configuration.
@@ -110,6 +117,9 @@ func New(cfg Config) *Cluster {
 		panic("cluster: need at least one node")
 	}
 	eng := sim.NewEngine()
+	if cfg.Profiler != nil {
+		eng.SetProfiler(cfg.Profiler)
+	}
 	var fabric arctic.Fabric
 	if cfg.DirectNet {
 		lat := cfg.DirectNetLatency

@@ -56,7 +56,7 @@ func (m *Machine) API(i int) *API { return m.apis[i] }
 // Go spawns an application program on node i's aP.
 func (m *Machine) Go(i int, name string, body func(p *sim.Proc, a *API)) {
 	a := m.apis[i]
-	m.Eng.Spawn(fmt.Sprintf("ap%d-%s", i, name), func(p *sim.Proc) {
+	m.Eng.SpawnOn(i, "aP", fmt.Sprintf("ap%d-%s", i, name), func(p *sim.Proc) {
 		body(p, a)
 	})
 }
@@ -116,6 +116,7 @@ func (a *API) busy(op string) func() {
 	t := a.busyGet()
 	if a.busyDepth == 0 {
 		a.n.APMeter.Start()
+		a.m.Eng.ProfPush(op)
 		if eng := a.m.Eng; eng.Observed() {
 			t.span = eng.BeginSpan(a.n.ID, "aP", op)
 		}
@@ -138,6 +139,7 @@ func (t *busyTok) end() {
 	a.busyDepth--
 	if a.busyDepth == 0 {
 		t.span.End()
+		a.m.Eng.ProfPop()
 		a.n.APMeter.Stop()
 	}
 	t.span = sim.Span{}

@@ -125,6 +125,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // BusyTime returns accumulated sP occupancy.
 func (e *Engine) BusyTime() sim.Time { return e.res.BusyTime() }
 
+// IdleTime returns accumulated sP idle time — the complement of BusyTime
+// over the run so far, so occupancy is computable from either.
+func (e *Engine) IdleTime() sim.Time { return e.sim.Now() - e.res.BusyTime() }
+
 // RegisterMetrics registers the firmware engine's counters under r.
 func (e *Engine) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("messages", func() int64 { return int64(e.stats.Messages) })
@@ -132,6 +136,7 @@ func (e *Engine) RegisterMetrics(r *stats.Registry) {
 	r.Gauge("captures", func() int64 { return int64(e.stats.Captures) })
 	r.Gauge("prot_viols", func() int64 { return int64(e.stats.ProtViols) })
 	r.Time("sp_busy", e.res.BusyTime)
+	r.Time("sp_idle", e.IdleTime)
 }
 
 // Register installs h for service id svc (the first payload byte).
@@ -169,7 +174,7 @@ func (e *Engine) Occupy(p *sim.Proc, d sim.Time) { e.res.UseP(p, d) }
 // Go runs fn as an asynchronous firmware continuation (its occupancy charges
 // are made through Occupy as usual).
 func (e *Engine) Go(name string, fn func(p *sim.Proc)) {
-	e.sim.Spawn(fmt.Sprintf("fw%d-%s", e.node, name), fn)
+	e.sim.SpawnOn(e.node, "sP", fmt.Sprintf("fw%d-%s", e.node, name), fn)
 }
 
 // IssueCommand charges command-issue occupancy and enqueues cmd on CTRL
@@ -224,7 +229,9 @@ func (e *Engine) msgLoop(p *sim.Proc) {
 				e.stats.MissServed++
 				if e.missH != nil {
 					span := e.handlerSpan("miss", src)
+					e.sim.ProfPush("miss")
 					e.missH(p, src, logical, payload)
+					e.sim.ProfPop()
 					span.End()
 				}
 			default:
@@ -255,7 +262,9 @@ func (e *Engine) dispatch(p *sim.Proc, src uint16, payload []byte) {
 	if h == nil {
 		panic(fmt.Sprintf("firmware: node %d: no handler for service %#x", e.node, payload[0]))
 	}
+	e.sim.ProfPush(SvcName(payload[0]))
 	h(p, src, payload[1:])
+	e.sim.ProfPop()
 }
 
 // captureLoop serves bus operations forwarded from the aBIU.
@@ -279,17 +288,23 @@ func (e *Engine) captureLoop(p *sim.Proc) {
 			if e.reflectCap == nil {
 				panic(fmt.Sprintf("firmware: node %d: reflect capture with no service", e.node))
 			}
+			e.sim.ProfPush("capture-reflect")
 			e.reflectCap(p, op)
+			e.sim.ProfPop()
 		case op.Scoma:
 			if e.scomaCap == nil {
 				panic(fmt.Sprintf("firmware: node %d: S-COMA capture with no protocol", e.node))
 			}
+			e.sim.ProfPush("capture-scoma")
 			e.scomaCap(p, op)
+			e.sim.ProfPop()
 		default:
 			if e.numaCap == nil {
 				panic(fmt.Sprintf("firmware: node %d: NUMA capture with no protocol", e.node))
 			}
+			e.sim.ProfPush("capture-numa")
 			e.numaCap(p, op)
+			e.sim.ProfPop()
 		}
 	}
 }

@@ -1,0 +1,50 @@
+package firmware
+
+// SvcName returns a human-readable profiler/report label for a firmware
+// service id. The strings are static so labeling a dispatch allocates
+// nothing; unknown ids (experiment-registered services at or above
+// SvcUserBase) fall back to a generic label rather than formatting the byte.
+//
+//voyager:noalloc
+func SvcName(svc byte) string {
+	switch svc {
+	case SvcScomaGet:
+		return "scoma-get"
+	case SvcScomaGetX:
+		return "scoma-getx"
+	case SvcScomaInval:
+		return "scoma-inval"
+	case SvcScomaInvalAck:
+		return "scoma-inval-ack"
+	case SvcScomaRecall:
+		return "scoma-recall"
+	case SvcScomaRecallData:
+		return "scoma-recall-data"
+	case SvcScomaEvict:
+		return "scoma-evict"
+	case SvcNumaRead:
+		return "numa-read"
+	case SvcNumaReply:
+		return "numa-reply"
+	case SvcNumaWrite:
+		return "numa-write"
+	case SvcNumaWriteAck:
+		return "numa-write-ack"
+	case SvcDmaRequest:
+		return "dma-request"
+	case SvcDmaRemote:
+		return "dma-remote"
+	case SvcReflectFlush:
+		return "reflect-flush"
+	case SvcRelSend:
+		return "rel-send"
+	case SvcRelData:
+		return "rel-data"
+	case SvcRelAck:
+		return "rel-ack"
+	}
+	if svc >= SvcUserBase {
+		return "user-svc"
+	}
+	return "svc-unknown"
+}

@@ -81,6 +81,15 @@ var noallocAllowlist = map[string]bool{
 	"startvoyager/internal/sim.Hex":                 true,
 	"(startvoyager/internal/sim.Span).End":          true,
 	"(*startvoyager/internal/sim.Engine).NewMsgID":  true,
+	// Profiler hooks: no-ops without a profiler; the internal/prof
+	// implementations are //voyager:noalloc with an AllocsPerRun pin
+	// (interface dispatch cannot be checked statically).
+	"(*startvoyager/internal/sim.Engine).ProfPush":        true,
+	"(*startvoyager/internal/sim.Engine).ProfPop":         true,
+	"(startvoyager/internal/sim.ProcProfiler).ProcResume": true,
+	"(startvoyager/internal/sim.ProcProfiler).ProcBlock":  true,
+	"(startvoyager/internal/sim.ProcProfiler).FramePush":  true,
+	"(startvoyager/internal/sim.ProcProfiler).FramePop":   true,
 	// Cache/bus fast paths (pinned by TestBasicMsgChainAllocs).
 	"(*startvoyager/internal/cache.Cache).Load":          true,
 	"(*startvoyager/internal/cache.Cache).Store":         true,

@@ -163,6 +163,7 @@ func NewABIU(eng *sim.Engine, node int, b *bus.Bus, c *ctrl.Ctrl, aS *sram.SRAM,
 		notified:    make(map[int]bool),
 		toSP:        sim.NewQueue[CapturedOp](eng),
 	}
+	a.toSP.SetName("biu/captured")
 	a.scomaTable = DefaultScomaTable()
 	a.sramServeFn = a.sramServe
 	a.ptrServeFn = a.ptrServe

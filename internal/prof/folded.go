@@ -1,0 +1,59 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// leafLabel renders a tree node as a folded-stack frame. Wait leaves are
+// prefixed so flame graphs visually separate waiting from execution; unnamed
+// conditions fall back to their kind.
+func leafLabel(n *TreeNode) string {
+	switch n.Kind {
+	case "cond":
+		name := n.Name
+		if name == "" {
+			name = "cond"
+		}
+		return "wait:" + name
+	case "queue":
+		name := n.Name
+		if name == "" {
+			name = "queue"
+		}
+		return "queue:" + name
+	default:
+		return n.Name
+	}
+}
+
+// WriteFolded writes the profile in folded-stacks format — one
+// `frame;frame;leaf <simulated-ns>` line per tree node with nonzero self
+// time — consumable directly by flamegraph.pl, inferno, or speedscope.
+// Lines appear in deterministic tree order (children sorted by kind, name).
+func (d *Doc) WriteFolded(w io.Writer) error {
+	var stack []string
+	var walk func(n *TreeNode) error
+	walk = func(n *TreeNode) error {
+		stack = append(stack, leafLabel(n))
+		if self := n.SelfNs(); self > 0 {
+			if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(stack, ";"), self); err != nil {
+				return err
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for _, n := range d.Tree {
+		if err := walk(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

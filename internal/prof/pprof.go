@@ -1,0 +1,181 @@
+package prof
+
+import "io"
+
+// pprof export: the profile is encoded by hand against pprof's
+// profile.proto (github.com/google/pprof/proto/profile.proto) so the repo
+// takes no dependency beyond the standard library. Only the subset of the
+// schema pprof needs to render a simulated-time profile is emitted:
+//
+//	Profile:  sample_type=1, sample=2, location=4, function=5,
+//	          string_table=6, duration_nanos=10
+//	Sample:   location_id=1 (packed), value=2 (packed)
+//	Location: id=1, line=4;  Line: function_id=1
+//	Function: id=1, name=2
+//
+// time_nanos is deliberately omitted — a wall-clock stamp would break
+// byte-identical golden comparisons — and the output is uncompressed, which
+// `go tool pprof` accepts alongside gzip.
+
+// protoBuf is a minimal protobuf wire-format encoder.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag emits a field key: field number and wire type (0 varint, 2 bytes).
+func (p *protoBuf) tag(field int, wire int) {
+	p.varint(uint64(field)<<3 | uint64(wire))
+}
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedInt64 emits a packed repeated int64/uint64 field.
+func (p *protoBuf) packedInt64(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// pprofStrings interns the profile's string table; index 0 is always "".
+type pprofStrings struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newPprofStrings() *pprofStrings {
+	return &pprofStrings{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *pprofStrings) intern(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// WritePprof writes the profile as an uncompressed pprof protobuf. Every
+// attribution-tree node with nonzero self time becomes one sample whose
+// single value is its self time in simulated nanoseconds and whose location
+// chain is the tree path, leaf first. Functions and locations are interned
+// one per distinct frame label, ids assigned in deterministic tree order.
+func (d *Doc) WritePprof(w io.Writer) error {
+	strs := newPprofStrings()
+	funcIDs := map[string]uint64{} // frame label -> function/location id
+
+	var out protoBuf
+
+	// sample_type: one ValueType {type: "sim", unit: "nanoseconds"}.
+	var vt protoBuf
+	vt.int64Field(1, strs.intern("sim"))
+	vt.int64Field(2, strs.intern("nanoseconds"))
+	out.bytesField(1, vt.b)
+
+	funcID := func(label string) uint64 {
+		if id, ok := funcIDs[label]; ok {
+			return id
+		}
+		id := uint64(len(funcIDs)) + 1
+		funcIDs[label] = id
+		strs.intern(label)
+		return id
+	}
+
+	// Samples, in deterministic tree order; location ids leaf-first.
+	var stack []uint64
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		stack = append(stack, funcID(leafLabel(n)))
+		if self := n.SelfNs(); self > 0 {
+			locs := make([]uint64, len(stack))
+			for i, id := range stack {
+				locs[len(stack)-1-i] = id // leaf first
+			}
+			var s protoBuf
+			s.packedInt64(1, locs)
+			s.packedInt64(2, []uint64{uint64(self)})
+			out.bytesField(2, s.b)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, n := range d.Tree {
+		walk(n)
+	}
+
+	// One Location and one Function per interned label, id order. Labels are
+	// collected in first-visit order; invert the map deterministically.
+	labels := make([]string, len(funcIDs))
+	for label, id := range funcIDs {
+		labels[id-1] = label
+	}
+	for i := range labels {
+		id := uint64(i) + 1
+		var line protoBuf
+		line.uint64Field(1, id)
+		var loc protoBuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+	}
+	for i, label := range labels {
+		var fn protoBuf
+		fn.uint64Field(1, uint64(i)+1)
+		fn.int64Field(2, strs.intern(label))
+		out.bytesField(5, fn.b)
+	}
+
+	for _, s := range strs.list {
+		if s == "" {
+			// Proto3 omits zero-length fields by default, but the string
+			// table's sentinel entry must be present explicitly.
+			out.tag(6, 2)
+			out.varint(0)
+			continue
+		}
+		out.stringField(6, s)
+	}
+
+	out.int64Field(10, d.SimNs)
+
+	_, err := w.Write(out.b)
+	return err
+}

@@ -1,0 +1,282 @@
+// Package prof implements the opt-in simulated-time profiler: it accounts
+// every Proc's lifetime into busy / blocked-on-cond / queued-wait buckets
+// and aggregates the time into a weighted attribution tree
+// (node/component → proc → pushed frames → wait leaves), exported
+// deterministically as folded flame-graph stacks, a pprof protobuf profile
+// whose sample value is simulated nanoseconds, and a voyager-prof/v1 JSON
+// document (see json.go, folded.go, pprof.go, report.go).
+//
+// The profiler is provably inert: it implements sim.ProcProfiler, whose
+// hooks schedule no events, consume no sequence numbers, and touch no
+// modeled state — attaching it cannot change any simulated outcome
+// (byte-identity with unprofiled runs is test-enforced in internal/bench).
+// The hot callbacks are //voyager:noalloc: steady-state accounting hits
+// interned tree nodes and a recycled stack, with allocation only on the
+// first visit to a distinct frame.
+//
+// Accounting model: a Proc executes in zero simulated time, so its lifetime
+// is tiled exactly by the wait intervals between a block (Delay, Call,
+// Cond.Wait, Queue.Pop) and the following resume. Each interval lands in
+// exactly one bucket — BlockBusy intervals accrue as self time on the
+// proc's current attribution frame, BlockCond/BlockQueue intervals on a
+// labeled wait leaf beneath it — so per-proc bucket sums telescope to the
+// proc's lifetime with no gaps and no overlaps (test-enforced).
+package prof
+
+import (
+	"fmt"
+
+	"startvoyager/internal/sim"
+)
+
+// Kind discriminates attribution-tree nodes.
+type Kind uint8
+
+const (
+	// KindFrame is a call-tree frame: a node/component group, a proc, or an
+	// explicitly pushed frame (API operation, firmware service handler).
+	KindFrame Kind = iota
+	// KindCond is a blocked-on-cond wait leaf, labeled with the condition
+	// name.
+	KindCond
+	// KindQueue is a queued-wait leaf, labeled with the queue's condition
+	// name.
+	KindQueue
+)
+
+// nodeKey identifies a child within its parent without building a combined
+// string, keeping hot-path child lookups allocation-free.
+type nodeKey struct {
+	kind Kind
+	name string
+}
+
+// node is one attribution-tree vertex. Self times are kept per bucket; a
+// frame node only ever accrues busy self time, a wait leaf only cond or
+// queue time.
+type node struct {
+	kind     Kind
+	name     string
+	busy     sim.Time
+	cond     sim.Time
+	queue    sim.Time
+	children map[nodeKey]*node
+}
+
+// child returns the interned child (k, name), creating it on first visit.
+//
+//voyager:noalloc steady state hits the interned child; first visit allocates it
+func (n *node) child(k Kind, name string) *node {
+	ck := nodeKey{kind: k, name: name}
+	if c := n.children[ck]; c != nil {
+		return c
+	}
+	if n.children == nil {
+		n.children = make(map[nodeKey]*node) //voyager:alloc-ok(interned once per parent)
+	}
+	c := &node{kind: k, name: name} //voyager:alloc-ok(interned once per distinct frame)
+	n.children[ck] = c
+	return c
+}
+
+// procRec is one Proc's accounting state plus its per-proc bucket totals.
+type procRec struct {
+	name  string
+	node  int    // -1 for host-attributed procs
+	comp  string // "" for host-attributed procs
+	group string // rendered group frame ("node0/aP", "host")
+
+	spawnAt sim.Time
+	endAt   sim.Time // Finish time for procs still live at Finish
+	live    bool     // still live when Finish snapshotted the run
+
+	busy  sim.Time
+	cond  sim.Time
+	queue sim.Time
+
+	// stack is the attribution stack: stack[0] is the proc's own frame
+	// (under its group), deeper entries are pushed frames. Wait intervals
+	// accrue at stack[len-1] (busy) or a wait leaf beneath it (cond/queue).
+	stack []*node
+
+	// Open wait interval, set by ProcBlock (and ProcStart, which opens a
+	// zero-width busy interval closed by the first resume).
+	blockAt    sim.Time
+	blockKind  sim.BlockKind
+	blockLabel string
+	blocked    bool
+}
+
+// Profiler implements sim.ProcProfiler. Create one with New, attach it via
+// cluster.Config.Profiler (or sim.Engine.SetProfiler before spawning any
+// procs), run the simulation, then call Finish once and export through Doc.
+type Profiler struct {
+	recs     map[*sim.Proc]*procRec
+	order    []*procRec // spawn order: the deterministic export order
+	root     node
+	finished bool
+	finishAt sim.Time
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{recs: make(map[*sim.Proc]*procRec)}
+}
+
+// adopt creates the accounting record for p. Normally called at spawn time
+// (ProcStart); a proc spawned before the profiler was attached is adopted on
+// its first hook instead, with its earlier history unaccounted.
+func (pr *Profiler) adopt(at sim.Time, p *sim.Proc) *procRec {
+	onNode, comp := p.Origin()
+	group := "host"
+	if onNode >= 0 {
+		group = fmt.Sprintf("node%d/%s", onNode, comp)
+	}
+	rec := &procRec{
+		name: p.Name(), node: onNode, comp: comp, group: group,
+		spawnAt: at, live: true,
+		blockAt: at, blockKind: sim.BlockBusy, blocked: true,
+	}
+	rec.stack = append(rec.stack, pr.root.child(KindFrame, group).child(KindFrame, p.Name()))
+	pr.recs[p] = rec
+	pr.order = append(pr.order, rec)
+	return rec
+}
+
+// get returns p's record, adopting the proc if it predates the profiler.
+//
+//voyager:noalloc
+func (pr *Profiler) get(at sim.Time, p *sim.Proc) *procRec {
+	if rec := pr.recs[p]; rec != nil {
+		return rec
+	}
+	return pr.adopt(at, p) //voyager:alloc-ok(late adoption of a proc spawned before attach)
+}
+
+// closeInterval accrues the open wait interval [rec.blockAt, at) into the
+// bucket recorded at block time: busy on the current frame, cond/queue on a
+// labeled wait leaf beneath it.
+//
+//voyager:noalloc
+func (pr *Profiler) closeInterval(rec *procRec, at sim.Time) {
+	rec.blocked = false
+	d := at - rec.blockAt
+	if d == 0 {
+		return
+	}
+	top := rec.stack[len(rec.stack)-1]
+	switch rec.blockKind {
+	case sim.BlockCond:
+		rec.cond += d
+		top.child(KindCond, rec.blockLabel).cond += d
+	case sim.BlockQueue:
+		rec.queue += d
+		top.child(KindQueue, rec.blockLabel).queue += d
+	default:
+		rec.busy += d
+		top.busy += d
+	}
+}
+
+// ProcStart implements sim.ProcProfiler: the spawn itself opens a zero-width
+// busy interval closed by the first resume, so the proc's lifetime is tiled
+// from its very first instant.
+func (pr *Profiler) ProcStart(at sim.Time, p *sim.Proc) {
+	if pr.finished {
+		return
+	}
+	pr.adopt(at, p)
+}
+
+// ProcResume implements sim.ProcProfiler.
+//
+//voyager:noalloc
+func (pr *Profiler) ProcResume(at sim.Time, p *sim.Proc) {
+	if pr.finished {
+		return
+	}
+	rec := pr.get(at, p)
+	if rec.blocked {
+		pr.closeInterval(rec, at)
+	}
+}
+
+// ProcBlock implements sim.ProcProfiler.
+//
+//voyager:noalloc
+func (pr *Profiler) ProcBlock(at sim.Time, p *sim.Proc, kind sim.BlockKind, label string) {
+	if pr.finished {
+		return
+	}
+	rec := pr.get(at, p)
+	rec.blockAt = at
+	rec.blockKind = kind
+	rec.blockLabel = label
+	rec.blocked = true
+}
+
+// ProcEnd implements sim.ProcProfiler.
+func (pr *Profiler) ProcEnd(at sim.Time, p *sim.Proc) {
+	if pr.finished {
+		return
+	}
+	rec := pr.get(at, p)
+	if rec.blocked {
+		pr.closeInterval(rec, at) // defensive: procs end from a running state
+	}
+	rec.endAt = at
+	rec.live = false
+	// Drop the engine's Proc pointer so a later allocation reusing the
+	// address cannot collide with a dead proc's record.
+	delete(pr.recs, p)
+}
+
+// FramePush implements sim.ProcProfiler.
+//
+//voyager:noalloc
+func (pr *Profiler) FramePush(p *sim.Proc, name string) {
+	if pr.finished {
+		return
+	}
+	rec := pr.get(p.Now(), p)
+	rec.stack = append(rec.stack, rec.stack[len(rec.stack)-1].child(KindFrame, name)) //voyager:alloc-ok(amortized: stack backing array is retained)
+}
+
+// FramePop implements sim.ProcProfiler.
+//
+//voyager:noalloc
+func (pr *Profiler) FramePop(p *sim.Proc) {
+	if pr.finished {
+		return
+	}
+	rec := pr.get(p.Now(), p)
+	if len(rec.stack) > 1 {
+		rec.stack = rec.stack[:len(rec.stack)-1]
+	}
+}
+
+// Finish snapshots the run at simulated time at (normally Engine.Now() after
+// the run completes): procs still blocked — firmware service loops waiting
+// on their queues forever — have their open interval closed at the snapshot
+// instant, so every proc's buckets telescope exactly to spawn..at. Finish is
+// terminal: later hook invocations are ignored, keeping exports stable even
+// if the engine keeps running. Calling Finish again is a no-op.
+func (pr *Profiler) Finish(at sim.Time) {
+	if pr.finished {
+		return
+	}
+	for _, rec := range pr.order {
+		if !rec.live {
+			continue
+		}
+		if rec.blocked {
+			pr.closeInterval(rec, at)
+		}
+		rec.endAt = at
+	}
+	pr.finished = true
+	pr.finishAt = at
+}
+
+// Finished reports whether Finish has been called.
+func (pr *Profiler) Finished() bool { return pr.finished }

@@ -6,6 +6,7 @@ package sim
 type Cond struct {
 	eng     *Engine
 	name    string // optional label for stall diagnostics (see SetName)
+	isQueue bool   // belongs to a Queue: waits profile as BlockQueue
 	waiters []*condWaiter
 }
 
@@ -68,7 +69,25 @@ func (c *Cond) SetName(name string) { c.name = name }
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, c.eng.getWaiter(p)) //voyager:alloc-ok(amortized: waiter list backing array is retained)
 	c.eng.blocked++
+	c.profBlock(p)
 	p.block()
+}
+
+// profBlock reports the imminent wait to the attached profiler (no-op
+// without one): queue-backed conditions bucket as queued-wait, plain ones as
+// blocked-on-cond, each labeled with the condition's diagnostic name.
+//
+//voyager:noalloc
+func (c *Cond) profBlock(p *Proc) {
+	pr := c.eng.prof
+	if pr == nil {
+		return
+	}
+	kind := BlockCond
+	if c.isQueue {
+		kind = BlockQueue
+	}
+	pr.ProcBlock(c.eng.now, p, kind, c.name)
 }
 
 // WaitTimeout blocks p until a Signal/Broadcast resumes it or d elapses,
@@ -98,6 +117,7 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 		c.eng.blocked--
 		c.eng.Schedule(0, w.p.runFn)
 	})
+	c.profBlock(p)
 	p.block()
 	timedOut := w.timedOut
 	c.eng.putWaiter(w)
@@ -217,7 +237,15 @@ type Queue[T any] struct {
 }
 
 // NewQueue returns an empty queue bound to e.
-func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{cond: NewCond(e)} }
+func NewQueue[T any](e *Engine) *Queue[T] {
+	q := &Queue[T]{cond: NewCond(e)}
+	q.cond.isQueue = true
+	return q
+}
+
+// SetName labels the queue's condition for stall diagnostics and profiler
+// wait leaves without registering a depth series (see Observe for both).
+func (q *Queue[T]) SetName(name string) { q.cond.SetName(name) }
 
 // Observe samples the queue depth onto the observability track
 // (node, component) under name whenever the depth changes. The queue's

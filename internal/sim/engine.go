@@ -136,6 +136,14 @@ type Engine struct {
 	spanSeq uint64   // deterministic span id allocator
 	msgSeq  uint64   // deterministic message trace id allocator
 
+	// Simulated-time profiler hooks (see profiler.go). prof is the attached
+	// ProcProfiler (nil: every hook site is a nil-check no-op); curProc is
+	// the Proc currently executing between baton handoffs, giving ProfPush/
+	// ProfPop their implicit subject. Neither touches events or sequence
+	// numbers, so attaching a profiler cannot perturb simulated outcomes.
+	prof    ProcProfiler
+	curProc *Proc
+
 	// waiterFree recycles condWaiter records (see cond.go) so steady-state
 	// blocking — every Queue.Pop, every Cond.Wait — is allocation-free.
 	waiterFree []*condWaiter

@@ -19,6 +19,12 @@ type Proc struct {
 	ch   chan struct{} // rendezvous baton between engine and proc goroutine
 	dead bool
 
+	// Profiler attribution given at SpawnOn: the node and component this
+	// proc executes on (an aP program, sP firmware). Plain Spawn leaves them
+	// at (-1, ""), which the profiler groups as "host".
+	onNode    int
+	component string
+
 	// runFn is the prebound p.run method value: scheduling a wakeup is
 	// `eng.Schedule(d, p.runFn)` with no per-wakeup closure allocation.
 	runFn func()
@@ -35,19 +41,35 @@ type Proc struct {
 
 // Spawn starts body as a new process at the current simulated time.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnOn(-1, "", name, body)
+}
+
+// SpawnOn is Spawn with a (node, component) attribution for the
+// simulated-time profiler: the proc's lifetime buckets roll up under
+// "node<n>/<component>" (e.g. "node0/aP", "node2/sP") in profile exports.
+// Timing and scheduling are identical to Spawn.
+func (e *Engine) SpawnOn(node int, component, name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:  e,
-		name: name,
-		ch:   make(chan struct{}),
+		eng:       e,
+		name:      name,
+		ch:        make(chan struct{}),
+		onNode:    node,
+		component: component,
 	}
 	p.runFn = p.run
 	p.doneFn = p.callDone
 	e.procs++
+	if e.prof != nil {
+		e.prof.ProcStart(e.now, p)
+	}
 	go func() {
 		<-p.ch
 		defer func() {
 			if r := recover(); r != nil {
 				e.panicVal = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+			}
+			if e.prof != nil {
+				e.prof.ProcEnd(e.now, p)
 			}
 			p.dead = true
 			e.procs--
@@ -58,6 +80,10 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	e.Schedule(0, p.runFn)
 	return p
 }
+
+// Origin returns the (node, component) attribution given at SpawnOn, or
+// (-1, "") for a plain Spawn.
+func (p *Proc) Origin() (node int, component string) { return p.onNode, p.component }
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
@@ -76,8 +102,19 @@ func (p *Proc) run() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: resuming dead proc %q", p.name)) //voyager:alloc-ok(panic path)
 	}
+	// Track the currently executing proc for the profiler's frame hooks.
+	// Saving and restoring (rather than clearing) keeps nested resumes
+	// correct: a Call completion delivered while another proc executes runs
+	// this proc's window inside the outer one.
+	e := p.eng
+	prev := e.curProc
+	e.curProc = p
+	if e.prof != nil {
+		e.prof.ProcResume(e.now, p)
+	}
 	p.ch <- struct{}{}
 	<-p.ch
+	e.curProc = prev
 }
 
 // block yields control back to the engine. The caller must have arranged a
@@ -98,6 +135,9 @@ func (p *Proc) Delay(d Time) {
 		return
 	}
 	p.eng.Schedule(d, p.runFn)
+	if pr := p.eng.prof; pr != nil {
+		pr.ProcBlock(p.eng.now, p, BlockBusy, "")
+	}
 	p.block()
 }
 
@@ -127,6 +167,9 @@ func (p *Proc) Call(start func(done func())) {
 	start(p.doneFn)
 	if !p.callCompleted {
 		p.callBlocked = true
+		if pr := p.eng.prof; pr != nil {
+			pr.ProcBlock(p.eng.now, p, BlockBusy, "")
+		}
 		p.block()
 	}
 	p.callActive = false
@@ -160,6 +203,9 @@ func (p *Proc) callSlow(start func(done func())) {
 	})
 	if !completed {
 		blocked = true
+		if pr := p.eng.prof; pr != nil {
+			pr.ProcBlock(p.eng.now, p, BlockBusy, "")
+		}
 		p.block()
 	}
 }

@@ -193,6 +193,7 @@ func WriteReport(w io.Writer, doc *SeriesDoc, opts ReportOpts) error {
 	writeHeatmap(&b, "credit-stall heatmap (rows: most-stalled links, cols: windows, cell: stalls vs global peak)",
 		stalls, opts, 0)
 	writeQueues(&b, doc, opts)
+	writeSpOccupancy(&b, doc, opts)
 	writeStallAttribution(&b, doc, opts)
 	if opts.Match != "" {
 		writeMatchTables(&b, doc, opts)
@@ -334,6 +335,60 @@ func writeQueues(b *strings.Builder, doc *SeriesDoc, opts ReportOpts) {
 		t.AddRow(q.path, fmt.Sprintf("%d", q.peak), sparkline(q.d.Max, opts.Width))
 	}
 	writeTableOrNone(b, &t, "no queue depth series in document")
+}
+
+// writeSpOccupancy charts each node's firmware-processor occupancy: sp_busy
+// and its complement sp_idle are "time"-kind series, which the sampler
+// scrapes as per-scrape increments — so each window's Sum is the time spent
+// in that state during the window, and occupancy is busy over busy+idle.
+// The paper singles out sP occupancy as the key quantity when comparing
+// mechanism implementations; this makes its time profile visible per node.
+func writeSpOccupancy(b *strings.Builder, doc *SeriesDoc, opts ReportOpts) {
+	type spRef struct {
+		path string // the sp_busy series path
+		busy []int64
+		idle []int64
+	}
+	var sps []*spRef
+	for _, p := range doc.SortedPaths() {
+		if !strings.HasSuffix(p, "/sp_busy") {
+			continue
+		}
+		idlePath := strings.TrimSuffix(p, "/sp_busy") + "/sp_idle"
+		idle := doc.Series[idlePath]
+		if idle == nil {
+			continue
+		}
+		sps = append(sps, &spRef{
+			path: p,
+			busy: doc.Series[p].Sum,
+			idle: idle.Sum,
+		})
+	}
+	if len(sps) == 0 {
+		return
+	}
+	t := Table{
+		Title:   "sP occupancy by node (busy / (busy+idle) per window)",
+		Columns: []string{"sp", "occupancy", "busy", "spark"},
+	}
+	for _, s := range sps {
+		var busyTotal, idleTotal int64
+		pcts := make([]int64, len(s.busy))
+		for i := range s.busy {
+			busyTotal += s.busy[i]
+			idleTotal += s.idle[i]
+			if span := s.busy[i] + s.idle[i]; span > 0 {
+				pcts[i] = s.busy[i] * 100 / span
+			}
+		}
+		t.AddRow(strings.TrimSuffix(s.path, "/sp_busy"),
+			pctTenths(busyTotal, busyTotal+idleTotal),
+			sim.Time(busyTotal).String(),
+			sparkline(pcts, opts.Width))
+	}
+	b.WriteString(t.String())
+	b.WriteByte('\n')
 }
 
 // writeStallAttribution charts, window by window, where backpressure went:

@@ -48,6 +48,10 @@ func reportDoc() *SeriesDoc {
 			"net/link/ej1/queued":         mk("gauge", 0, 1, 1, 0, 0, 0),
 			"node0/ctrl/rxq0_depth":       mk("gauge", 2, 6, 8, 8, 3, 0),
 			"node0/bus/waiters":           mk("gauge", 0, 1, 2, 1, 0, 0),
+			"node0/fw/sp_busy":            mk("time", 1000, 2000, 3000, 2000, 500, 500),
+			"node0/fw/sp_idle":            mk("time", 9000, 8000, 7000, 8000, 9500, 9500),
+			"node1/fw/sp_busy":            mk("time", 500, 0, 0, 200, 0, 0),
+			"node1/fw/sp_idle":            mk("time", 9500, 10000, 10000, 9800, 10000, 10000),
 			"node1/fault/retransmits":     mk("gauge", 0, 1, 3, 6, 7, 7),
 			"net/fault/injected_drops":    mk("gauge", 0, 1, 2, 4, 5, 5),
 			"net/fault/outage_drops":      mk("gauge", 0, 0, 3, 3, 3, 3),
@@ -92,6 +96,7 @@ func TestReportSections(t *testing.T) {
 		"link utilization heatmap",
 		"credit-stall heatmap",
 		"deepest queues",
+		"sP occupancy by node",
 		"stall attribution by window",
 	} {
 		if !strings.Contains(out, want) {
