@@ -8,6 +8,8 @@
 #   make faults      fault-injection smoke matrix -> FAULTS_matrix.json
 #   make faults-check  parallel (-parallel 4) fault matrix byte-compared to sequential
 #   make bench-micro   simulation-core microbenchmarks -> BENCH_micro.json
+#   make bench-scale   64/256/1024-node footprint + scale sweep vs BENCH_scale.json
+#   make bench-scale-baseline  refresh the committed scale baseline
 #   make series      windowed telemetry sample -> SERIES_sample.json + SERIES_report.txt
 #   make prof        simulated-time profile byte-compared to PROF_sample.* goldens
 #   make prof-baseline  refresh the committed profile goldens
@@ -16,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro series prof prof-baseline chaos ci
+.PHONY: all build test fmt vet voyager-vet vet-json race lint bench-json bench-diff bench-baseline faults faults-check bench-micro bench-scale bench-scale-baseline series prof prof-baseline chaos ci
 
 all: build test
 
@@ -100,6 +102,19 @@ faults-check:
 bench-micro:
 	$(GO) run ./cmd/voyager-bench -fig none -micro BENCH_micro.json
 
+# Machine-size sweep (64/256/1024-node fat trees): per-node heap footprint,
+# construction time, MPI allreduce/samplesort completion, and the per-level
+# hotspot saturation profile. The gate recomputes the sweep and fails if any
+# bytes/node figure regressed >10% against the committed BENCH_scale.json;
+# simulated-time columns are pinned by unit tests, wall-clock columns are
+# informational.
+bench-scale:
+	$(GO) run ./cmd/voyager-bench -fig none -scale-diff BENCH_scale.json
+
+# Refresh the committed scale baseline after an intentional footprint change.
+bench-scale-baseline:
+	$(GO) run ./cmd/voyager-bench -fig none -scale BENCH_scale.json
+
 # Windowed time-series telemetry sample: a reliable run under a 5% drop
 # plan exports its voyager-series/v1 document, and voyager-stats renders
 # the link/credit heatmaps and stall attribution. Both artifacts are
@@ -147,4 +162,4 @@ chaos:
 	cmp CHAOS_found.json CHAOS_findings.json
 	@echo "chaos: sweep matches the committed baseline (no findings)"
 
-ci: build test lint bench-json bench-diff faults faults-check series prof chaos
+ci: build test lint bench-json bench-diff bench-scale faults faults-check series prof chaos

@@ -9,6 +9,7 @@
 //	              [-headline file.json] [-diff baseline.json]
 //	              [-fault-matrix] [-fault-seeds 1,2,3] [-faults-json file.json]
 //	              [-parallel n] [-micro file.json]
+//	              [-scale file.json] [-scale-diff baseline.json] [-nodes 64,256,1024]
 //	              [-cpuprofile file] [-memprofile file]
 //
 // -trace / -metrics / -series execute the canonical instrumented run (every
@@ -37,6 +38,15 @@
 // events/sec and allocs/op as JSON (`make bench-micro` keeps
 // BENCH_micro.json current). -cpuprofile / -memprofile capture pprof
 // profiles of whatever the invocation runs.
+//
+// -scale runs the machine-size sweep (-nodes, default 64,256,1024): per-node
+// heap footprint and construction time, MPI allreduce/samplesort completion,
+// and the per-tree-level hotspot saturation profile, written as
+// voyager-scale/v1 JSON (`make bench-scale-baseline` keeps BENCH_scale.json
+// current). -scale-diff recomputes the sweep and exits nonzero if any
+// bytes/node figure regressed more than 10% against the given baseline
+// (`make bench-scale` is the CI gate). -nodes also overrides fig ext-f's
+// machine sizes.
 package main
 
 import (
@@ -77,6 +87,9 @@ func main() {
 	faultsJSON := flag.String("faults-json", "", "write the fault matrix's per-cell metrics as one JSON file")
 	parallelN := flag.Int("parallel", 1, "worker goroutines for independent sweep cells (output is byte-identical at any value)")
 	microFile := flag.String("micro", "", "run the microbenchmark suite and write events/sec + allocs/op as JSON")
+	scaleFile := flag.String("scale", "", "run the scale sweep and write bytes/node + sim results as JSON (voyager-scale/v1)")
+	scaleDiff := flag.String("scale-diff", "", "diff the scale sweep's bytes/node against this baseline JSON; exit 1 on >10% regression")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts for the scale sweep and fig ext-f (e.g. 64,256,1024)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	profFile := flag.String("prof", "", "write the canonical run's simulated-time profile (voyager-prof/v1 JSON)")
@@ -161,6 +174,42 @@ func main() {
 		}
 		ran = true
 	}
+	var nodeCounts []int
+	if *nodesFlag != "" {
+		var err error
+		nodeCounts, err = bench.ParseNodeList(*nodesFlag)
+		if err != nil {
+			log.Fatalf("-nodes: %v", err)
+		}
+	}
+	if *scaleFile != "" || *scaleDiff != "" {
+		// Read the baseline before anything writes to its path — -scale and
+		// -scale-diff may legitimately point at the same file.
+		var baseline []byte
+		if *scaleDiff != "" {
+			var err error
+			baseline, err = os.ReadFile(*scaleDiff)
+			if err != nil {
+				log.Fatalf("-scale-diff: %v", err)
+			}
+		}
+		results := bench.RunScale(bench.ScaleOpts{NodeCounts: nodeCounts})
+		fmt.Print(bench.ScaleTable(results))
+		fmt.Println()
+		fmt.Print(bench.SaturationTable(results[len(results)-1]))
+		fmt.Println()
+		fmt.Print(bench.ScaleFootprintTable(results))
+		fmt.Println()
+		if *scaleFile != "" {
+			writeFile(*scaleFile, func(f *os.File) error { return bench.WriteScale(f, results) })
+			fmt.Printf("scale: %s\n", *scaleFile)
+		}
+		if baseline != nil && !bench.DiffScale(baseline, results, os.Stdout) {
+			stopProfiles()
+			os.Exit(1)
+		}
+		ran = true
+	}
 	if *microFile != "" {
 		results := bench.MicroBench()
 		writeFile(*microFile, func(f *os.File) error { return bench.WriteMicro(f, results) })
@@ -185,7 +234,13 @@ func main() {
 	show("ext-c", func() { fmt.Print(bench.ExtCMechanisms()) })
 	show("ext-d", func() { fmt.Print(bench.ExtDReflective()) })
 	show("ext-e", func() { fmt.Print(bench.ExtEQueueCaching()) })
-	show("ext-f", func() { fmt.Print(bench.ExtFCollectives([]int{2, 4, 8, 16})) })
+	show("ext-f", func() {
+		counts := nodeCounts
+		if counts == nil {
+			counts = []int{2, 4, 8, 16}
+		}
+		fmt.Print(bench.ExtFCollectives(counts))
+	})
 	show("ext-g", func() {
 		fmt.Print(bench.ExtGNetworkScaling(64 << 10))
 		fmt.Println()

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	voyager-net [-nodes n] [-packets p] [-trace file.json] [-metrics file.json]
+//	voyager-net [-nodes n1,n2,...] [-packets p] [-trace file.json] [-metrics file.json]
 //
-// -trace / -metrics instrument the deterministic-routing load test and
-// export its Perfetto trace / fabric metrics.
+// -nodes takes a comma-separated list of fabric sizes (e.g. 16,64,256); the
+// whole characterization runs once per size. -trace / -metrics instrument
+// the deterministic-routing load test of the LAST listed size and export its
+// Perfetto trace / fabric metrics.
 package main
 
 import (
@@ -18,34 +20,52 @@ import (
 	"os"
 
 	"startvoyager/internal/arctic"
+	"startvoyager/internal/bench"
 	"startvoyager/internal/sim"
 	"startvoyager/internal/stats"
 	"startvoyager/internal/trace"
 )
 
 func main() {
-	nodes := flag.Int("nodes", 16, "number of endpoints")
+	nodesList := flag.String("nodes", "16", "comma-separated endpoint counts (e.g. 16,64,256)")
 	packets := flag.Int("packets", 2000, "packets for the load test")
 	traceFile := flag.String("trace", "", "write a Perfetto trace of the deterministic load test")
 	metricsFile := flag.String("metrics", "", "write the fabric metrics of the deterministic load test as JSON")
 	flag.Parse()
 
+	counts, err := bench.ParseNodeList(*nodesList)
+	if err != nil {
+		log.Fatalf("-nodes: %v", err)
+	}
+	for i, nodes := range counts {
+		if i > 0 {
+			fmt.Println()
+		}
+		// Artifacts instrument one run only — the last listed size.
+		instrument := i == len(counts)-1
+		characterize(nodes, *packets, instrument, *traceFile, *metricsFile)
+	}
+}
+
+// characterize runs the unloaded-latency probe and the uniform-random load
+// test (deterministic and adaptive routing) on a fabric of the given size.
+func characterize(nodes, packets int, instrument bool, traceFile, metricsFile string) {
 	// Unloaded latency by destination distance.
 	eng := sim.NewEngine()
-	f := arctic.NewFatTree(eng, *nodes, arctic.DefaultConfig())
+	f := arctic.NewFatTree(eng, nodes, arctic.DefaultConfig())
 	arrival := make(map[int]sim.Time)
-	for i := 0; i < *nodes; i++ {
+	for i := 0; i < nodes; i++ {
 		i := i
 		f.Attach(i, arctic.EndpointFunc(func(p *arctic.Packet) {
 			arrival[i] = eng.Now() - p.InjectedAt()
 		}))
 	}
 	t := &stats.Table{
-		Title:   fmt.Sprintf("unloaded latency, %d-node fat tree (96B packets)", *nodes),
+		Title:   fmt.Sprintf("unloaded latency, %d-node fat tree (96B packets)", nodes),
 		Columns: []string{"dst", "hops", "latency"},
 	}
-	for _, dst := range []int{1, *nodes / 4, *nodes - 1} {
-		if dst <= 0 || dst >= *nodes {
+	for _, dst := range []int{1, nodes / 4, nodes - 1} {
+		if dst <= 0 || dst >= nodes {
 			continue
 		}
 		eng.Schedule(0, func() {
@@ -62,25 +82,25 @@ func main() {
 		eng2 := sim.NewEngine()
 		cfg := arctic.DefaultConfig()
 		cfg.Adaptive = adaptive
-		f2 := arctic.NewFatTree(eng2, *nodes, cfg)
+		f2 := arctic.NewFatTree(eng2, nodes, cfg)
 		// Instrument the deterministic run only — one engine, one artifact.
 		var tbuf *trace.Buffer
 		var reg *stats.Registry
-		if !adaptive {
-			if *traceFile != "" {
+		if instrument && !adaptive {
+			if traceFile != "" {
 				tbuf = trace.Attach(eng2, 1<<18)
 			}
-			if *metricsFile != "" {
+			if metricsFile != "" {
 				reg = stats.NewRegistry()
 				f2.RegisterMetrics(reg.Child("net"))
 			}
 		}
-		for i := 0; i < *nodes; i++ {
+		for i := 0; i < nodes; i++ {
 			f2.Attach(i, arctic.EndpointFunc(func(p *arctic.Packet) {}))
 		}
 		rng := rand.New(rand.NewSource(1))
-		for k := 0; k < *packets; k++ {
-			src, dst := rng.Intn(*nodes), rng.Intn(*nodes)
+		for k := 0; k < packets; k++ {
+			src, dst := rng.Intn(nodes), rng.Intn(nodes)
 			f2.Inject(&arctic.Packet{Src: src, Dst: dst, Priority: arctic.Low, Size: 96})
 		}
 		eng2.Run()
@@ -93,12 +113,12 @@ func main() {
 			name, st.Delivered, st.Bytes, eng2.Now(),
 			float64(st.Bytes)/float64(eng2.Now())*1e3)
 		if tbuf != nil {
-			writeFile(*traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
-			fmt.Printf("trace: %s\n", *traceFile)
+			writeFile(traceFile, func(f *os.File) error { return tbuf.WritePerfetto(f) })
+			fmt.Printf("trace: %s\n", traceFile)
 		}
 		if reg != nil {
-			writeFile(*metricsFile, func(f *os.File) error { return reg.WriteJSON(f, eng2.Now()) })
-			fmt.Printf("metrics: %s\n", *metricsFile)
+			writeFile(metricsFile, func(f *os.File) error { return reg.WriteJSON(f, eng2.Now()) })
+			fmt.Printf("metrics: %s\n", metricsFile)
 		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	voyager-run [-nodes n] [-mech basic|express|dma|reliable] [-count c] [-size s]
+//	voyager-run [-nodes n1,n2,...] [-mech basic|express|dma|reliable] [-count c] [-size s]
 //	            [-faults plan] [-trace file.json] [-metrics file.json] [-dump n]
 //	            [-series file.json] [-series-window 20us] [-strict-trace]
 //	            [-seeds 1,2,3] [-parallel n] [-cpuprofile f] [-memprofile f]
@@ -29,6 +29,11 @@
 //
 // See internal/fault.ParsePlan for the full plan grammar (drop/corrupt/dup/
 // delay per lane, link outage windows, node deaths).
+//
+// -nodes takes a comma-separated machine-size list: a single count runs the
+// workload once with full reporting; several counts run a node-count sweep
+// and print one deterministic summary row per size (combinable with
+// -parallel, not with the per-run artifact flags).
 //
 // -seeds runs the workload once per listed seed (each run re-seeds the fault
 // plan) and prints a per-seed summary table — the quick schedule-robustness
@@ -198,7 +203,7 @@ func runOnce(o runOpts) runResult {
 }
 
 func main() {
-	nodes := flag.Int("nodes", 4, "number of nodes (all-to-one traffic)")
+	nodes := flag.String("nodes", "4", "comma-separated node counts (all-to-one traffic; more than one count runs a sweep)")
 	mech := flag.String("mech", "basic", "mechanism: basic, express, tagon, dma, reliable")
 	count := flag.Int("count", 100, "messages (or transfers) per sender")
 	size := flag.Int("size", 64, "payload bytes (dma: transfer bytes, line-aligned)")
@@ -222,16 +227,19 @@ func main() {
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
+	nodeCounts, err := bench.ParseNodeList(*nodes)
+	if err != nil {
+		log.Fatalf("-nodes: %v", err)
+	}
 	var plan *fault.Plan
 	if *faults != "" {
-		var err error
 		plan, err = fault.ParsePlan(*faults)
 		if err != nil {
 			log.Fatalf("-faults: %v", err)
 		}
 	}
 	opts := runOpts{
-		nodes: *nodes, count: *count, size: *size, mech: *mech,
+		nodes: nodeCounts[0], count: *count, size: *size, mech: *mech,
 		plan: plan, faultsSpec: *faults, traceCap: *traceCap,
 		trace:   *traceFile != "" || *dumpN > 0 || *strictTrace,
 		profile: *profFile != "" || *profFolded != "" || *profPprof != "",
@@ -244,6 +252,13 @@ func main() {
 		opts.seriesWindow = sim.Time(w.Nanoseconds())
 	}
 
+	if len(nodeCounts) > 1 {
+		if opts.trace || *metricsFile != "" || *seriesFile != "" || opts.profile || *seeds != "" {
+			log.Fatalf("a -nodes sweep cannot be combined with -trace, -metrics, -series, -prof, -dump, or -seeds")
+		}
+		runNodeSweep(opts, nodeCounts, *parallelN)
+		return
+	}
 	if *seeds != "" {
 		if opts.trace || *metricsFile != "" || *seriesFile != "" || opts.profile {
 			log.Fatalf("-seeds cannot be combined with -trace, -metrics, -series, -prof, or -dump")
@@ -275,6 +290,31 @@ func parseSeeds(s string) []uint64 {
 		out = append(out, seed)
 	}
 	return out
+}
+
+// runNodeSweep executes one run per machine size across up to workers
+// goroutines and prints the per-size summary in listed order. Delivery
+// counters and simulated time are deterministic per size, so the table is
+// byte-identical at any -parallel value.
+func runNodeSweep(opts runOpts, counts []int, workers int) {
+	results := bench.Cells(len(counts), workers, func(i int) runResult {
+		o := opts
+		o.nodes = counts[i]
+		return runOnce(o)
+	})
+	t := &stats.Table{
+		Title: fmt.Sprintf("node-count sweep — mechanism=%s messages/sender=%d",
+			opts.mech, opts.count),
+		Columns: []string{"nodes", "delivered", "failed", "retransmits",
+			"dup-suppressed", "rx-garbage", "sim-time"},
+	}
+	for i, r := range results {
+		t.AddRow(fmt.Sprint(counts[i]),
+			fmt.Sprint(r.received), fmt.Sprint(r.failed),
+			fmt.Sprint(r.retrans), fmt.Sprint(r.dups), fmt.Sprint(r.garbage),
+			r.m.Eng.Now().String())
+	}
+	fmt.Print(t)
 }
 
 // runSweep executes one run per seed (re-seeding the fault plan) across up

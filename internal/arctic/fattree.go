@@ -116,10 +116,14 @@ func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
 	f.readyHooks = make([]func(), numNodes)
 	f.inject = make([]*link, numNodes)
 	f.eject = make([]*link, numNodes)
+	// Links carry a compact identity (kind/level/word/port) instead of a
+	// formatted name: at 1024 nodes the tree holds >10k links, and eager
+	// fmt.Sprintf names dominate construction cost for no benefit until a
+	// human-facing surface (metrics, errors) actually asks for one.
+	f.links = make([]*link, 0, 2*numNodes+2*(n-1)*f.width*k)
 	for p := 0; p < numNodes; p++ {
-		f.inject[p] = f.newLink(fmt.Sprintf("inj%d", p), -1)
-		f.inject[p].inject = p
-		f.eject[p] = f.newLink(fmt.Sprintf("ej%d", p), p)
+		f.inject[p] = f.newLink(lkInject, 0, 0, p)
+		f.eject[p] = f.newLink(lkEject, 0, 0, p)
 		f.links = append(f.links, f.inject[p], f.eject[p])
 	}
 	f.up = make([][]*link, n-1)
@@ -129,8 +133,8 @@ func NewFatTree(eng *sim.Engine, numNodes int, cfg Config) *FatTree {
 		f.down[l] = make([]*link, f.width*k)
 		for w := 0; w < f.width; w++ {
 			for j := 0; j < k; j++ {
-				f.up[l][w*k+j] = f.newLink(fmt.Sprintf("up-l%d-w%d-j%d", l, w, j), -1)
-				f.down[l][w*k+j] = f.newLink(fmt.Sprintf("dn-l%d-w%d-i%d", l, w, j), -1)
+				f.up[l][w*k+j] = f.newLink(lkUp, l, w, j)
+				f.down[l][w*k+j] = f.newLink(lkDown, l, w, j)
 				f.links = append(f.links, f.up[l][w*k+j], f.down[l][w*k+j])
 			}
 		}
@@ -143,6 +147,10 @@ func (f *FatTree) NumNodes() int { return f.nodes }
 
 // Levels returns the number of switch levels in the tree.
 func (f *FatTree) Levels() int { return f.n }
+
+// NumLinks returns the number of directed links in the fabric, including
+// per-node injection and ejection links.
+func (f *FatTree) NumLinks() int { return len(f.links) }
 
 // SetFaults attaches a fault injector; nil restores the fault-free fabric.
 func (f *FatTree) SetFaults(in *fault.Injector) { f.faults = in }
@@ -162,13 +170,63 @@ func (f *FatTree) RegisterMetrics(r *stats.Registry) {
 	lr := r.Child("link")
 	for _, l := range f.links {
 		l := l
-		lc := lr.Child(l.name)
+		lc := lr.Child(l.name())
 		lc.Time("busy", func() sim.Time { return l.busyNs })
 		lc.Counter("credit_stalls", &l.stallCnt)
 		lc.Gauge("queued", func() int64 {
 			return int64(len(l.queues[High]) + len(l.queues[Low]))
 		})
 	}
+}
+
+// LevelStalls aggregates the credit-stall telemetry of every link at one
+// position in the tree: the injection links, one up or down switch level, or
+// the ejection links. It is the per-depth view of the same per-link
+// `credit_stalls` counters the metrics registry exports — coarse enough to
+// stay readable at 1024 nodes, where the tree holds >10k links.
+type LevelStalls struct {
+	Level     string // "inject", "up-l3".."up-l0", "dn-l0".."dn-l3", "eject"
+	Links     int    // links aggregated into this row
+	Stalls    uint64 // stall onsets (packets that found their lane full)
+	StalledNs uint64 // total nanoseconds those packets waited for a credit
+}
+
+// StallsByLevel groups per-link credit stalls by tree depth, in hop order
+// for a maximal route: inject, the up levels from leaf-adjacent to root
+// (up-l(n-2) .. up-l0), the down levels from root to leaf (dn-l0 ..
+// dn-l(n-2)), eject. Rows are emitted for every level even when zero, so
+// backpressure propagating toward the senders reads as a gradient down the
+// table (tree saturation: hotspot congestion fills the ejection lane first,
+// then marches up the descent levels and across the root into the ascent).
+func (f *FatTree) StallsByLevel() []LevelStalls {
+	rows := make([]LevelStalls, 0, 2*f.n)
+	row := func(level string, match func(*link) bool) {
+		r := LevelStalls{Level: level}
+		for _, l := range f.links {
+			if !match(l) {
+				continue
+			}
+			r.Links++
+			r.Stalls += l.stallCnt.Events
+			r.StalledNs += l.stallCnt.Amount
+		}
+		rows = append(rows, r)
+	}
+	row("inject", func(l *link) bool { return l.kind == lkInject })
+	for lvl := f.n - 2; lvl >= 0; lvl-- {
+		lvl := lvl
+		row(fmt.Sprintf("up-l%d", lvl), func(l *link) bool {
+			return l.kind == lkUp && int(l.lvl) == lvl
+		})
+	}
+	for lvl := 0; lvl <= f.n-2; lvl++ {
+		lvl := lvl
+		row(fmt.Sprintf("dn-l%d", lvl), func(l *link) bool {
+			return l.kind == lkDown && int(l.lvl) == lvl
+		})
+	}
+	row("eject", func(l *link) bool { return l.kind == lkEject })
+	return rows
 }
 
 // InFlight counts the packets currently buffered inside the fabric: lane
@@ -199,7 +257,7 @@ func (f *FatTree) CheckLanes() error {
 		for pr := Priority(0); pr < numPriorities; pr++ {
 			if got := len(l.queues[pr]); got > f.cfg.LaneCapacity {
 				return fmt.Errorf("arctic: link %s lane %d holds %d packets (capacity %d)",
-					l.name, pr, got, f.cfg.LaneCapacity)
+					l.name(), pr, got, f.cfg.LaneCapacity)
 			}
 		}
 	}
@@ -426,11 +484,16 @@ func (f *FatTree) serTime(size int) sim.Time {
 // sender (tree saturation) — the behaviour behind the paper's warning that
 // the Hold policy "can lead to deadlocking the network".
 type link struct {
-	f       *FatTree
-	name    string
-	dstNode int // >= 0 for ejection links
-	inject  int // >= 0 for injection links (owning node)
-	queues  [numPriorities][]*linkEntry
+	f *FatTree
+	// Compact identity: kind plus either the owning node (inject/eject) or
+	// the (level, word, port) coordinate (up/down). The human-readable name
+	// is derived on demand by name().
+	kind   uint8
+	lvl    int16
+	port   int16
+	word   int32
+	node   int32 // owning node for inject/eject links
+	queues [numPriorities][]*linkEntry
 	// blocked holds a serialized packet awaiting downstream admission (or
 	// endpoint acceptance); its lane cannot serialize further packets.
 	blocked [numPriorities]*linkEntry
@@ -464,8 +527,36 @@ type creditWaiter struct {
 	since sim.Time // when the stall began, for stalled-time attribution
 }
 
-func (f *FatTree) newLink(name string, dstNode int) *link {
-	return &link{f: f, name: name, dstNode: dstNode, inject: -1}
+// Link kinds (see link.kind).
+const (
+	lkInject = iota
+	lkEject
+	lkUp
+	lkDown
+)
+
+func (f *FatTree) newLink(kind, lvl, word, portOrNode int) *link {
+	l := &link{f: f, kind: uint8(kind), lvl: int16(lvl), word: int32(word)}
+	if kind == lkInject || kind == lkEject {
+		l.node = int32(portOrNode)
+	} else {
+		l.port = int16(portOrNode)
+	}
+	return l
+}
+
+// name renders the link's registry/error name from its compact identity.
+func (l *link) name() string {
+	switch l.kind {
+	case lkInject:
+		return fmt.Sprintf("inj%d", l.node)
+	case lkEject:
+		return fmt.Sprintf("ej%d", l.node)
+	case lkUp:
+		return fmt.Sprintf("up-l%d-w%d-j%d", l.lvl, l.word, l.port)
+	default:
+		return fmt.Sprintf("dn-l%d-w%d-i%d", l.lvl, l.word, l.port)
+	}
 }
 
 // enqueueOrWait admits the packet if the lane has room, otherwise registers
@@ -543,14 +634,14 @@ func (l *link) admitWaiter(pr Priority) {
 // or advance toward the next hop, blocking the lane until it is accepted.
 func (l *link) afterSer(e *linkEntry) {
 	pr := e.pkt.Priority
-	if l.dstNode >= 0 {
+	if l.kind == lkEject {
 		if l.f.faults != nil && l.f.faults.DropOnDelivery(e.pkt.Dst) {
 			l.f.dropDead(e.pkt)
 			return // dead destination: the packet dies, the lane stays free
 		}
-		ep := l.f.endpoints[l.dstNode]
+		ep := l.f.endpoints[l.node]
 		if ep == nil {
-			panic("arctic: delivery to unattached node " + l.name)
+			panic("arctic: delivery to unattached node " + l.name())
 		}
 		if ep.TryDeliver(e.pkt) {
 			l.f.delivered(e.pkt)
@@ -578,7 +669,7 @@ func (l *link) poke() {
 			progressed = true
 			continue
 		}
-		if l.f.endpoints[l.dstNode].TryDeliver(e.pkt) {
+		if l.f.endpoints[l.node].TryDeliver(e.pkt) {
 			l.blocked[pr] = nil
 			l.f.delivered(e.pkt)
 			progressed = true
@@ -594,10 +685,10 @@ func (l *link) poke() {
 // maybeReady fires the node's injection-ready hook when an injection link
 // regains room (the NIU-side flow control signal).
 func (l *link) maybeReady() {
-	if l.inject < 0 {
+	if l.kind != lkInject {
 		return
 	}
-	if hook := l.f.readyHooks[l.inject]; hook != nil &&
+	if hook := l.f.readyHooks[l.node]; hook != nil &&
 		(l.injectReady(High) || l.injectReady(Low)) {
 		hook()
 	}

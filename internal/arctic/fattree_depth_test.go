@@ -1,0 +1,198 @@
+package arctic
+
+import (
+	"fmt"
+	"testing"
+
+	"startvoyager/internal/sim"
+)
+
+// Depth invariants for large trees. A 64-node radix-4 tree has 3 switch
+// levels, 256 nodes 4, and 1024 nodes 5 — deep enough that routing,
+// conservation, and construction-order bugs that are invisible on the
+// 4-node machines show up.
+
+var depthTestSizes = []int{64, 256, 1024}
+
+// TestRouteLengthAtDepth: the deterministic route from src to dst holds
+// exactly 2*(levels-1-lcaLevel) switch links plus the injection and ejection
+// links — ascent and descent are symmetric around the nearest common
+// ancestor.
+func TestRouteLengthAtDepth(t *testing.T) {
+	for _, n := range depthTestSizes {
+		eng := sim.NewEngine()
+		f := NewFatTree(eng, n, DefaultConfig())
+		// A deterministic sample of pairs covering every LCA level: node 0
+		// against powers of the radix, plus stride-walked pairs.
+		var pairs [][2]int
+		for d := 1; d < n; d *= 2 {
+			pairs = append(pairs, [2]int{0, d}, [2]int{d, 0}, [2]int{n - 1, n - 1 - d})
+		}
+		for s := 0; s < n; s += n/16 + 1 {
+			pairs = append(pairs, [2]int{s, (s*7 + 3) % n})
+		}
+		for _, pr := range pairs {
+			src, dst := pr[0], pr[1]
+			if src == dst {
+				continue
+			}
+			lca := f.lcaLevel(src, dst)
+			want := 2*(f.n-1-lca) + 2
+			if got := f.HopCount(src, dst); got != want {
+				t.Errorf("n=%d: HopCount(%d,%d)=%d, want %d (lca level %d of %d)",
+					n, src, dst, got, want, lca, f.n)
+			}
+		}
+	}
+}
+
+// TestPacketConservationAtDepth: every injected packet is delivered once the
+// event queue drains, nothing is buffered in the fabric afterwards, and no
+// lane ever exceeded its credit capacity.
+func TestPacketConservationAtDepth(t *testing.T) {
+	for _, n := range depthTestSizes {
+		eng := sim.NewEngine()
+		f := NewFatTree(eng, n, DefaultConfig())
+		got := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			f.Attach(i, EndpointFunc(func(*Packet) { got[i]++ }))
+		}
+		// Mixed pattern: a hotspot onto node 0 plus transpose-ish pairs, both
+		// priorities, staggered injection times.
+		injected := 0
+		for src := 0; src < n; src += 3 {
+			src := src
+			dst := (src*5 + n/2) % n
+			if dst == src {
+				dst = (dst + 1) % n
+			}
+			for k := 0; k < 4; k++ {
+				k := k
+				pri := Low
+				if k%2 == 1 {
+					pri = High
+				}
+				d := dst
+				if k == 3 {
+					d = 0 // hotspot component
+				}
+				if d == src {
+					d = (d + 1) % n
+				}
+				dd := d
+				eng.Schedule(sim.Time(k)*100*sim.Nanosecond, func() {
+					f.Inject(&Packet{Src: src, Dst: dd, Priority: pri, Size: 96})
+				})
+				injected++
+			}
+		}
+		eng.Run()
+		st := f.Stats()
+		if st.Injected != uint64(injected) || st.Delivered != uint64(injected) {
+			t.Errorf("n=%d: injected=%d delivered=%d, want both %d", n, st.Injected, st.Delivered, injected)
+		}
+		total := 0
+		for _, g := range got {
+			total += g
+		}
+		if total != injected {
+			t.Errorf("n=%d: endpoints saw %d packets, want %d", n, total, injected)
+		}
+		if inflight := f.InFlight(); inflight != 0 {
+			t.Errorf("n=%d: %d packets still buffered after drain", n, inflight)
+		}
+		if err := f.CheckLanes(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestDeterministicConstructionAtDepth: two identically configured trees
+// enumerate exactly the same links in the same order — the property the
+// metrics registry, heatmaps, and golden artifacts rely on.
+func TestDeterministicConstructionAtDepth(t *testing.T) {
+	for _, n := range depthTestSizes {
+		a := NewFatTree(sim.NewEngine(), n, DefaultConfig())
+		b := NewFatTree(sim.NewEngine(), n, DefaultConfig())
+		if a.NumLinks() != b.NumLinks() {
+			t.Fatalf("n=%d: link counts differ: %d vs %d", n, a.NumLinks(), b.NumLinks())
+		}
+		wantLinks := 2*n + 2*(a.n-1)*a.width*a.k
+		if a.NumLinks() != wantLinks {
+			t.Errorf("n=%d: %d links, want %d", n, a.NumLinks(), wantLinks)
+		}
+		for i := range a.links {
+			if an, bn := a.links[i].name(), b.links[i].name(); an != bn {
+				t.Fatalf("n=%d: link %d name %q vs %q", n, i, an, bn)
+			}
+		}
+	}
+}
+
+// TestStallsByLevel: the per-level aggregation partitions the per-link
+// counters exactly (sums match), covers every link once, emits rows in hop
+// order, and under an all-to-one hotspot records stalls on several distinct
+// levels — backpressure reaching beyond the hotspot's own ejection link is
+// what "tree saturation" means.
+func TestStallsByLevel(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		eng := sim.NewEngine()
+		f := NewFatTree(eng, n, DefaultConfig())
+		for i := 0; i < n; i++ {
+			f.Attach(i, EndpointFunc(func(*Packet) {}))
+		}
+		for src := 1; src < n; src++ {
+			src := src
+			for k := 0; k < 8; k++ {
+				eng.Schedule(0, func() {
+					f.Inject(&Packet{Src: src, Dst: 0, Priority: Low, Size: 96})
+				})
+			}
+		}
+		eng.Run()
+
+		rows := f.StallsByLevel()
+		wantRows := 2 * f.n
+		if len(rows) != wantRows {
+			t.Fatalf("n=%d: %d rows, want %d", n, len(rows), wantRows)
+		}
+		wantOrder := []string{"inject"}
+		for l := f.n - 2; l >= 0; l-- {
+			wantOrder = append(wantOrder, fmt.Sprintf("up-l%d", l))
+		}
+		for l := 0; l <= f.n-2; l++ {
+			wantOrder = append(wantOrder, fmt.Sprintf("dn-l%d", l))
+		}
+		wantOrder = append(wantOrder, "eject")
+		var rowLinks int
+		var rowStalls, rowNs uint64
+		levelsWithStalls := 0
+		for i, r := range rows {
+			if r.Level != wantOrder[i] {
+				t.Errorf("n=%d: row %d is %q, want %q", n, i, r.Level, wantOrder[i])
+			}
+			rowLinks += r.Links
+			rowStalls += r.Stalls
+			rowNs += r.StalledNs
+			if r.Stalls > 0 {
+				levelsWithStalls++
+			}
+		}
+		if rowLinks != f.NumLinks() {
+			t.Errorf("n=%d: rows cover %d links, fabric has %d", n, rowLinks, f.NumLinks())
+		}
+		var linkStalls, linkNs uint64
+		for _, l := range f.links {
+			linkStalls += l.stallCnt.Events
+			linkNs += l.stallCnt.Amount
+		}
+		if rowStalls != linkStalls || rowNs != linkNs {
+			t.Errorf("n=%d: aggregation says %d stalls/%dns, per-link counters say %d/%dns",
+				n, rowStalls, rowNs, linkStalls, linkNs)
+		}
+		if levelsWithStalls < 3 {
+			t.Errorf("n=%d: hotspot stalled only %d levels; saturation should span the tree", n, levelsWithStalls)
+		}
+	}
+}

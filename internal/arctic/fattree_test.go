@@ -415,7 +415,7 @@ func TestLaneCapacityProperty(t *testing.T) {
 				for pr := Priority(0); pr < numPriorities; pr++ {
 					if len(l.queues[pr]) > cfg.LaneCapacity {
 						t.Fatalf("lane %s/%v holds %d > cap %d",
-							l.name, pr, len(l.queues[pr]), cfg.LaneCapacity)
+							l.name(), pr, len(l.queues[pr]), cfg.LaneCapacity)
 					}
 				}
 			}

@@ -132,11 +132,9 @@ func New(name string, b *bus.Bus, cfg Config) *Cache {
 	if nset == 0 || nset&(nset-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", nset))
 	}
-	sets := make([][]line, nset)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
-	}
-	c := &Cache{name: name, b: b, cfg: cfg, sets: sets, nset: uint32(nset)}
+	// Sets materialize lazily (see setForFill): an idle node's cache costs
+	// one pointer per set rather than Assoc full lines per set.
+	c := &Cache{name: name, b: b, cfg: cfg, sets: make([][]line, nset), nset: uint32(nset)}
 	c.ivServeFn = c.ivServe
 	return c
 }
@@ -193,8 +191,22 @@ func (c *Cache) DeviceName() string { return c.name }
 // Stats returns a snapshot of counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// set returns addr's set, which is nil until first filled — lookups over a
+// nil set simply miss, so the read path never materializes state.
+//
 //voyager:noalloc
 func (c *Cache) set(addr uint32) []line { return c.sets[(addr/bus.LineSize)&(c.nset-1)] }
+
+// setForFill materializes addr's set on its first fill.
+//
+//voyager:noalloc
+func (c *Cache) setForFill(addr uint32) []line {
+	idx := (addr / bus.LineSize) & (c.nset - 1)
+	if c.sets[idx] == nil {
+		c.sets[idx] = make([]line, c.cfg.Assoc) //voyager:alloc-ok(lazy set materialization; once per touched set)
+	}
+	return c.sets[idx]
+}
 
 //voyager:noalloc
 func (c *Cache) tag(addr uint32) uint32 { return addr / bus.LineSize / c.nset }
@@ -215,7 +227,7 @@ func (c *Cache) lookup(addr uint32) *line {
 //
 //voyager:noalloc
 func (c *Cache) victim(addr uint32) *line {
-	set := c.set(addr)
+	set := c.setForFill(addr)
 	var v *line
 	for i := range set {
 		if set[i].state == Invalid {

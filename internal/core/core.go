@@ -189,13 +189,13 @@ func (a *API) Compute(p *sim.Proc, d sim.Time) {
 //
 //voyager:noalloc
 func (a *API) SendBasic(p *sim.Proc, dest int, payload []byte) {
-	a.sendSlot(p, "SendBasic", dest+node.TransBasic, 0, payload, 0, 0)
+	a.sendSlot(p, "SendBasic", a.n.TransBasicIdx(dest), 0, payload, 0, 0)
 }
 
 // SendSvc sends a firmware service message (service id + body) to node
 // dest's sP — the aP→sP request path (e.g. DMA requests).
 func (a *API) SendSvc(p *sim.Proc, dest int, svc byte, body []byte) {
-	a.sendSlot(p, "SendSvc", dest+node.TransSvc, 0, append([]byte{svc}, body...), 0, 0)
+	a.sendSlot(p, "SendSvc", a.n.TransSvcIdx(dest), 0, append([]byte{svc}, body...), 0, 0)
 }
 
 // SendTagOn sends a Basic message whose payload is extended with tagLen
@@ -207,7 +207,7 @@ func (a *API) SendTagOn(p *sim.Proc, dest int, inline []byte, sramOff uint32, ta
 	if tagLen%16 != 0 || tagLen > 80 {
 		panic(fmt.Sprintf("core: bad TagOn length %d", tagLen)) //voyager:alloc-ok(panic path)
 	}
-	a.sendSlot(p, "SendTagOn", dest+node.TransBasic, ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
+	a.sendSlot(p, "SendTagOn", a.n.TransBasicIdx(dest), ctrl.SlotFlagTagOn|ctrl.SlotFlagTagASram,
 		inline, sramOff, tagLen)
 }
 
@@ -455,7 +455,7 @@ func (a *API) SendExpress(p *sim.Proc, dest int, payload []byte) {
 		panic(fmt.Sprintf("core: payload %d exceeds Express limit", len(payload))) //voyager:alloc-ok(panic path)
 	}
 	defer a.busy("SendExpress")()
-	destIdx := uint32(node.TransExpress + dest)
+	destIdx := uint32(a.n.TransExpressIdx(dest))
 	addr := node.ExTxBase + (uint32(node.TxExpress)<<12|destIdx)<<3
 	w := a.wordGet()
 	w.b = [8]byte{}

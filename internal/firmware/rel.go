@@ -132,11 +132,14 @@ type relPeer struct {
 	recvNext uint32
 }
 
-// Rel is one node's R-Basic service instance.
+// Rel is one node's R-Basic service instance. Peer state materializes on the
+// first exchange with that peer: protocol state is per directed pair, so
+// eager allocation would cost O(nodes²) machine-wide — prohibitive at 1024
+// nodes when real traffic touches a tiny fraction of the pairs.
 type Rel struct {
 	e     *Engine
 	cfg   RelConfig
-	peers []*relPeer
+	peers []*relPeer // nil until first use; see peer()
 
 	stats       RelStats
 	backoffHist *stats.Histogram // rto at each expiry (ns)
@@ -153,13 +156,20 @@ func NewRel(e *Engine, cfg RelConfig) *Rel {
 		peers:       make([]*relPeer, cfg.NumNodes),
 		backoffHist: stats.NewHistogram(stats.ExpBounds(int64(cfg.Timeout), 2, 8)...),
 	}
-	for i := range r.peers {
-		r.peers[i] = &relPeer{node: i, rto: cfg.Timeout}
-	}
 	e.Register(SvcRelSend, r.onSend)
 	e.Register(SvcRelData, r.onData)
 	e.Register(SvcRelAck, r.onAck)
 	return r
+}
+
+// peer returns node i's protocol state, materializing it on first use.
+func (r *Rel) peer(i int) *relPeer {
+	p := r.peers[i]
+	if p == nil {
+		p = &relPeer{node: i, rto: r.cfg.Timeout}
+		r.peers[i] = p
+	}
+	return p
 }
 
 // Config returns the (defaults-filled) parameter set.
@@ -174,6 +184,9 @@ func (r *Rel) Stats() RelStats { return r.stats }
 // send was silently abandoned, which is the quiescence oracle's target.
 func (r *Rel) Quiesced() error {
 	for _, peer := range r.peers {
+		if peer == nil {
+			continue
+		}
 		if len(peer.inflight) > 0 || len(peer.pending) > 0 {
 			return fmt.Errorf("firmware: node %d rel peer %d not quiesced: %d in flight, %d pending",
 				r.e.node, peer.node, len(peer.inflight), len(peer.pending))
@@ -213,7 +226,7 @@ func (r *Rel) onSend(p *sim.Proc, src uint16, body []byte) {
 		r.status(p, tag, RelOK, r.e.curMsg.ID)
 		return
 	}
-	peer := r.peers[dst]
+	peer := r.peer(dst)
 	if peer.failed {
 		r.stats.Failures++
 		r.status(p, tag, RelUnreachable, r.e.curMsg.ID)
@@ -234,7 +247,7 @@ func (r *Rel) onData(p *sim.Proc, src uint16, body []byte) {
 		panic(fmt.Sprintf("firmware: node %d: short RelData body (%d bytes)", r.e.node, len(body)))
 	}
 	seq := binary.BigEndian.Uint32(body[0:])
-	peer := r.peers[int(src)]
+	peer := r.peer(int(src))
 	switch d := int32(seq - peer.recvNext); {
 	case d == 0:
 		peer.recvNext++
@@ -268,7 +281,7 @@ func (r *Rel) onAck(p *sim.Proc, src uint16, body []byte) {
 		panic(fmt.Sprintf("firmware: node %d: short RelAck body (%d bytes)", r.e.node, len(body)))
 	}
 	ackNext := binary.BigEndian.Uint32(body[0:])
-	peer := r.peers[int(src)]
+	peer := r.peer(int(src))
 	r.stats.Acks++
 	progressed := false
 	for len(peer.inflight) > 0 && int32(peer.inflight[0].seq-ackNext) < 0 {

@@ -134,6 +134,12 @@ var noallocAllowlist = map[string]bool{
 	"(startvoyager/internal/niu/ctrl.IntPort).RxInterrupt":   true,
 	"(startvoyager/internal/niu/ctrl.IntPort).ProtViolation": true,
 	"(startvoyager/internal/niu/ctrl.BusPort).IssueBusOp":    true,
+	// Translation-table index arithmetic: pure integer math on the node's
+	// fixed stride, marked //voyager:noalloc at the definitions.
+	"(*startvoyager/internal/node.Node).TransBasicIdx":   true,
+	"(*startvoyager/internal/node.Node).TransExpressIdx": true,
+	"(*startvoyager/internal/node.Node).TransSvcIdx":     true,
+	"(*startvoyager/internal/node.Node).TransNotifyIdx":  true,
 	// Buffer memories and byte-order helpers: pure copies into caller-owned
 	// storage.
 	"(*startvoyager/internal/niu/sram.SRAM).Read":   true,

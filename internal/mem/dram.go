@@ -2,6 +2,12 @@
 // controller claims bus transactions falling in its range and services them
 // with a fixed access latency. A zero-time backdoor lets workload setup and
 // test verification touch memory without perturbing simulated timing.
+//
+// Backing storage is paged and demand-allocated: a page materializes on its
+// first write, and reads of never-written pages observe zeros — exactly what
+// a dense zero-initialized array would return. This keeps a node's host
+// footprint proportional to the memory its software actually touches, so
+// thousand-node machines fit in RAM (ROADMAP item 2).
 package mem
 
 import (
@@ -12,12 +18,21 @@ import (
 	"startvoyager/internal/stats"
 )
 
+// Backing-page geometry. 64 KB keeps the page table tiny (8 bytes per page —
+// 2 KB for a 16 MB node) while a queue-only workload still touches just a
+// handful of pages.
+const (
+	pageShift = 16
+	pageSize  = 1 << pageShift
+)
+
 // DRAM is main memory plus its controller, attached to a node bus.
 type DRAM struct {
-	rng     bus.Range
-	data    []byte
-	latency sim.Time
-	aliases []alias
+	rng      bus.Range
+	pages    [][]byte // demand-allocated; nil pages read as zeros
+	resident int      // pages materialized so far
+	latency  sim.Time
+	aliases  []alias
 
 	reads, writes uint64
 }
@@ -32,7 +47,8 @@ type alias struct {
 
 // New creates size bytes of DRAM at base with the given first-access latency.
 func New(rng bus.Range, latency sim.Time) *DRAM {
-	return &DRAM{rng: rng, data: make([]byte, rng.Size), latency: latency}
+	numPages := (uint64(rng.Size) + pageSize - 1) >> pageShift
+	return &DRAM{rng: rng, pages: make([][]byte, numPages), latency: latency}
 }
 
 // DeviceName implements bus.Device.
@@ -40,6 +56,10 @@ func (d *DRAM) DeviceName() string { return "dram" }
 
 // Range returns the address range this controller claims.
 func (d *DRAM) Range() bus.Range { return d.rng }
+
+// ResidentBytes returns the host bytes materialized for backing storage —
+// the demand-paged footprint, as opposed to the modeled capacity Range().Size.
+func (d *DRAM) ResidentBytes() int { return d.resident * pageSize }
 
 // AddAlias makes the controller also claim rng, serving it from the backing
 // array starting at offset toBase. Used to back the S-COMA window with DRAM
@@ -64,6 +84,54 @@ func (d *DRAM) resolve(addr uint32) (uint32, bool) {
 	return 0, false
 }
 
+// readAt copies backing bytes at off into buf, clamped to the modeled size;
+// unmaterialized pages read as zeros.
+func (d *DRAM) readAt(off uint32, buf []byte) {
+	if rem := uint64(d.rng.Size) - uint64(off); uint64(len(buf)) > rem {
+		buf = buf[:rem]
+	}
+	for len(buf) > 0 {
+		po := off & (pageSize - 1)
+		n := pageSize - int(po)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if pg := d.pages[off>>pageShift]; pg != nil {
+			copy(buf[:n], pg[po:])
+		} else {
+			for i := range buf[:n] {
+				buf[i] = 0
+			}
+		}
+		off += uint32(n)
+		buf = buf[n:]
+	}
+}
+
+// writeAt copies buf into backing storage at off, clamped to the modeled
+// size, materializing pages as needed.
+func (d *DRAM) writeAt(off uint32, data []byte) {
+	if rem := uint64(d.rng.Size) - uint64(off); uint64(len(data)) > rem {
+		data = data[:rem]
+	}
+	for len(data) > 0 {
+		po := off & (pageSize - 1)
+		n := pageSize - int(po)
+		if n > len(data) {
+			n = len(data)
+		}
+		pg := d.pages[off>>pageShift]
+		if pg == nil {
+			pg = make([]byte, pageSize)
+			d.pages[off>>pageShift] = pg
+			d.resident++
+		}
+		copy(pg[po:], data[:n])
+		off += uint32(n)
+		data = data[n:]
+	}
+}
+
 // SnoopBus claims transactions in range and services them from the array.
 func (d *DRAM) SnoopBus(tx *bus.Transaction) bus.Snoop {
 	if tx.Kind == bus.Kill {
@@ -80,10 +148,10 @@ func (d *DRAM) SnoopBus(tx *bus.Transaction) bus.Snoop {
 			off := offset
 			switch tx.Kind {
 			case bus.ReadLine, bus.ReadLineX, bus.ReadWord:
-				copy(tx.Data, d.data[off:])
+				d.readAt(off, tx.Data)
 				d.reads++
 			case bus.WriteLine, bus.WriteWord:
-				copy(d.data[off:], tx.Data)
+				d.writeAt(off, tx.Data)
 				d.writes++
 			}
 		},
@@ -102,13 +170,13 @@ func (d *DRAM) RegisterMetrics(r *stats.Registry) {
 // Peek copies memory at addr into buf without consuming simulated time.
 func (d *DRAM) Peek(addr uint32, buf []byte) {
 	off := d.mustOffset(addr, len(buf))
-	copy(buf, d.data[off:])
+	d.readAt(off, buf)
 }
 
 // Poke writes buf at addr without consuming simulated time.
 func (d *DRAM) Poke(addr uint32, buf []byte) {
 	off := d.mustOffset(addr, len(buf))
-	copy(d.data[off:], buf)
+	d.writeAt(off, buf)
 }
 
 func (d *DRAM) mustOffset(addr uint32, n int) uint32 {

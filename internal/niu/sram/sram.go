@@ -11,38 +11,76 @@ package sram
 
 import "fmt"
 
-// SRAM is a byte-addressed buffer memory.
+// SRAM is a byte-addressed buffer memory. The backing array grows on demand
+// (doubling, up to the configured capacity): a bank whose software only uses
+// the queue region at the bottom costs a few KB of host memory rather than
+// the full 128 KB, which is what makes thousand-node machines cheap. Bytes
+// beyond the materialized prefix read as zeros, identical to a dense
+// zero-initialized array.
 type SRAM struct {
 	name string
-	data []byte
+	size int
+	data []byte // materialized prefix; len(data) <= size
 }
 
 // New allocates an SRAM of size bytes.
 func New(name string, size int) *SRAM {
-	return &SRAM{name: name, data: make([]byte, size)}
+	return &SRAM{name: name, size: size}
 }
 
 // Name returns the bank's name ("aSRAM", "sSRAM").
 func (s *SRAM) Name() string { return s.name }
 
 // Size returns the bank capacity in bytes.
-func (s *SRAM) Size() int { return len(s.data) }
+func (s *SRAM) Size() int { return s.size }
+
+// ResidentBytes returns the host bytes materialized so far.
+func (s *SRAM) ResidentBytes() int { return len(s.data) }
+
+// grow extends the materialized prefix to cover at least end bytes. Growth
+// reallocates, so previously returned Slice views go stale — which the Slice
+// contract (no retention across foreign writes) already forbids relying on.
+func (s *SRAM) grow(end uint32) {
+	if int(end) <= len(s.data) {
+		return
+	}
+	n := 256
+	for n < int(end) {
+		n <<= 1
+	}
+	if n > s.size {
+		n = s.size
+	}
+	nd := make([]byte, n)
+	copy(nd, s.data)
+	s.data = nd
+}
 
 // Read copies len(buf) bytes at off into buf.
 func (s *SRAM) Read(off uint32, buf []byte) {
 	s.check(off, len(buf))
-	copy(buf, s.data[off:])
+	var n int
+	if int(off) < len(s.data) {
+		n = copy(buf, s.data[off:])
+	}
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
 }
 
 // Write copies data into the bank at off.
 func (s *SRAM) Write(off uint32, data []byte) {
 	s.check(off, len(data))
+	s.grow(off + uint32(len(data)))
 	copy(s.data[off:], data)
 }
 
 // ByteAt returns the byte at off.
 func (s *SRAM) ByteAt(off uint32) byte {
 	s.check(off, 1)
+	if int(off) >= len(s.data) {
+		return 0
+	}
 	return s.data[off]
 }
 
@@ -50,12 +88,13 @@ func (s *SRAM) ByteAt(off uint32) byte {
 // must not retain it across writes they do not control.
 func (s *SRAM) Slice(off uint32, n int) []byte {
 	s.check(off, n)
+	s.grow(off + uint32(n))
 	return s.data[off : off+uint32(n)]
 }
 
 func (s *SRAM) check(off uint32, n int) {
-	if uint64(off)+uint64(n) > uint64(len(s.data)) {
-		panic(fmt.Sprintf("sram: %s access %#x+%d beyond size %#x", s.name, off, n, len(s.data)))
+	if uint64(off)+uint64(n) > uint64(s.size) {
+		panic(fmt.Sprintf("sram: %s access %#x+%d beyond size %#x", s.name, off, n, s.size))
 	}
 }
 
@@ -95,22 +134,32 @@ func (s LineState) String() string {
 
 // Cls is the clsSRAM: one 4-bit state per 32-byte cache line of the S-COMA
 // region. It is read combinationally by the aBIU on every aP bus operation
-// and written under sP (or, in approach 5, block-unit) control.
+// and written under sP (or, in approach 5, block-unit) control. The state
+// array materializes on the first Set: a node that never touches S-COMA pays
+// nothing, and reads before then return CLInvalid — the zero value a dense
+// array would hold anyway.
 type Cls struct {
-	states []LineState
+	lines  int
+	states []LineState // nil until first Set
 }
 
 // NewCls sizes the state memory for the given number of cache lines.
 func NewCls(lines int) *Cls {
-	return &Cls{states: make([]LineState, lines)}
+	return &Cls{lines: lines}
 }
 
 // Lines returns the number of tracked lines.
-func (c *Cls) Lines() int { return len(c.states) }
+func (c *Cls) Lines() int { return c.lines }
+
+// ResidentBytes returns the host bytes materialized so far.
+func (c *Cls) ResidentBytes() int { return len(c.states) }
 
 // Get returns the state for line idx.
 func (c *Cls) Get(idx int) LineState {
 	c.check(idx)
+	if c.states == nil {
+		return CLInvalid
+	}
 	return c.states[idx]
 }
 
@@ -119,6 +168,12 @@ func (c *Cls) Set(idx int, st LineState) {
 	c.check(idx)
 	if st > 15 {
 		panic(fmt.Sprintf("sram: clsSRAM state %d exceeds 4 bits", st))
+	}
+	if c.states == nil {
+		if st == CLInvalid {
+			return
+		}
+		c.states = make([]LineState, c.lines)
 	}
 	c.states[idx] = st
 }
@@ -131,7 +186,7 @@ func (c *Cls) SetRange(from, to int, st LineState) {
 }
 
 func (c *Cls) check(idx int) {
-	if idx < 0 || idx >= len(c.states) {
-		panic(fmt.Sprintf("sram: clsSRAM line %d out of range %d", idx, len(c.states)))
+	if idx < 0 || idx >= c.lines {
+		panic(fmt.Sprintf("sram: clsSRAM line %d out of range %d", idx, c.lines))
 	}
 }

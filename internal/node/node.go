@@ -60,14 +60,39 @@ const (
 	LqNotify         = firmware.NotifyLogicalQ
 )
 
-// Translation table index bases: entry (base + node) routes to that node's
-// corresponding queue.
+// Translation table index bases for clusters of up to 64 nodes (the
+// historical fixed layout): entry (base + node) routes to that node's
+// corresponding queue. Larger machines scale the region stride with the node
+// count — use Node.TransBasicIdx and friends, which resolve against the
+// machine's actual stride, instead of these constants.
 const (
 	TransBasic   = 0
 	TransExpress = 64
 	TransSvc     = 128
 	TransNotify  = 192
 )
+
+// MaxNodes is the largest buildable cluster. The Express transmit region
+// encodes (queue<<12 | index) in a store address with a 12-bit index field,
+// so translation indices — and therefore the node count — top out at 2048
+// with room for the four-region table.
+const MaxNodes = 2048
+
+// TransStride returns the per-region translation-table stride for a machine
+// of numNodes nodes: exactly 64 (matching the historical constants, so small
+// configurations stay byte-identical) up to 64 nodes, and the next power of
+// two >= numNodes beyond that, bounded at MaxNodes by the Express
+// store-address encoding.
+func TransStride(numNodes int) int {
+	s := 64
+	for s < numNodes {
+		s <<= 1
+	}
+	if s > MaxNodes {
+		panic(fmt.Sprintf("node: %d nodes exceed the %d-node express-addressing limit", numNodes, MaxNodes))
+	}
+	return s
+}
 
 // Queue geometry.
 const (
@@ -96,15 +121,34 @@ const (
 	DmaStagingLen = 8 << 10
 )
 
-// sSRAM layout.
-const (
-	transTableBase = 0x0000 // 256 entries * 8 bytes
-	sShadowBase    = 0x0800
-	svcBuf         = 0x1000
-	missBuf        = svcBuf + BasicSlotBytes*SvcEntries
-	// UserSSram is the first sSRAM offset free for firmware extensions.
-	UserSSram = missBuf + BasicSlotBytes*SvcEntries
-)
+// SSramLayout is the numNodes-dependent sSRAM allocation: the translation
+// table (4 regions * stride entries * 8 bytes) at the bottom, then the sP
+// shadow pairs, the service and miss queue buffers, and free space. For
+// clusters of up to 64 nodes this is exactly the historical fixed layout
+// (table 0x0000, shadows 0x0800, service buffer 0x1000, miss buffer 0x2800).
+type SSramLayout struct {
+	TransTable uint32 // translation table base
+	SShadow    uint32 // sP shadow-pair region base
+	SvcBuf     uint32 // service queue buffer base
+	MissBuf    uint32 // miss/overflow queue buffer base
+	User       uint32 // first offset free for firmware extensions
+}
+
+// SSramLayoutFor computes the layout for a cluster of numNodes nodes.
+func SSramLayoutFor(numNodes int) SSramLayout {
+	stride := uint32(TransStride(numNodes))
+	var l SSramLayout
+	l.TransTable = 0
+	l.SShadow = l.TransTable + 4*stride*8
+	l.SvcBuf = l.SShadow + 0x800
+	l.MissBuf = l.SvcBuf + BasicSlotBytes*SvcEntries
+	l.User = l.MissBuf + BasicSlotBytes*SvcEntries
+	return l
+}
+
+// UserSSram is the first sSRAM offset free for firmware extensions on
+// clusters of up to 64 nodes (see SSramLayoutFor for larger machines).
+const UserSSram = 0x2800 + BasicSlotBytes*SvcEntries
 
 // Config holds per-node construction parameters.
 type Config struct {
@@ -157,8 +201,10 @@ type Node struct {
 	SBIU    *biu.SBIU
 	FW      *firmware.Engine
 
-	Map biu.Map
-	cfg Config
+	Map    biu.Map
+	cfg    Config
+	lay    SSramLayout
+	stride int // translation-region stride for this machine's node count
 
 	// APMeter accrues application-processor occupancy (started/stopped by
 	// the core library around aP activity).
@@ -171,6 +217,7 @@ type Node struct {
 func New(eng *sim.Engine, id int, fabric arctic.Fabric, cfg Config) *Node {
 	cfg.fillDefaults()
 	n := &Node{ID: id, Eng: eng, cfg: cfg, fabric: fabric,
+		lay: SSramLayoutFor(cfg.NumNodes), stride: TransStride(cfg.NumNodes),
 		APMeter: stats.NewMeter(eng, fmt.Sprintf("aP%d", id))}
 
 	n.Bus = bus.New(eng, fmt.Sprintf("bus%d", id), cfg.Bus)
@@ -194,7 +241,8 @@ func New(eng *sim.Engine, id int, fabric arctic.Fabric, cfg Config) *Node {
 	}
 
 	ctrlCfg := cfg.Ctrl // remaining zero fields are filled by ctrl defaults
-	ctrlCfg.TransTableBase = transTableBase
+	ctrlCfg.TransTableBase = n.lay.TransTable
+	ctrlCfg.TransTableEntries = 4 * n.stride
 	ctrlCfg.MissQueue = RxMiss
 	ctrlCfg.ScomaRange = n.Map.Scoma
 	if cfg.ScomaSize > 0 {
@@ -304,24 +352,57 @@ func (n *Node) SetupDefaultQueues(numNodes int) {
 	})
 	// sP queues (in sSRAM, interrupting).
 	c.ConfigureRx(RxSvc, ctrl.RxConfig{
-		Buf: n.SSram, Base: svcBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
-		ShadowBase: sShadowBase + RxSvc*8,
+		Buf: n.SSram, Base: n.lay.SvcBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
+		ShadowBase: n.lay.SShadow + RxSvc*8,
 		Logical:    firmware.SvcLogicalQ, Interrupt: true, Full: ctrl.Hold, Enabled: true,
 	})
 	c.ConfigureRx(RxMiss, ctrl.RxConfig{
-		Buf: n.SSram, Base: missBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
-		ShadowBase: sShadowBase + RxMiss*8,
+		Buf: n.SSram, Base: n.lay.MissBuf, EntryBytes: BasicSlotBytes, Entries: SvcEntries,
+		ShadowBase: n.lay.SShadow + RxMiss*8,
 		Logical:    firmware.MissLogicalQ, Interrupt: true, Full: ctrl.Hold, Enabled: true,
 	})
-	// Destination translation table.
+	// Destination translation table (region bases scale with the stride; at
+	// the default 64-node stride these are exactly TransBasic..TransNotify).
 	for i := 0; i < numNodes; i++ {
-		c.WriteTransEntry(TransBasic+i, ctrl.TransEntry{
+		c.WriteTransEntry(n.TransBasicIdx(i), ctrl.TransEntry{
 			PhysNode: uint16(i), LogicalQ: LqBasic, Priority: arctic.Low, Valid: true})
-		c.WriteTransEntry(TransExpress+i, ctrl.TransEntry{
+		c.WriteTransEntry(n.TransExpressIdx(i), ctrl.TransEntry{
 			PhysNode: uint16(i), LogicalQ: LqExpress, Priority: arctic.Low, Valid: true})
-		c.WriteTransEntry(TransSvc+i, ctrl.TransEntry{
+		c.WriteTransEntry(n.TransSvcIdx(i), ctrl.TransEntry{
 			PhysNode: uint16(i), LogicalQ: firmware.SvcLogicalQ, Priority: arctic.Low, Valid: true})
-		c.WriteTransEntry(TransNotify+i, ctrl.TransEntry{
+		c.WriteTransEntry(n.TransNotifyIdx(i), ctrl.TransEntry{
 			PhysNode: uint16(i), LogicalQ: LqNotify, Priority: arctic.Low, Valid: true})
 	}
 }
+
+// TransBasicIdx returns the translation-table index routing a Basic message
+// to node dest on this machine.
+//
+//voyager:noalloc
+func (n *Node) TransBasicIdx(dest int) int { return dest }
+
+// TransExpressIdx returns the translation-table index routing an Express
+// message to node dest on this machine.
+//
+//voyager:noalloc
+func (n *Node) TransExpressIdx(dest int) int { return n.stride + dest }
+
+// TransSvcIdx returns the translation-table index routing a service message
+// to node dest's sP on this machine.
+//
+//voyager:noalloc
+func (n *Node) TransSvcIdx(dest int) int { return 2*n.stride + dest }
+
+// TransNotifyIdx returns the translation-table index routing a completion
+// notification to node dest on this machine.
+//
+//voyager:noalloc
+func (n *Node) TransNotifyIdx(dest int) int { return 3*n.stride + dest }
+
+// TransStride returns this machine's translation-region stride.
+//
+//voyager:noalloc
+func (n *Node) TransStride() int { return n.stride }
+
+// SSram layout accessor for firmware extensions that need the free region.
+func (n *Node) Layout() SSramLayout { return n.lay }

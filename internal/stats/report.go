@@ -264,6 +264,16 @@ func writeHeatmap(b *strings.Builder, title string, sel []*seriesRef, opts Repor
 			scale = r.peak
 		}
 	}
+	// Rows beyond TopK are truncated, not silently: a 1024-node tree holds
+	// >10k links, and a heatmap is only legible — and only honest — if it
+	// says how much activity it is not showing.
+	activeTotal := 0
+	for _, r := range sel {
+		if r.total != 0 {
+			activeTotal++
+		}
+	}
+	omitted := activeTotal - len(live)
 	fmt.Fprintf(b, "== %s ==\n", title)
 	if len(live) == 0 {
 		b.WriteString("(nothing to plot)\n\n")
@@ -282,6 +292,9 @@ func writeHeatmap(b *strings.Builder, title string, sel []*seriesRef, opts Repor
 			b.WriteByte(rampChar(v, scale))
 		}
 		b.WriteString("|\n")
+	}
+	if omitted > 0 {
+		fmt.Fprintf(b, "(%d more active links omitted — raise -top to see them)\n", omitted)
 	}
 	fmt.Fprintf(b, "scale: blank=0%s\n\n", legend(scale, denom != 0))
 }

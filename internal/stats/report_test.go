@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,6 +107,40 @@ func TestReportSections(t *testing.T) {
 	// Stall attribution: retransmit gauge deltas, not cumulative values.
 	if !strings.Contains(out, "retransmits") {
 		t.Error("no retransmit column")
+	}
+}
+
+// TestReportHeatmapTruncation: with more active links than TopK, the
+// heatmap keeps the hottest rows and says exactly how many it left out; at
+// or under TopK no such line appears (so small-config reports are unchanged).
+func TestReportHeatmapTruncation(t *testing.T) {
+	n := 4
+	doc := &SeriesDoc{Schema: SeriesSchema, WindowNs: 10000, Scrapes: 4, Windows: n,
+		Series: map[string]*SeriesData{}}
+	for i := 0; i < 12; i++ {
+		d := &SeriesData{Kind: "time",
+			Min: make([]int64, n), Max: make([]int64, n),
+			Sum: make([]int64, n), Count: make([]uint64, n)}
+		for w := 0; w < n; w++ {
+			d.Sum[w] = int64(100 * (i + 1))
+			d.Count[w] = 1
+		}
+		doc.Series[fmt.Sprintf("net/link/up-l0-w0-j%d/busy", i)] = d
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, doc, ReportOpts{TopK: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(7 more active links omitted") {
+		t.Errorf("truncated heatmap lacks the omitted-links line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteReport(&buf, doc, ReportOpts{TopK: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "omitted") {
+		t.Errorf("untruncated heatmap claims omissions:\n%s", buf.String())
 	}
 }
 
